@@ -1,0 +1,262 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment end to end
+// and reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full evaluation. The experiments are deterministic;
+// ns/op measures the wall cost of regenerating a figure, not a paper
+// quantity. See EXPERIMENTS.md for paper-vs-measured values.
+package ecldb_test
+
+import (
+	"testing"
+
+	"ecldb/internal/bench"
+)
+
+func BenchmarkFigure3PowerBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Figure3()
+		b.ReportMetric(r.StaticFrac*100, "static/peak_%")
+		b.ReportMetric(r.OverheadFrac*100, "overhead_%")
+		b.ReportMetric(r.PeakPSUW, "peak_PSU_W")
+	}
+}
+
+func BenchmarkFigure4ActivationCosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Figure4()
+		last := r.Combos[len(r.Combos)-1]
+		b.ReportMetric(last.FirstCoreW, "first_core_W")
+		b.ReportMetric(last.AddlCoreW, "addl_core_W")
+		b.ReportMetric(last.SiblingW, "HT_sibling_W")
+	}
+}
+
+func BenchmarkFigure5UncoreHalting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Figure5()
+		b.ReportMetric(r.HaltedW[0], "halted_s0_W")
+		b.ReportMetric(r.Socket1W[len(r.Socket1W)-1], "idle_unhalted_s1_W")
+	}
+}
+
+func BenchmarkFigure6Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Figure6()
+		var minCoreMaxUnc float64
+		for _, c := range r.Cells {
+			if c.CoreMHz == 1200 && c.UncoreMHz == 3000 {
+				minCoreMaxUnc = c.BandwidthGBs
+			}
+		}
+		b.ReportMetric(minCoreMaxUnc, "minclk_maxunc_GBs")
+	}
+}
+
+func BenchmarkFigure7EET(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Figure7()
+		b.ReportMetric(r.BalancedCompute.TurboAt.Seconds(), "balanced_turbo_s")
+		b.ReportMetric(r.PerformanceCompute.TurboAt.Seconds(), "perf_turbo_s")
+		b.ReportMetric(r.BalancedMemory.PerfGain(), "membound_perf_gain")
+	}
+}
+
+func BenchmarkFigure8UFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Figure8()
+		b.ReportMetric(r.Rows[0].PkgW-r.Rows[1].PkgW, "auto_vs_1.2GHz_W")
+	}
+}
+
+func BenchmarkFigure9GeneratorGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.A.Configurations), "configs_default")
+		b.ReportMetric(float64(r.B.Configurations), "configs_fcore7")
+		b.ReportMetric(float64(r.C.Configurations), "configs_mixed")
+	}
+}
+
+func BenchmarkFigure10WorkloadProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MemoryBound.MaxRTISavings*100, "membound_save_%")
+		b.ReportMetric(r.Atomic.MaxRTISavings*100, "atomic_save_%")
+		b.ReportMetric(r.Atomic.RespAdvantage*100, "atomic_resp_%")
+		b.ReportMetric(r.HashTable.MaxRTISavings*100, "hashtable_save_%")
+	}
+}
+
+func BenchmarkFigure11GuidingExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Times)), "samples")
+	}
+}
+
+func BenchmarkFigure12MetaCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Figure12()
+		b.ReportMetric(r.MeasureWindow.Seconds()*1000, "measure_window_ms")
+		b.ReportMetric(r.ApplySettle.Seconds()*1000, "apply_settle_ms")
+	}
+}
+
+func BenchmarkFigure13Spike(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Savings1Hz*100, "ecl_savings_%")
+		b.ReportMetric(r.Baseline.OverloadSec, "baseline_overload_s")
+		b.ReportMetric(r.ECL1Hz.OverloadSec, "ecl_overload_s")
+	}
+}
+
+func BenchmarkFigure14Twitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Savings1Hz*100, "ecl_savings_%")
+		b.ReportMetric(r.ECL1Hz.ViolationFrac*100, "ecl1hz_viol_%")
+		b.ReportMetric(r.ECL2Hz.ViolationFrac*100, "ecl2hz_viol_%")
+	}
+}
+
+func BenchmarkFigure15And16Adaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.FigureAdaptation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Static.PostSwitchEnergyJ, "static_J")
+		b.ReportMetric(r.Online.PostSwitchEnergyJ, "online_J")
+		b.ReportMetric(r.Multi.PostSwitchEnergyJ, "multiplexed_J")
+		b.ReportMetric(r.Static.PostSwitchOverloadSec, "static_overload_s")
+	}
+}
+
+func BenchmarkTable1EnergySavings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.LoadProfile == "twitter" {
+				b.ReportMetric(row.Savings*100, row.Workload+"_save_%")
+			}
+		}
+	}
+}
+
+func BenchmarkAppendixProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AppendixProfiles()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.TATPIndexed.OptimalUncoreMHz), "tatp_idx_unc_MHz")
+		b.ReportMetric(float64(r.SSBNonIndexed.OptimalUncoreMHz), "ssb_scan_unc_MHz")
+	}
+}
+
+// BenchmarkAblationElasticity quantifies design decision 5 (DESIGN.md):
+// static worker binding versus the elastic hierarchical message layer.
+// Run separately from the paper figures; see internal/bench ablation
+// tests for the assertions.
+func BenchmarkAblationElasticity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationElasticity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ElasticCompleted, "elastic_done_frac")
+		b.ReportMetric(r.StaticCompleted, "static_done_frac")
+	}
+}
+
+// BenchmarkAblationNUMA quantifies NUMA-aware query admission.
+func BenchmarkAblationNUMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationNUMA()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.RandomComm), "random_transfers")
+		b.ReportMetric(float64(r.NUMAComm), "numa_transfers")
+	}
+}
+
+// BenchmarkAblationRTI quantifies the race-to-idle controller's
+// contribution to the savings (design decision 4).
+func BenchmarkAblationRTI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationRTI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.WithRTISavings*100, "with_rti_save_%")
+		b.ReportMetric(r.WithoutRTISavings*100, "without_rti_save_%")
+	}
+}
+
+// BenchmarkExtensionPowerCap sweeps RAPL-style per-socket power caps
+// (enforced through the energy profile) and reports the power/latency
+// trade-off at the tightest cap.
+func BenchmarkExtensionPowerCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.PowerCap()
+		if err != nil {
+			b.Fatal(err)
+		}
+		uncapped := r.Points[0]
+		tightest := r.Points[len(r.Points)-1]
+		b.ReportMetric(uncapped.AvgRAPLW, "uncapped_W")
+		b.ReportMetric(tightest.AvgRAPLW, "tightest_cap_W")
+		b.ReportMetric(tightest.Violations*100, "tightest_viol_%")
+	}
+}
+
+// BenchmarkAblationRTISync quantifies cross-socket race-to-idle phase
+// alignment (design decision 4): aligned grids reach the deepest sleep
+// state, staggered ones forfeit it.
+func BenchmarkAblationRTISync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationRTISync()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SyncedDeepSleepSec, "synced_deepsleep_s")
+		b.ReportMetric(r.DesyncedDeepSleepSec, "desynced_deepsleep_s")
+	}
+}
+
+// BenchmarkAblationQuantum verifies discretization insensitivity (design
+// decision 1): the same experiment at half/default/double quantum.
+func BenchmarkAblationQuantum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationQuantum()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, q := range r.Quanta {
+			b.ReportMetric(r.EnergyJ[j], "J_at_"+q.String())
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Command calibrate runs the ECL's startup meta-calibration experiment
+// (the paper's Figure 12): it detects the smallest trustworthy RAPL
+// measurement window and configuration-apply settle time on the simulated
+// machine and prints the deviation curves.
+package main
+
+import (
+	"fmt"
+
+	"ecldb/internal/bench"
+)
+
+func main() {
+	fmt.Println(bench.Figure12().Render())
+}

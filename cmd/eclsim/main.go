@@ -1,0 +1,154 @@
+// Command eclsim runs the paper's end-to-end evaluation experiments
+// (Figures 11, 13-16 and Table 1) or a custom simulation of the elastic
+// data-oriented DBMS under a chosen governor, workload, and load profile.
+//
+// Usage:
+//
+//	eclsim -fig 13               # spike-profile experiment
+//	eclsim -fig 14               # twitter-profile experiment
+//	eclsim -fig 15               # adaptation experiment (also figure 16)
+//	eclsim -table 1              # full Table 1 sweep
+//	eclsim -workload tatp-indexed -load spike -duration 2m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ecldb/internal/bench"
+	"ecldb/internal/ecl"
+	"ecldb/internal/loadprofile"
+	"ecldb/internal/sim"
+	"ecldb/internal/workload"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (11, 13, 14, 15/16)")
+	table := flag.Int("table", 0, "table number (1)")
+	wlName := flag.String("workload", "", "custom run: workload name")
+	loadName := flag.String("load", "spike", "custom run: load profile (spike, twitter, constant, replay)")
+	traceFile := flag.String("trace", "", "custom run with -load replay: CSV trace with t_seconds,qps columns")
+	level := flag.Float64("level", 0.5, "custom run: constant-load level relative to capacity")
+	duration := flag.Duration("duration", 2*time.Minute, "custom run: profile duration")
+	seed := flag.Int64("seed", 42, "random seed")
+	csvPrefix := flag.String("csv", "", "custom run: write per-governor trace CSVs to <prefix>-<governor>.csv")
+	capW := flag.Float64("cap", 0, "custom run: per-socket power cap in W for the ECL (0 = none)")
+	flag.Parse()
+
+	switch {
+	case *table == 1:
+		r, err := bench.Table1()
+		exitOn(err)
+		fmt.Println(r.Render())
+	case *fig == 11:
+		r, err := bench.Figure11()
+		exitOn(err)
+		fmt.Println(r.Render())
+	case *fig == 13:
+		r, err := bench.Figure13()
+		exitOn(err)
+		fmt.Println(r.Render())
+	case *fig == 14:
+		r, err := bench.Figure14()
+		exitOn(err)
+		fmt.Println(r.Render())
+	case *fig == 15, *fig == 16:
+		r, err := bench.FigureAdaptation()
+		exitOn(err)
+		fmt.Println(r.Render())
+	case *wlName != "":
+		exitOn(customRun(*wlName, *loadName, *traceFile, *level, *duration, *seed, *csvPrefix, *capW))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func customRun(wlName, loadName, traceFile string, level float64, duration time.Duration, seed int64, csvPrefix string, capW float64) error {
+	wl := workload.ByName(wlName)
+	if wl == nil {
+		return fmt.Errorf("unknown workload %q", wlName)
+	}
+	capacity, err := sim.MeasureCapacity(wl, seed)
+	if err != nil {
+		return err
+	}
+	var load loadprofile.Profile
+	switch loadName {
+	case "spike":
+		load = loadprofile.Spike{PeakQps: capacity * 1.15, Len: duration}
+	case "twitter":
+		load = loadprofile.Twitter{BaseQps: capacity * 0.8, Len: duration}
+	case "constant":
+		load = loadprofile.Constant{Qps: capacity * level, Len: duration}
+	case "replay":
+		if traceFile == "" {
+			return fmt.Errorf("-load replay needs -trace <csv>")
+		}
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		rp, err := loadprofile.LoadReplayCSV(traceFile, f, duration)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying %s compressed %.0fx\n", traceFile, rp.Compression())
+		load = rp
+	default:
+		return fmt.Errorf("unknown load profile %q", loadName)
+	}
+	fmt.Printf("workload %s, capacity %.0f qps, load %s for %v\n", wlName, capacity, loadName, duration)
+	var baseJ float64
+	for _, gov := range []sim.Governor{sim.GovernorBaseline, sim.GovernorECL} {
+		opts := sim.Options{
+			Workload: workload.ByName(wlName),
+			Load:     load,
+			Governor: gov,
+			Prewarm:  gov == sim.GovernorECL,
+			Seed:     seed,
+		}
+		if gov == sim.GovernorECL && capW > 0 {
+			opts.ECL = ecl.DefaultOptions()
+			opts.ECL.PowerCapW = capW
+		}
+		res, err := sim.Run(opts)
+		if err != nil {
+			return err
+		}
+		if csvPrefix != "" {
+			path := fmt.Sprintf("%s-%s.csv", csvPrefix, gov)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := res.Rec.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s\n", path)
+		}
+		fmt.Printf("%-9s energy %8.0f J  PSU %8.0f J  completed %9d  avg latency %12v  violations %5.1f%%",
+			gov, res.EnergyJ, res.PSUEnergyJ, res.Completed, res.AvgLatency, res.ViolationFrac*100)
+		if gov == sim.GovernorBaseline {
+			baseJ = res.EnergyJ
+			fmt.Println()
+		} else {
+			fmt.Printf("  savings %5.1f%%  most applied %s\n", (1-res.EnergyJ/baseJ)*100, res.MostApplied)
+		}
+	}
+	return nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eclsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+// Command hwbench runs the paper's Section 2 hardware analysis (Figures
+// 3-8) on the simulated Haswell-EP server and prints the resulting tables.
+//
+// Usage:
+//
+//	hwbench            # all figures
+//	hwbench -fig 4     # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecldb/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (3-8); 0 runs all")
+	flag.Parse()
+
+	runners := map[int]func() (string, error){
+		3: func() (string, error) { return bench.Figure3().Render(), nil },
+		4: func() (string, error) { return bench.Figure4().Render(), nil },
+		5: func() (string, error) { return bench.Figure5().Render(), nil },
+		6: func() (string, error) { return bench.Figure6().Render(), nil },
+		7: func() (string, error) { return bench.Figure7().Render(), nil },
+		8: func() (string, error) { return bench.Figure8().Render(), nil },
+	}
+	figs := []int{3, 4, 5, 6, 7, 8}
+	if *fig != 0 {
+		if _, ok := runners[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "hwbench: unknown figure %d (want 3-8)\n", *fig)
+			os.Exit(2)
+		}
+		figs = []int{*fig}
+	}
+	for _, f := range figs {
+		out, err := runners[f]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hwbench: figure %d: %v\n", f, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

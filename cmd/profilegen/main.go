@@ -1,0 +1,92 @@
+// Command profilegen renders energy profiles (the paper's Figures 9, 10
+// and the appendix Figures 17-20): configuration generation, skyline,
+// ruling zones, and the savings metrics per workload.
+//
+// Usage:
+//
+//	profilegen                 # Figures 9, 10 and the appendix profiles
+//	profilegen -fig 9          # generator-granularity comparison
+//	profilegen -fig 10         # workload-dependent shapes
+//	profilegen -fig 17         # appendix (17-20 are printed together)
+//	profilegen -workload tatp-indexed   # one workload's profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecldb/internal/bench"
+	"ecldb/internal/energy"
+	"ecldb/internal/hw"
+	"ecldb/internal/workload"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (9, 10, or 17-20); 0 runs all")
+	wlName := flag.String("workload", "", "render the profile of one workload by name")
+	flag.Parse()
+
+	if *wlName != "" {
+		if err := renderWorkload(*wlName); err != nil {
+			fmt.Fprintln(os.Stderr, "profilegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	want9 := *fig == 0 || *fig == 9
+	want10 := *fig == 0 || *fig == 10
+	wantApp := *fig == 0 || (*fig >= 17 && *fig <= 20)
+	if !want9 && !want10 && !wantApp {
+		fmt.Fprintf(os.Stderr, "profilegen: unknown figure %d (want 9, 10, or 17-20)\n", *fig)
+		os.Exit(2)
+	}
+	if want9 {
+		r, err := bench.Figure9()
+		exitOn(err)
+		fmt.Println(r.Render())
+	}
+	if want10 {
+		r, err := bench.Figure10()
+		exitOn(err)
+		fmt.Println(r.Render())
+	}
+	if wantApp {
+		r, err := bench.AppendixProfiles()
+		exitOn(err)
+		fmt.Println(r.Render())
+	}
+}
+
+func renderWorkload(name string) error {
+	wl := workload.ByName(name)
+	if wl == nil {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	topo := hw.HaswellEP()
+	cfgs, err := energy.Generate(topo, energy.DefaultGeneratorParams())
+	if err != nil {
+		return err
+	}
+	p := energy.NewProfile(topo, cfgs)
+	if err := energy.EvaluateModel(p, topo, hw.DefaultPowerParams(), wl.Characteristics(), 0); err != nil {
+		return err
+	}
+	opt := p.MostEfficient()
+	fmt.Printf("workload %s: %d configurations, optimal %s (eff %.3g instr/J)\n",
+		name, p.Size(), opt.Config, opt.Efficiency())
+	fmt.Println("skyline (performance level -> efficiency level):")
+	max := p.MaxScore()
+	for _, e := range p.Skyline() {
+		fmt.Printf("  %5.3f -> %5.3f   %s\n", e.Score/max, e.Efficiency()/opt.Efficiency(), e.Config)
+	}
+	return nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profilegen:", err)
+		os.Exit(1)
+	}
+}

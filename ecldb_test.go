@@ -1,0 +1,164 @@
+package ecldb_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"ecldb"
+)
+
+func TestWorkloadsCatalog(t *testing.T) {
+	ws := ecldb.Workloads()
+	if len(ws) != 11 {
+		t.Fatalf("catalog = %d workloads, want 11", len(ws))
+	}
+	want := map[string]bool{"kv-indexed": true, "tatp-nonindexed": true, "ssb-indexed": true}
+	for _, w := range ws {
+		delete(want, w)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing workloads: %v", want)
+	}
+}
+
+func TestCapacityAPI(t *testing.T) {
+	c, err := ecldb.Capacity("kv-nonindexed", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Fatal("capacity should be positive")
+	}
+	if _, err := ecldb.Capacity("nope", 1); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := ecldb.Run(ecldb.RunConfig{Workload: "nope",
+		Load: ecldb.LoadSpec{Duration: time.Second}}); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	if _, err := ecldb.Run(ecldb.RunConfig{Workload: "kv-indexed"}); err == nil {
+		t.Error("missing duration should fail")
+	}
+	if _, err := ecldb.Run(ecldb.RunConfig{Workload: "kv-indexed",
+		Load: ecldb.LoadSpec{Kind: "nope", Duration: time.Second}}); err == nil {
+		t.Error("unknown load kind should fail")
+	}
+	if _, err := ecldb.Run(ecldb.RunConfig{Workload: "kv-indexed", Governor: ecldb.GovernorECL,
+		Load:        ecldb.LoadSpec{Duration: time.Second},
+		Maintenance: "nope"}); err == nil {
+		t.Error("unknown maintenance should fail")
+	}
+	if _, err := ecldb.Run(ecldb.RunConfig{Workload: "kv-indexed", SwitchTo: "nope",
+		Load: ecldb.LoadSpec{Duration: time.Second}}); err == nil {
+		t.Error("unknown switch workload should fail")
+	}
+}
+
+func TestProfileAPI(t *testing.T) {
+	points, err := ecldb.Profile("atomic-contention")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 144 {
+		t.Fatalf("points = %d, want 144 (145 minus idle)", len(points))
+	}
+	optimal, skyline := 0, 0
+	for _, p := range points {
+		if p.PerfLevel < 0 || p.PerfLevel > 1 || p.EffLevel < 0 || p.EffLevel > 1 {
+			t.Fatalf("point %s outside unit square: %v/%v", p.Config, p.PerfLevel, p.EffLevel)
+		}
+		if p.Zone == "optimal" {
+			optimal++
+			// The paper's Figure 10b headline: two HyperThreads at
+			// turbo with the lowest uncore clock.
+			if p.Threads != 2 || p.UncoreMHz != 1200 {
+				t.Errorf("atomic optimum = %s", p.Config)
+			}
+		}
+		if p.OnSkyline {
+			skyline++
+		}
+	}
+	if optimal != 1 {
+		t.Errorf("optimal zone hosts %d configurations, want exactly 1", optimal)
+	}
+	if skyline < 3 {
+		t.Errorf("skyline = %d points", skyline)
+	}
+	if _, err := ecldb.Profile("nope"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestProfileCacheViaPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	cache := t.TempDir() + "/profiles.json"
+	cfg := ecldb.RunConfig{
+		Workload:     "kv-nonindexed",
+		Load:         ecldb.LoadSpec{Kind: "constant", Level: 0.3, Duration: 5 * time.Second},
+		Governor:     ecldb.GovernorECL,
+		ProfileCache: cache,
+		Seed:         17,
+	}
+	first, err := ecldb.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("profile cache not written: %v", err)
+	}
+	// The cached second run reproduces the first (same seed, profiles
+	// identical whether measured or restored).
+	second, err := ecldb.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Completed != first.Completed {
+		t.Errorf("cached run completed %d, first run %d", second.Completed, first.Completed)
+	}
+	if second.MostApplied != first.MostApplied {
+		t.Errorf("cached run converged to %s, first to %s", second.MostApplied, first.MostApplied)
+	}
+}
+
+func TestRunEndToEndViaPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	load := ecldb.LoadSpec{Kind: "constant", Level: 0.4, Duration: 15 * time.Second}
+	base, err := ecldb.Run(ecldb.RunConfig{
+		Workload: "kv-nonindexed", Load: load, Governor: ecldb.GovernorBaseline, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eco, err := ecldb.Run(ecldb.RunConfig{
+		Workload: "kv-nonindexed", Load: load, Governor: ecldb.GovernorECL, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Completed == 0 || eco.Completed == 0 {
+		t.Fatal("no queries completed")
+	}
+	if eco.EnergyJ >= base.EnergyJ {
+		t.Errorf("ECL energy %.0f should undercut baseline %.0f", eco.EnergyJ, base.EnergyJ)
+	}
+	if eco.MostApplied == "" {
+		t.Error("ECL should report its most applied configuration")
+	}
+	if base.MostApplied != "" {
+		t.Error("baseline should not report a configuration")
+	}
+	ts, vs := eco.Series("power_rapl_w")
+	if len(ts) == 0 || len(ts) != len(vs) {
+		t.Error("series accessor degenerate")
+	}
+	if eco.CapacityQps <= 0 {
+		t.Error("capacity missing")
+	}
+}

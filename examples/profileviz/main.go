@@ -1,0 +1,78 @@
+// Profile visualization: render a workload's energy profile as an ASCII
+// scatter plot in the style of the paper's Figures 9/10 — performance
+// level on the x-axis, energy efficiency on the y-axis, the skyline
+// marked. Compare two opposite profiles to see why the ECL must maintain
+// them per workload:
+//
+//	go run ./examples/profileviz kv-nonindexed
+//	go run ./examples/profileviz atomic-contention
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ecldb"
+)
+
+const (
+	plotW = 78
+	plotH = 24
+)
+
+func main() {
+	name := "kv-nonindexed"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	points, err := ecldb.Profile(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	grid := make([][]rune, plotH)
+	for y := range grid {
+		grid[y] = []rune(strings.Repeat(" ", plotW))
+	}
+	put := func(px, py int, c rune) {
+		if px >= 0 && px < plotW && py >= 0 && py < plotH {
+			grid[py][px] = c
+		}
+	}
+	var opt ecldb.ProfilePoint
+	for _, p := range points {
+		x := int(p.PerfLevel * float64(plotW-1))
+		y := plotH - 1 - int(p.EffLevel*float64(plotH-1))
+		c := '.'
+		if p.OnSkyline {
+			c = 'o'
+		}
+		if p.Zone == "optimal" {
+			c = '*'
+			opt = p
+		}
+		put(x, y, c)
+	}
+
+	fmt.Printf("energy profile: %s (%d configurations)\n", name, len(points))
+	fmt.Println("efficiency ^   (. config, o skyline, * optimal)")
+	for _, row := range grid {
+		fmt.Printf("|%s|\n", string(row))
+	}
+	fmt.Printf("+%s> performance level\n", strings.Repeat("-", plotW))
+	fmt.Printf("\noptimal zone: %s (perf %.2f, efficiency 1.00)\n", opt.Config, opt.PerfLevel)
+
+	under, over := 0, 0
+	for _, p := range points {
+		switch p.Zone {
+		case "under-utilization":
+			under++
+		case "over-utilization":
+			over++
+		}
+	}
+	fmt.Printf("ruling zones: %d under-utilization, 1 optimal, %d over-utilization\n", under, over)
+	fmt.Println("\navailable workloads:", ecldb.Workloads())
+}

@@ -1,0 +1,44 @@
+// Quickstart: run the key-value benchmark at half load under the
+// race-to-idle baseline and under the Energy-Control Loop, and compare
+// energy, latency, and the configuration the ECL converged to.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ecldb"
+)
+
+func main() {
+	fmt.Println("Available workloads:", ecldb.Workloads())
+
+	load := ecldb.LoadSpec{Kind: "constant", Level: 0.5, Duration: time.Minute}
+
+	base, err := ecldb.Run(ecldb.RunConfig{
+		Workload: "kv-nonindexed",
+		Load:     load,
+		Governor: ecldb.GovernorBaseline,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %.0f J, %d queries, avg latency %v\n",
+		base.EnergyJ, base.Completed, base.AvgLatency)
+
+	eclRes, err := ecldb.Run(ecldb.RunConfig{
+		Workload: "kv-nonindexed",
+		Load:     load,
+		Governor: ecldb.GovernorECL,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ECL:      %.0f J, %d queries, avg latency %v, violations %.2f%%\n",
+		eclRes.EnergyJ, eclRes.Completed, eclRes.AvgLatency, eclRes.ViolationFrac*100)
+	fmt.Printf("ECL converged to configuration %s\n", eclRes.MostApplied)
+	fmt.Printf("energy savings: %.1f%%\n", (1-eclRes.EnergyJ/base.EnergyJ)*100)
+}

@@ -1,0 +1,49 @@
+// Twitter replay: replay a bursty two-hour real-world load shape
+// compressed into two minutes (the paper replays 2 h in 3 minutes) under
+// baseline and ECL, printing the energy proportionality the ECL achieves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ecldb"
+)
+
+func main() {
+	load := ecldb.LoadSpec{Kind: "twitter", Level: 0.8, Duration: 2 * time.Minute}
+
+	type outcome struct {
+		name string
+		res  *ecldb.Result
+	}
+	var outs []outcome
+	for _, gov := range []ecldb.Governor{ecldb.GovernorBaseline, ecldb.GovernorECL} {
+		res, err := ecldb.Run(ecldb.RunConfig{
+			Workload: "tatp-indexed",
+			Load:     load,
+			Governor: gov,
+			Seed:     4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outs = append(outs, outcome{gov.String(), res})
+	}
+
+	// Print both power timelines side by side.
+	_, qs := outs[0].res.Series("load_qps")
+	bt, bp := outs[0].res.Series("power_rapl_w")
+	_, ep := outs[1].res.Series("power_rapl_w")
+	fmt.Println("   t      load        baseline      ECL")
+	for i := range bt {
+		if i%8 != 0 || i >= len(ep) {
+			continue
+		}
+		fmt.Printf("%5.0fs  %7.0f qps  %7.1f W  %7.1f W\n", bt[i].Seconds(), qs[i], bp[i], ep[i])
+	}
+	fmt.Printf("\nenergy: baseline %.0f J, ECL %.0f J -> savings %.1f%% (violations %.2f%%)\n",
+		outs[0].res.EnergyJ, outs[1].res.EnergyJ,
+		(1-outs[1].res.EnergyJ/outs[0].res.EnergyJ)*100, outs[1].res.ViolationFrac*100)
+}

@@ -1,0 +1,47 @@
+// Workload switch: reproduce the paper's Section 6.3 experiment as a
+// demo. The indexed key-value workload (memory-latency-bound) switches to
+// the non-indexed one (memory-bandwidth-bound) mid-run — a major workload
+// change that flips the shape of the energy profile. The three profile
+// maintenance strategies react differently: without adaptation the ECL
+// keeps applying configurations that are wrong for the new workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ecldb"
+)
+
+func main() {
+	fmt.Println("indexed -> non-indexed key-value switch at t=30s, 50% load")
+	fmt.Println()
+	for _, maintenance := range []string{"static", "online", "multiplexed"} {
+		res, err := ecldb.Run(ecldb.RunConfig{
+			Workload:    "kv-indexed",
+			SwitchTo:    "kv-nonindexed",
+			SwitchAt:    30 * time.Second,
+			Load:        ecldb.LoadSpec{Kind: "constant", Level: 0.5, Duration: 90 * time.Second},
+			Governor:    ecldb.GovernorECL,
+			Maintenance: maintenance,
+			Seed:        3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Integrate power after the switch.
+		ts, pw := res.Series("power_rapl_w")
+		post := 0.0
+		for i := range ts {
+			if ts[i] < 30*time.Second || i+1 >= len(ts) {
+				continue
+			}
+			post += pw[i] * (ts[i+1] - ts[i]).Seconds()
+		}
+		fmt.Printf("%-12s total %7.0f J   post-switch %7.0f J   violations %5.2f%%\n",
+			maintenance, res.EnergyJ, post, res.ViolationFrac*100)
+	}
+	fmt.Println("\nwithout profile maintenance (static) the ECL wastes energy on the new workload;")
+	fmt.Println("online adaptation fixes the applied configurations, multiplexed re-measures the rest.")
+}

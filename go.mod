@@ -1,0 +1,3 @@
+module ecldb
+
+go 1.22

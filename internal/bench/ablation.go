@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"time"
+
+	"ecldb/internal/ecl"
+	"ecldb/internal/loadprofile"
+	"ecldb/internal/sim"
+	"ecldb/internal/workload"
+)
+
+// Ablation experiments for the design decisions called out in DESIGN.md.
+
+// AblationElasticityResult compares the elastic hierarchical message layer
+// against the original architecture's static worker-partition binding when
+// the ECL shuts workers down (design decision 5; the paper's Section 3
+// motivation).
+type AblationElasticityResult struct {
+	// ElasticCompleted / StaticCompleted are the completed-query
+	// fractions under the ECL at low load.
+	ElasticCompleted float64
+	StaticCompleted  float64
+	// ElasticViolations / StaticViolations are the latency-limit
+	// violation fractions.
+	ElasticViolations float64
+	StaticViolations  float64
+}
+
+// AblationElasticity runs the ECL at 30 % load with and without the
+// elasticity extension. With static binding, partitions mapped to sleeping
+// hardware threads become unreachable whenever the ECL picks a
+// configuration with fewer workers — the problem the hierarchical message
+// layer exists to solve.
+func AblationElasticity() (AblationElasticityResult, error) {
+	var out AblationElasticityResult
+	capacity, err := sim.MeasureCapacity(workload.NewKV(false), 31)
+	if err != nil {
+		return out, err
+	}
+	run := func(static bool) (done, viol float64, err error) {
+		res, err := sim.Run(sim.Options{
+			Workload:      workload.NewKV(false),
+			Load:          loadprofile.Constant{Qps: capacity * 0.3, Len: 45 * time.Second},
+			Governor:      sim.GovernorECL,
+			Prewarm:       true,
+			StaticBinding: static,
+			Seed:          31,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		if res.Submitted == 0 {
+			return 0, 0, nil
+		}
+		return float64(res.Completed) / float64(res.Submitted), res.ViolationFrac, nil
+	}
+	if out.ElasticCompleted, out.ElasticViolations, err = run(false); err != nil {
+		return out, err
+	}
+	if out.StaticCompleted, out.StaticViolations, err = run(true); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Render formats the elasticity ablation.
+func (r AblationElasticityResult) Render() string {
+	t := Table{
+		Title:  "Ablation: elastic message layer vs static worker-partition binding (ECL, 30% load)",
+		Header: []string{"architecture", "completed", "violations"},
+		Rows: [][]string{
+			{"elastic (paper)", pct(r.ElasticCompleted), pct(r.ElasticViolations)},
+			{"static binding", pct(r.StaticCompleted), pct(r.StaticViolations)},
+		},
+		Note: "static binding strands partitions on sleeping threads once the ECL shrinks the worker set",
+	}
+	return t.Render()
+}
+
+// AblationNUMAResult compares random query admission against NUMA-aware
+// admission (queries enter at their first target partition's home
+// socket).
+type AblationNUMAResult struct {
+	RandomComm   int64
+	NUMAComm     int64
+	RandomJ      float64
+	NUMAJ        float64
+	RandomAvgLat time.Duration
+	NUMAAvgLat   time.Duration
+}
+
+// AblationNUMA quantifies the cost of cross-socket message transfers for
+// a point-access workload at moderate load.
+func AblationNUMA() (AblationNUMAResult, error) {
+	var out AblationNUMAResult
+	capacity, err := sim.MeasureCapacity(workload.NewKV(true), 33)
+	if err != nil {
+		return out, err
+	}
+	run := func(numa bool) (int64, float64, time.Duration, error) {
+		s, err := sim.New(sim.Options{
+			Workload:    workload.NewKV(true),
+			Load:        loadprofile.Constant{Qps: capacity * 0.4, Len: 30 * time.Second},
+			Governor:    sim.GovernorECL,
+			Prewarm:     true,
+			NUMARouting: numa,
+			Seed:        33,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return s.Engine().CommMessages(), res.EnergyJ, res.AvgLatency, nil
+	}
+	if out.RandomComm, out.RandomJ, out.RandomAvgLat, err = run(false); err != nil {
+		return out, err
+	}
+	if out.NUMAComm, out.NUMAJ, out.NUMAAvgLat, err = run(true); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Render formats the NUMA ablation.
+func (r AblationNUMAResult) Render() string {
+	t := Table{
+		Title:  "Ablation: NUMA-aware query admission (kv indexed, 40% load)",
+		Header: []string{"routing", "inter-socket transfers", "energy J", "avg latency"},
+		Rows: [][]string{
+			{"random socket", f0(float64(r.RandomComm)), f0(r.RandomJ), r.RandomAvgLat.String()},
+			{"NUMA-aware", f0(float64(r.NUMAComm)), f0(r.NUMAJ), r.NUMAAvgLat.String()},
+		},
+		Note: "point queries admitted at their home socket never cross the interconnect",
+	}
+	return t.Render()
+}
+
+// AblationRTIResult compares the ECL with and without the race-to-idle
+// controller at low load (design decision 4; the paper's Section 4.3 RTI
+// savings).
+type AblationRTIResult struct {
+	BaselineJ         float64
+	WithRTIJ          float64
+	WithoutRTIJ       float64
+	WithRTISavings    float64
+	WithoutRTISavings float64
+}
+
+// AblationRTI measures how much of the low-load savings come from the RTI
+// controller: without it, the loop can only run the smallest profile
+// configuration continuously, paying the first-core/uncore activation
+// cost the whole time.
+func AblationRTI() (AblationRTIResult, error) {
+	var out AblationRTIResult
+	capacity, err := sim.MeasureCapacity(workload.NewKV(false), 32)
+	if err != nil {
+		return out, err
+	}
+	load := loadprofile.Constant{Qps: capacity * 0.15, Len: 45 * time.Second}
+	run := func(gov sim.Governor, disableRTI bool) (float64, error) {
+		opts := sim.Options{
+			Workload: workload.NewKV(false),
+			Load:     load,
+			Governor: gov,
+			Prewarm:  gov == sim.GovernorECL,
+			Seed:     32,
+		}
+		if gov == sim.GovernorECL {
+			opts.ECL = ecl.DefaultOptions()
+			opts.ECL.DisableRTI = disableRTI
+		}
+		res, err := sim.Run(opts)
+		if err != nil {
+			return 0, err
+		}
+		return res.EnergyJ, nil
+	}
+	if out.BaselineJ, err = run(sim.GovernorBaseline, false); err != nil {
+		return out, err
+	}
+	if out.WithRTIJ, err = run(sim.GovernorECL, false); err != nil {
+		return out, err
+	}
+	if out.WithoutRTIJ, err = run(sim.GovernorECL, true); err != nil {
+		return out, err
+	}
+	out.WithRTISavings = 1 - out.WithRTIJ/out.BaselineJ
+	out.WithoutRTISavings = 1 - out.WithoutRTIJ/out.BaselineJ
+	return out, nil
+}
+
+// Render formats the RTI ablation.
+func (r AblationRTIResult) Render() string {
+	t := Table{
+		Title:  "Ablation: race-to-idle controller at 15% load",
+		Header: []string{"policy", "energy J", "savings vs baseline"},
+		Rows: [][]string{
+			{"baseline", f0(r.BaselineJ), "-"},
+			{"ECL with RTI", f0(r.WithRTIJ), pct(r.WithRTISavings)},
+			{"ECL without RTI", f0(r.WithoutRTIJ), pct(r.WithoutRTISavings)},
+		},
+		Note: "RTI compensates the first-core/uncore activation cost at low load (paper Section 4.3: ~40%)",
+	}
+	return t.Render()
+}
+
+// AblationRTISyncResult compares aligned socket-level tick phases against
+// staggered ones (design decision 4; the paper's Section 5.1 "idle times
+// … synchronized across the processors to reach the deepest sleep
+// state").
+type AblationRTISyncResult struct {
+	// SyncedDeepSleepSec / DesyncedDeepSleepSec are the machine-wide
+	// deepest-sleep (all uncores halted) residencies.
+	SyncedDeepSleepSec   float64
+	DesyncedDeepSleepSec float64
+	// SyncedJ / DesyncedJ are the runs' RAPL energies.
+	SyncedJ   float64
+	DesyncedJ float64
+}
+
+// AblationRTISync runs the ECL at 10 % load with the socket loops ticking
+// in phase (the paper's design) and deliberately staggered. Aligned
+// phases make the sockets' race-to-idle grids coincide, so their idle
+// windows overlap and the machine reaches the deepest sleep state;
+// staggering destroys the overlap — whenever one socket idles, the other
+// is running, and the uncore-halt condition (all sockets idle) rarely
+// holds.
+func AblationRTISync() (AblationRTISyncResult, error) {
+	var out AblationRTISyncResult
+	capacity, err := sim.MeasureCapacity(workload.NewKV(false), 34)
+	if err != nil {
+		return out, err
+	}
+	run := func(desync bool) (deepSec, energyJ float64, err error) {
+		opts := sim.Options{
+			Workload: workload.NewKV(false),
+			Load:     loadprofile.Constant{Qps: capacity * 0.1, Len: 30 * time.Second},
+			Governor: sim.GovernorECL,
+			Prewarm:  true,
+			Seed:     34,
+		}
+		opts.ECL = ecl.DefaultOptions()
+		opts.ECL.DesyncRTI = desync
+		s, err := sim.New(opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return 0, 0, err
+		}
+		_, _, deep := s.Machine().Residency(0)
+		return deep, res.EnergyJ, nil
+	}
+	if out.SyncedDeepSleepSec, out.SyncedJ, err = run(false); err != nil {
+		return out, err
+	}
+	if out.DesyncedDeepSleepSec, out.DesyncedJ, err = run(true); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Render formats the RTI synchronization ablation.
+func (r AblationRTISyncResult) Render() string {
+	t := Table{
+		Title:  "Ablation: race-to-idle phase synchronization across sockets (10% load)",
+		Header: []string{"tick phases", "deepest-sleep s", "energy J"},
+		Rows: [][]string{
+			{"aligned (paper)", f1(r.SyncedDeepSleepSec), f0(r.SyncedJ)},
+			{"staggered", f1(r.DesyncedDeepSleepSec), f0(r.DesyncedJ)},
+		},
+		Note: "the uncore halts only when all sockets idle simultaneously; aligned grids overlap the idle windows",
+	}
+	return t.Render()
+}
+
+// AblationQuantumResult measures the sensitivity of an end-to-end
+// experiment to the simulation quantum (design decision 1: virtual-time
+// discrete stepping).
+type AblationQuantumResult struct {
+	Quanta     []time.Duration
+	EnergyJ    []float64
+	Violations []float64
+}
+
+// AblationQuantum runs the same ECL experiment at half, default, and
+// double quantum. The experiments' conclusions must not depend on the
+// discretization: energies agree within a few percent.
+func AblationQuantum() (AblationQuantumResult, error) {
+	out := AblationQuantumResult{
+		Quanta: []time.Duration{500 * time.Microsecond, time.Millisecond, 2 * time.Millisecond},
+	}
+	capacity, err := sim.MeasureCapacity(workload.NewKV(false), 35)
+	if err != nil {
+		return out, err
+	}
+	for _, q := range out.Quanta {
+		res, err := sim.Run(sim.Options{
+			Workload: workload.NewKV(false),
+			Load:     loadprofile.Constant{Qps: capacity * 0.4, Len: 30 * time.Second},
+			Governor: sim.GovernorECL,
+			Prewarm:  true,
+			Quantum:  q,
+			Seed:     35,
+		})
+		if err != nil {
+			return out, err
+		}
+		out.EnergyJ = append(out.EnergyJ, res.EnergyJ)
+		out.Violations = append(out.Violations, res.ViolationFrac)
+	}
+	return out, nil
+}
+
+// Render formats the quantum-sensitivity ablation.
+func (r AblationQuantumResult) Render() string {
+	t := Table{
+		Title:  "Ablation: simulation quantum sensitivity (ECL, kv non-indexed, 40% load)",
+		Header: []string{"quantum", "energy J", "violations"},
+		Note:   "conclusions are discretization-independent",
+	}
+	for i, q := range r.Quanta {
+		t.Rows = append(t.Rows, []string{q.String(), f0(r.EnergyJ[i]), pct(r.Violations[i])})
+	}
+	return t.Render()
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The elasticity extension is a prerequisite for worker shutdown: with
+// static binding, the ECL's reduced configurations strand partitions.
+func TestAblationElasticity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := AblationElasticity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ElasticCompleted < 0.95 {
+		t.Errorf("elastic completion = %s, want ~100%%", pct(r.ElasticCompleted))
+	}
+	if r.StaticCompleted > r.ElasticCompleted-0.05 && r.StaticViolations < r.ElasticViolations+0.05 {
+		t.Errorf("static binding should visibly degrade: completed %s vs %s, violations %s vs %s",
+			pct(r.StaticCompleted), pct(r.ElasticCompleted),
+			pct(r.StaticViolations), pct(r.ElasticViolations))
+	}
+	if !strings.Contains(r.Render(), "Ablation") {
+		t.Error("render incomplete")
+	}
+}
+
+// NUMA-aware admission eliminates inter-socket transfers for
+// point-access queries and never makes latency worse.
+func TestAblationNUMA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := AblationNUMA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NUMAComm != 0 {
+		t.Errorf("NUMA routing produced %d transfers, want 0", r.NUMAComm)
+	}
+	if r.RandomComm == 0 {
+		t.Error("random routing should produce transfers")
+	}
+	if r.NUMAAvgLat > r.RandomAvgLat*3/2 {
+		t.Errorf("NUMA latency %v should not exceed random %v substantially", r.NUMAAvgLat, r.RandomAvgLat)
+	}
+	if !strings.Contains(r.Render(), "NUMA") {
+		t.Error("render incomplete")
+	}
+}
+
+// Figure 13 narrative: the ECL's power tracks the load (energy
+// proportionality) while the always-on baseline's does not.
+func TestProportionality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := Proportionality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// ECL power grows with load; baseline stays within a narrow band.
+	if r.Points[0].ECLW >= r.Points[len(r.Points)-1].ECLW*0.7 {
+		t.Errorf("ECL power barely varies: %.1f at 10%% vs %.1f at 90%%",
+			r.Points[0].ECLW, r.Points[len(r.Points)-1].ECLW)
+	}
+	if r.ECLProp <= r.BaselineProp {
+		t.Errorf("ECL proportionality %.2f should beat baseline %.2f", r.ECLProp, r.BaselineProp)
+	}
+	if r.ECLProp < 0.75 {
+		t.Errorf("ECL proportionality = %.2f, want near-proportional", r.ECLProp)
+	}
+	// The ECL never draws more than the baseline at any level.
+	for _, p := range r.Points {
+		if p.ECLW > p.BaselineW {
+			t.Errorf("load %.0f%%: ECL %.1f W exceeds baseline %.1f W", p.LoadFrac*100, p.ECLW, p.BaselineW)
+		}
+	}
+	if !strings.Contains(r.Render(), "proportionality") {
+		t.Error("render incomplete")
+	}
+}
+
+// The RTI controller provides a large share of the low-load savings.
+func TestAblationRTI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := AblationRTI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WithRTISavings <= r.WithoutRTISavings {
+		t.Errorf("RTI savings %s should exceed no-RTI savings %s",
+			pct(r.WithRTISavings), pct(r.WithoutRTISavings))
+	}
+	if r.WithRTISavings < 0.25 {
+		t.Errorf("low-load RTI savings = %s, want substantial", pct(r.WithRTISavings))
+	}
+	if !strings.Contains(r.Render(), "race-to-idle") {
+		t.Error("render incomplete")
+	}
+}
+
+// Aligned tick phases overlap the sockets' idle windows; staggering them
+// forfeits the deepest sleep state and its ~30 W uncore saving.
+func TestAblationRTISync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := AblationRTISync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SyncedDeepSleepSec < 2*r.DesyncedDeepSleepSec || r.SyncedDeepSleepSec < 1 {
+		t.Errorf("synced deep sleep %.1fs should dominate desynced %.1fs",
+			r.SyncedDeepSleepSec, r.DesyncedDeepSleepSec)
+	}
+	if r.SyncedJ >= r.DesyncedJ {
+		t.Errorf("synced energy %.0f J should undercut desynced %.0f J", r.SyncedJ, r.DesyncedJ)
+	}
+	if !strings.Contains(r.Render(), "synchronization") {
+		t.Error("render incomplete")
+	}
+}
+
+// The experiments' conclusions do not depend on the simulation quantum.
+func TestAblationQuantum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := AblationQuantum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.EnergyJ) != 3 {
+		t.Fatalf("runs = %d", len(r.EnergyJ))
+	}
+	min, max := r.EnergyJ[0], r.EnergyJ[0]
+	for _, e := range r.EnergyJ[1:] {
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if max/min > 1.08 {
+		t.Errorf("energy spread %.1f%% across quanta %v (%v), want <8%%",
+			(max/min-1)*100, r.Quanta, r.EnergyJ)
+	}
+	// Violations (dominated by the identical start-up transient) agree
+	// across quanta too.
+	for i, v := range r.Violations[1:] {
+		if d := v - r.Violations[i]; d > 0.01 || d < -0.01 {
+			t.Errorf("violations diverge across quanta: %v", r.Violations)
+		}
+	}
+	if !strings.Contains(r.Render(), "quantum") {
+		t.Error("render incomplete")
+	}
+}

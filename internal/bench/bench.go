@@ -1,0 +1,70 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation. Each FigureN/TableN function runs the corresponding
+// experiment on the simulated stack and returns a structured result with a
+// Render method that prints the same rows/series the paper reports.
+//
+// The index experiment-to-module mapping lives in DESIGN.md; the measured
+// outcomes versus the paper's numbers are recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Note   string
+}
+
+// Render formats the table as aligned ASCII.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func g3(v float64) string { return fmt.Sprintf("%.3g", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Figure 11: the applied performance level follows the offered load and
+// utilization.
+func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Times) < 10 {
+		t.Fatal("too few samples")
+	}
+	// During the full-load phase (t in [1,4)s) the performance level
+	// climbs high; in the 0.25-0.35 phase (t in [6,9)s) it settles far
+	// lower.
+	high, low := 0.0, 0.0
+	nHigh, nLow := 0, 0
+	for i, ts := range r.Times {
+		if ts >= 2 && ts < 4 {
+			high += r.Perf[i]
+			nHigh++
+		}
+		if ts >= 7 && ts < 9 {
+			low += r.Perf[i]
+			nLow++
+		}
+	}
+	high /= float64(nHigh)
+	low /= float64(nLow)
+	if high < 0.8 {
+		t.Errorf("full-load performance level = %.2f, want near 1", high)
+	}
+	if low > 0.7*high {
+		t.Errorf("low-load performance level %.2f should sit well below full-load %.2f", low, high)
+	}
+	if !strings.Contains(r.Render(), "Figure 11") {
+		t.Error("render incomplete")
+	}
+}
+
+// Figure 13 (sized down): the ECL never draws more power than the
+// baseline, saves substantial energy, and exits the overload phase
+// earlier.
+func TestFigure13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := Figure13Sized(80 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Savings1Hz < 0.15 || r.Savings1Hz > 0.60 {
+		t.Errorf("spike savings = %s, paper band 15-40%%", pct(r.Savings1Hz))
+	}
+	if r.ECL1Hz.Power.Mean() >= r.Baseline.Power.Mean() {
+		t.Error("ECL mean power must undercut the baseline")
+	}
+	// The ECL resides in overload for less time than the baseline.
+	if r.ECL1Hz.OverloadSec >= r.Baseline.OverloadSec {
+		t.Errorf("ECL overload %.1fs should undercut baseline %.1fs",
+			r.ECL1Hz.OverloadSec, r.Baseline.OverloadSec)
+	}
+	// A 2 Hz loop does not change the qualitative outcome.
+	if sav2 := 1 - r.ECL2Hz.EnergyJ/r.Baseline.EnergyJ; sav2 < 0.10 {
+		t.Errorf("2Hz savings = %s, want comparable to 1Hz", pct(sav2))
+	}
+	if !strings.Contains(r.Render(), "spike") {
+		t.Error("render incomplete")
+	}
+}
+
+// Figure 14 (sized down): on the bursty twitter profile the ECL still
+// saves energy; the 2 Hz loop reduces the burst-induced latency
+// violations.
+func TestFigure14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := Figure14Sized(80 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Savings1Hz < 0.10 {
+		t.Errorf("twitter savings = %s, want >= 10%%", pct(r.Savings1Hz))
+	}
+	if r.ECL1Hz.Power.Mean() >= r.Baseline.Power.Mean() {
+		t.Error("ECL mean power must undercut the baseline")
+	}
+	// 2 Hz reacts faster to bursts: violations do not get worse.
+	if r.ECL2Hz.ViolationFrac > r.ECL1Hz.ViolationFrac*1.5+0.01 {
+		t.Errorf("2Hz violations %s should not exceed 1Hz %s substantially",
+			pct(r.ECL2Hz.ViolationFrac), pct(r.ECL1Hz.ViolationFrac))
+	}
+}
+
+// Figures 15/16 (sized down): static adaptation draws more energy after
+// the workload switch and violates the latency limit; online and
+// multiplexed stay efficient and within the limit.
+func TestFigureAdaptationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := FigureAdaptationSized(30*time.Second, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy ordering after the switch: static >> online, multiplexed.
+	if r.Static.PostSwitchEnergyJ <= r.Online.PostSwitchEnergyJ {
+		t.Errorf("static post-switch energy %.0f J should exceed online %.0f J",
+			r.Static.PostSwitchEnergyJ, r.Online.PostSwitchEnergyJ)
+	}
+	if r.Static.PostSwitchEnergyJ <= r.Multi.PostSwitchEnergyJ {
+		t.Errorf("static post-switch energy %.0f J should exceed multiplexed %.0f J",
+			r.Static.PostSwitchEnergyJ, r.Multi.PostSwitchEnergyJ)
+	}
+	// The adapting strategies save substantially after the switch (the
+	// paper reports ~25 %; the magnitude depends on how wrong the stale
+	// profile is for the new workload, which differs between the
+	// paper's hardware and this calibration).
+	save := 1 - r.Online.PostSwitchEnergyJ/r.Static.PostSwitchEnergyJ
+	if save < 0.10 || save > 0.75 {
+		t.Errorf("online post-switch saving = %s, paper ~25%%", pct(save))
+	}
+	// The adapting strategies keep the latency limit after converging;
+	// static is "mostly not able to stay within the limit".
+	if r.Online.PostSwitchOverloadSec > r.Static.PostSwitchOverloadSec {
+		t.Error("online adaptation should violate the limit less than static")
+	}
+	if !strings.Contains(r.Render(), "adaptation") {
+		t.Error("render incomplete")
+	}
+}
+
+// Table 1 (sized down): the savings ordering across workloads follows the
+// paper — every combination saves energy, non-indexed saves more than
+// indexed, the KV store saves the most among non-indexed workloads.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation sweep")
+	}
+	r, err := Table1Sized(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d, want 6 workloads x 2 profiles", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Savings <= 0.05 {
+			t.Errorf("%s/%s: savings %s, want clearly positive", row.Workload, row.LoadProfile, pct(row.Savings))
+		}
+		if row.Savings > 0.65 {
+			t.Errorf("%s/%s: savings %s unrealistically high", row.Workload, row.LoadProfile, pct(row.Savings))
+		}
+	}
+	avg := func(name string) float64 {
+		s, _ := r.SavingsFor(name, "spike")
+		tw, _ := r.SavingsFor(name, "twitter")
+		return (s + tw) / 2
+	}
+	// Non-indexed beats indexed per benchmark.
+	for _, b := range []string{"kv", "tatp", "ssb"} {
+		if avg(b+"-nonindexed") <= avg(b+"-indexed") {
+			t.Errorf("%s: non-indexed savings should exceed indexed", b)
+		}
+	}
+	// KV non-indexed achieves the most savings among the non-indexed
+	// workloads (pure scans).
+	if avg("kv-nonindexed") < avg("tatp-nonindexed")-0.03 || avg("kv-nonindexed") < avg("ssb-nonindexed")-0.03 {
+		t.Errorf("kv-nonindexed (%.2f) should lead tatp (%.2f) / ssb (%.2f)",
+			avg("kv-nonindexed"), avg("tatp-nonindexed"), avg("ssb-nonindexed"))
+	}
+	if !strings.Contains(r.Render(), "Table 1") {
+		t.Error("render incomplete")
+	}
+}

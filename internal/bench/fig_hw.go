@@ -1,0 +1,557 @@
+package bench
+
+import (
+	"time"
+
+	"ecldb/internal/hw"
+	"ecldb/internal/perfmodel"
+)
+
+// hwRig is a bare machine driven with synthetic activity, used by the
+// Section 2 hardware-analysis experiments.
+type hwRig struct {
+	m    *hw.Machine
+	topo hw.Topology
+	now  time.Duration
+}
+
+func newHWRig(seed int64) *hwRig {
+	topo := hw.HaswellEP()
+	return &hwRig{m: hw.NewMachine(topo, hw.DefaultPowerParams(), seed), topo: topo}
+}
+
+// advance steps the machine under the given workload at full load on all
+// effective-active threads (load 0 = idle activity).
+func (r *hwRig) advance(dt time.Duration, ch perfmodel.Characteristics, load float64) {
+	const q = time.Millisecond
+	for dt > 0 {
+		step := q
+		if step > dt {
+			step = dt
+		}
+		acts := make([]hw.SocketActivity, r.topo.Sockets)
+		for s := 0; s < r.topo.Sockets; s++ {
+			eff := r.m.Effective(s)
+			n := r.topo.ThreadsPerSocket()
+			acts[s] = hw.SocketActivity{
+				Busy:  make([]float64, n),
+				Spin:  make([]float64, n),
+				Instr: make([]float64, n),
+			}
+			if load <= 0 {
+				continue
+			}
+			cap_ := perfmodel.SocketCapacity(r.topo, eff, ch, r.m.ThrottleFactor(s))
+			acts[s].MemGBs = cap_.MemGBsAtFull * load
+			acts[s].DynScale = cap_.DynScale
+			for i, rate := range cap_.PerThread {
+				if rate > 0 {
+					acts[s].Busy[i] = load
+					acts[s].Instr[i] = rate * load * step.Seconds()
+				}
+			}
+		}
+		r.m.Step(step, acts)
+		r.now += step
+		dt -= step
+	}
+}
+
+// measure runs for the window and returns total RAPL power, per-socket
+// package power, DRAM power, PSU power, and the aggregate instruction
+// rate.
+func (r *hwRig) measure(window time.Duration, ch perfmodel.Characteristics, load float64) hwMeasure {
+	pkg0 := make([]float64, r.topo.Sockets)
+	dram0 := make([]float64, r.topo.Sockets)
+	instr0 := 0.0
+	for s := 0; s < r.topo.Sockets; s++ {
+		pkg0[s] = r.m.TrueEnergy(s, hw.DomainPackage)
+		dram0[s] = r.m.TrueEnergy(s, hw.DomainDRAM)
+		instr0 += r.m.SocketInstructions(s)
+	}
+	psu0 := r.m.PSUEnergy()
+	r.advance(window, ch, load)
+	out := hwMeasure{PkgW: make([]float64, r.topo.Sockets), DramW: make([]float64, r.topo.Sockets)}
+	sec := window.Seconds()
+	instr1 := 0.0
+	for s := 0; s < r.topo.Sockets; s++ {
+		out.PkgW[s] = (r.m.TrueEnergy(s, hw.DomainPackage) - pkg0[s]) / sec
+		out.DramW[s] = (r.m.TrueEnergy(s, hw.DomainDRAM) - dram0[s]) / sec
+		out.TotalW += out.PkgW[s] + out.DramW[s]
+		instr1 += r.m.SocketInstructions(s)
+	}
+	out.PSUW = (r.m.PSUEnergy() - psu0) / sec
+	out.InstrRate = (instr1 - instr0) / sec
+	return out
+}
+
+type hwMeasure struct {
+	PkgW, DramW []float64
+	TotalW      float64
+	PSUW        float64
+	InstrRate   float64
+}
+
+// applyAll applies one configuration to every socket.
+func (r *hwRig) applyAll(cfg hw.Configuration) {
+	for s := 0; s < r.topo.Sockets; s++ {
+		if err := r.m.Apply(s, cfg); err != nil {
+			panic(err)
+		}
+	}
+	r.advance(2*time.Millisecond, perfmodel.ComputeBound(), 0)
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: static vs. dynamic power breakdown, RAPL vs. PSU.
+
+// Fig3Result is the power breakdown of Figure 3.
+type Fig3Result struct {
+	// Idle (static) power with all sockets idle and uncores halted.
+	IdlePkgW, IdleDramW, IdlePSUW float64
+	// Sustained full-load power under the FIRESTARTER-style workload
+	// (after the turbo budget drains, as in the paper's figure, which
+	// excludes the short turbo peak).
+	PeakPkgW, PeakDramW, PeakPSUW float64
+	// StaticFrac is idle PSU power over peak PSU power (the paper
+	// reports ~18 %, versus >50 % on 2010 hardware).
+	StaticFrac float64
+	// OverheadFrac is the dynamic power invisible to RAPL (PSU
+	// conversion losses, fans, motherboard; the paper reports ~15 %).
+	OverheadFrac float64
+}
+
+// Figure3 reproduces the Haswell-EP power breakdown.
+func Figure3() Fig3Result {
+	r := newHWRig(3)
+	ch := perfmodel.FullLoad()
+
+	idle := r.measure(2*time.Second, ch, 0)
+
+	r.applyAll(hw.AllMax(r.topo))
+	// Let the turbo budget drain so the measurement captures sustained
+	// power, like the paper's figure.
+	r.advance(3*time.Second, ch, 1)
+	peak := r.measure(2*time.Second, ch, 1)
+
+	res := Fig3Result{
+		IdlePkgW: sum(idle.PkgW), IdleDramW: sum(idle.DramW), IdlePSUW: idle.PSUW,
+		PeakPkgW: sum(peak.PkgW), PeakDramW: sum(peak.DramW), PeakPSUW: peak.PSUW,
+	}
+	res.StaticFrac = res.IdlePSUW / res.PeakPSUW
+	dynRAPL := (res.PeakPkgW + res.PeakDramW) - (res.IdlePkgW + res.IdleDramW)
+	dynPSU := res.PeakPSUW - res.IdlePSUW
+	if dynPSU > 0 {
+		res.OverheadFrac = (dynPSU - dynRAPL) / dynPSU
+	}
+	return res
+}
+
+// Render formats the Figure 3 breakdown.
+func (r Fig3Result) Render() string {
+	t := Table{
+		Title:  "Figure 3: Haswell-EP power breakdown (static vs dynamic, RAPL vs PSU)",
+		Header: []string{"state", "package W", "DRAM W", "PSU W"},
+		Rows: [][]string{
+			{"idle (static)", f1(r.IdlePkgW), f1(r.IdleDramW), f1(r.IdlePSUW)},
+			{"full load (sustained)", f1(r.PeakPkgW), f1(r.PeakDramW), f1(r.PeakPSUW)},
+		},
+		Note: "static/peak = " + pct(r.StaticFrac) + " (paper ~18%), non-RAPL dynamic overhead = " + pct(r.OverheadFrac) + " (paper ~15%)",
+	}
+	return t.Render()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: power cost of activating cores and HyperThreads.
+
+// Fig4Combo is one clock combination's activation ladder.
+type Fig4Combo struct {
+	CoreMHz, UncoreMHz int
+	// PowerW[k] is socket-0 package power with the first k hardware
+	// threads active (k = 0..ThreadsPerSocket), activating both
+	// siblings of a core before moving to the next core.
+	PowerW []float64
+	// FirstCoreW, AddlCoreW, SiblingW summarize the ladder.
+	FirstCoreW, AddlCoreW, SiblingW float64
+}
+
+// Fig4Result holds the ladders of Figure 4.
+type Fig4Result struct {
+	Combos []Fig4Combo
+}
+
+// Figure4 reproduces the core/HyperThread activation cost experiment with
+// a compute-bound workload.
+func Figure4() Fig4Result {
+	var res Fig4Result
+	ch := perfmodel.ComputeBound()
+	for _, combo := range []struct{ core, unc int }{
+		{hw.MinCoreMHz, hw.MinUncoreMHz},
+		{hw.MinCoreMHz, hw.MaxUncoreMHz},
+		{hw.MaxCoreMHz, hw.MaxUncoreMHz},
+		{hw.TurboMHz, hw.MaxUncoreMHz},
+	} {
+		r := newHWRig(4)
+		c := Fig4Combo{CoreMHz: combo.core, UncoreMHz: combo.unc}
+		// Activation order: sibling 0 of core 0, sibling 1 of core 0,
+		// sibling 0 of core 1, ... (threads of one core adjacent).
+		cfg := hw.NewConfiguration(r.topo)
+		for i := range cfg.CoreMHz {
+			cfg.CoreMHz[i] = combo.core
+		}
+		cfg.UncoreMHz = combo.unc
+		for k := 0; k <= r.topo.ThreadsPerSocket(); k++ {
+			if k > 0 {
+				cfg.Threads[k-1] = true
+			}
+			if err := r.m.Apply(0, cfg.Clone()); err != nil {
+				panic(err)
+			}
+			r.advance(2*time.Millisecond, ch, 0)
+			m := r.measure(200*time.Millisecond, ch, 1)
+			c.PowerW = append(c.PowerW, m.PkgW[0])
+		}
+		c.FirstCoreW = c.PowerW[1] - c.PowerW[0]
+		// Additional physical core: threads 2,3 belong to core 1; cost
+		// of activating core 1's first sibling.
+		c.AddlCoreW = c.PowerW[3] - c.PowerW[2]
+		// HyperThread sibling: second thread of core 0.
+		c.SiblingW = c.PowerW[2] - c.PowerW[1]
+		res.Combos = append(res.Combos, c)
+	}
+	return res
+}
+
+// Render formats Figure 4.
+func (r Fig4Result) Render() string {
+	t := Table{
+		Title:  "Figure 4: power cost of activating cores and HyperThreads (socket 0, compute-bound)",
+		Header: []string{"core MHz", "uncore MHz", "first core W", "addl core W", "HT sibling W", "all 24 threads W"},
+	}
+	for _, c := range r.Combos {
+		t.Rows = append(t.Rows, []string{
+			f0(float64(c.CoreMHz)), f0(float64(c.UncoreMHz)),
+			f1(c.FirstCoreW), f1(c.AddlCoreW), f1(c.SiblingW), f1(c.PowerW[len(c.PowerW)-1]),
+		})
+	}
+	t.Note = "first-core cost adheres to the uncore clock; HT siblings are nearly free"
+	return t.Render()
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: socket power vs uncore clock and the inter-socket dependency.
+
+// Fig5Result holds the per-socket power of Figure 5.
+type Fig5Result struct {
+	// HaltedW is the per-socket package power when both sockets idle
+	// (uncore halted machine-wide).
+	HaltedW []float64
+	// ActiveW[i] is the per-socket package power when socket 0 runs one
+	// core while the uncore clock is set to UncoreMHz[i] on both.
+	UncoreMHz []int
+	Socket0W  []float64
+	Socket1W  []float64
+}
+
+// Figure5 reproduces the uncore halting dependency experiment.
+func Figure5() Fig5Result {
+	res := Fig5Result{UncoreMHz: []int{1200, 2100, 3000}}
+	r := newHWRig(5)
+	ch := perfmodel.ComputeBound()
+
+	m := r.measure(time.Second, ch, 0)
+	res.HaltedW = append([]float64(nil), m.PkgW...)
+
+	for _, unc := range res.UncoreMHz {
+		cfg := hw.NewConfiguration(r.topo)
+		cfg.Threads[0] = true
+		cfg.UncoreMHz = unc
+		if err := r.m.Apply(0, cfg); err != nil {
+			panic(err)
+		}
+		// Socket 1 idles, but its uncore cannot halt while socket 0 is
+		// active.
+		idle := hw.NewConfiguration(r.topo)
+		idle.UncoreMHz = unc
+		if err := r.m.Apply(1, idle); err != nil {
+			panic(err)
+		}
+		r.advance(2*time.Millisecond, ch, 0)
+		m := r.measure(time.Second, ch, 1)
+		res.Socket0W = append(res.Socket0W, m.PkgW[0])
+		res.Socket1W = append(res.Socket1W, m.PkgW[1])
+	}
+	return res
+}
+
+// Render formats Figure 5.
+func (r Fig5Result) Render() string {
+	t := Table{
+		Title:  "Figure 5: socket power for halted vs running uncore clocks",
+		Header: []string{"state", "socket 0 W", "socket 1 W"},
+		Rows: [][]string{
+			{"both idle (uncore halted)", f1(r.HaltedW[0]), f1(r.HaltedW[1])},
+		},
+	}
+	for i, unc := range r.UncoreMHz {
+		t.Rows = append(t.Rows, []string{
+			"socket0 active, uncore " + f0(float64(unc)) + " MHz",
+			f1(r.Socket0W[i]), f1(r.Socket1W[i]),
+		})
+	}
+	t.Note = "socket 1 cannot halt its uncore while socket 0 is active; socket 0 draws more than socket 1"
+	return t.Render()
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: memory bandwidth and power vs core and uncore clocks.
+
+// Fig6Cell is one (core clock, uncore clock) measurement.
+type Fig6Cell struct {
+	CoreMHz, UncoreMHz int
+	BandwidthGBs       float64
+	PkgW               float64
+}
+
+// Fig6Result is the clock sweep of Figure 6.
+type Fig6Result struct {
+	Cells []Fig6Cell
+}
+
+// Figure6 reproduces the bandwidth sweep with all cores active on socket 0
+// running the memory-scan workload.
+func Figure6() Fig6Result {
+	var res Fig6Result
+	ch := perfmodel.MemoryScan()
+	for _, core := range []int{1200, 1900, 2600} {
+		for _, unc := range []int{1200, 2100, 3000} {
+			r := newHWRig(6)
+			cfg := hw.NewConfiguration(r.topo)
+			for i := range cfg.Threads {
+				cfg.Threads[i] = true
+			}
+			for i := range cfg.CoreMHz {
+				cfg.CoreMHz[i] = core
+			}
+			cfg.UncoreMHz = unc
+			if err := r.m.Apply(0, cfg); err != nil {
+				panic(err)
+			}
+			r.advance(2*time.Millisecond, ch, 0)
+			cap_ := perfmodel.SocketCapacity(r.topo, r.m.Effective(0), ch, 1)
+			m := r.measure(500*time.Millisecond, ch, 1)
+			res.Cells = append(res.Cells, Fig6Cell{
+				CoreMHz: core, UncoreMHz: unc,
+				BandwidthGBs: cap_.MemGBsAtFull,
+				PkgW:         m.PkgW[0],
+			})
+		}
+	}
+	return res
+}
+
+// Render formats Figure 6.
+func (r Fig6Result) Render() string {
+	t := Table{
+		Title:  "Figure 6: memory bandwidth and package power vs core/uncore clocks (socket 0, all cores)",
+		Header: []string{"core MHz", "uncore MHz", "bandwidth GB/s", "package W"},
+	}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			f0(float64(c.CoreMHz)), f0(float64(c.UncoreMHz)), f1(c.BandwidthGBs), f1(c.PkgW),
+		})
+	}
+	t.Note = "bandwidth follows the uncore clock; the lowest core clock reaches nearly full bandwidth at max uncore"
+	return t.Render()
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: EPB / energy-efficient turbo time behaviour.
+
+// Fig7Sample is one 100 ms sample of the EET experiment.
+type Fig7Sample struct {
+	T         time.Duration
+	PkgW      float64
+	InstrRate float64
+}
+
+// Fig7Case is one sub-figure: the workload/EPB combination's behaviour
+// around a clock raise from minimum to turbo at t=1s.
+type Fig7Case struct {
+	Name    string
+	Samples []Fig7Sample
+	// TurboAt is when the instruction rate (compute) or power
+	// (memory-bound) reached its final level.
+	TurboAt time.Duration
+}
+
+// Fig7Result holds the three sub-figures.
+type Fig7Result struct {
+	BalancedCompute    Fig7Case // (a): 1 s delay before turbo
+	PerformanceCompute Fig7Case // (b): immediate turbo
+	BalancedMemory     Fig7Case // (c): power up, no performance gain
+}
+
+// Figure7 reproduces the energy-efficient turbo experiments.
+func Figure7() Fig7Result {
+	run := func(epb hw.EPB, ch perfmodel.Characteristics) Fig7Case {
+		r := newHWRig(7)
+		r.m.SetEPB(epb)
+		cfg := hw.NewConfiguration(r.topo)
+		for i := range cfg.Threads {
+			cfg.Threads[i] = true
+		}
+		for i := range cfg.CoreMHz {
+			cfg.CoreMHz[i] = hw.MinCoreMHz
+		}
+		cfg.UncoreMHz = hw.MaxUncoreMHz
+		if err := r.m.Apply(0, cfg); err != nil {
+			panic(err)
+		}
+		r.advance(2*time.Millisecond, ch, 0)
+		var c Fig7Case
+		raised := false
+		for t := time.Duration(0); t < 3*time.Second; t += 100 * time.Millisecond {
+			if !raised && t >= time.Second {
+				up := cfg.Clone()
+				for i := range up.CoreMHz {
+					up.CoreMHz[i] = hw.TurboMHz
+				}
+				if err := r.m.Apply(0, up); err != nil {
+					panic(err)
+				}
+				raised = true
+			}
+			m := r.measure(100*time.Millisecond, ch, 1)
+			c.Samples = append(c.Samples, Fig7Sample{T: t, PkgW: m.PkgW[0], InstrRate: m.InstrRate})
+		}
+		// Detect when the final level was reached (within 2 % of the
+		// last sample's instruction rate).
+		final := c.Samples[len(c.Samples)-1].InstrRate
+		for _, s := range c.Samples {
+			if s.T >= time.Second && s.InstrRate >= final*0.98 {
+				c.TurboAt = s.T
+				break
+			}
+		}
+		return c
+	}
+	res := Fig7Result{
+		BalancedCompute:    run(hw.EPBBalanced, perfmodel.ComputeBound()),
+		PerformanceCompute: run(hw.EPBPerformance, perfmodel.ComputeBound()),
+		BalancedMemory:     run(hw.EPBBalanced, perfmodel.MemoryScan()),
+	}
+	res.BalancedCompute.Name = "(a) balanced EPB, compute-bound"
+	res.PerformanceCompute.Name = "(b) performance EPB, compute-bound"
+	res.BalancedMemory.Name = "(c) balanced EPB, memory-bound"
+	return res
+}
+
+// PerfGain returns last/first instruction-rate ratio after the raise.
+func (c Fig7Case) PerfGain() float64 {
+	var before, after float64
+	for _, s := range c.Samples {
+		if s.T == 900*time.Millisecond {
+			before = s.InstrRate
+		}
+	}
+	after = c.Samples[len(c.Samples)-1].InstrRate
+	if before == 0 {
+		return 0
+	}
+	return after / before
+}
+
+// PowerGain returns last/first package-power ratio after the raise.
+func (c Fig7Case) PowerGain() float64 {
+	var before float64
+	for _, s := range c.Samples {
+		if s.T == 900*time.Millisecond {
+			before = s.PkgW
+		}
+	}
+	after := c.Samples[len(c.Samples)-1].PkgW
+	if before == 0 {
+		return 0
+	}
+	return after / before
+}
+
+// Render formats Figure 7.
+func (r Fig7Result) Render() string {
+	t := Table{
+		Title:  "Figure 7: energy-efficient turbo behaviour (clock raise to turbo at t=1s)",
+		Header: []string{"case", "turbo effective at", "perf gain", "power gain"},
+	}
+	for _, c := range []Fig7Case{r.BalancedCompute, r.PerformanceCompute, r.BalancedMemory} {
+		t.Rows = append(t.Rows, []string{c.Name, c.TurboAt.String(), f2(c.PerfGain()), f2(c.PowerGain())})
+	}
+	t.Note = "balanced EPB delays turbo ~1s; for memory-bound work turbo burns power without performance"
+	return t.Render()
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: automatic uncore frequency scaling decisions.
+
+// Fig8Row is one uncore policy's outcome.
+type Fig8Row struct {
+	Policy    string
+	InstrRate float64
+	PkgW      float64
+}
+
+// Fig8Result compares automatic UFS against pinned uncore clocks under a
+// compute-bound full load.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Figure8 reproduces the UFS decision-quality experiment.
+func Figure8() Fig8Result {
+	run := func(policy string, auto bool, unc int) Fig8Row {
+		r := newHWRig(8)
+		r.m.SetAutoUFS(auto)
+		ch := perfmodel.ComputeBound()
+		cfg := hw.NewConfiguration(r.topo)
+		for i := range cfg.Threads {
+			cfg.Threads[i] = true
+		}
+		for i := range cfg.CoreMHz {
+			cfg.CoreMHz[i] = hw.MaxCoreMHz
+		}
+		cfg.UncoreMHz = unc
+		if err := r.m.Apply(0, cfg); err != nil {
+			panic(err)
+		}
+		// Give automatic UFS time to react to the load.
+		r.advance(500*time.Millisecond, ch, 1)
+		m := r.measure(time.Second, ch, 1)
+		return Fig8Row{Policy: policy, InstrRate: m.InstrRate, PkgW: m.PkgW[0]}
+	}
+	return Fig8Result{Rows: []Fig8Row{
+		run("automatic UFS", true, hw.MinUncoreMHz),
+		run("pinned 1.2 GHz", false, hw.MinUncoreMHz),
+		run("pinned 3.0 GHz", false, hw.MaxUncoreMHz),
+	}}
+}
+
+// Render formats Figure 8.
+func (r Fig8Result) Render() string {
+	t := Table{
+		Title:  "Figure 8: automatic UFS vs pinned uncore (compute-bound, all cores at max clock)",
+		Header: []string{"policy", "instr/s", "package W"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Policy, g3(row.InstrRate), f1(row.PkgW)})
+	}
+	t.Note = "automatic UFS picks the max uncore clock, paying ~12 W for no compute-bound gain"
+	return t.Render()
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

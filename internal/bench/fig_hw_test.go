@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Figure 3: static power is ~18 % of sustained peak; the non-RAPL dynamic
+// overhead is ~15 %.
+func TestFigure3Shape(t *testing.T) {
+	r := Figure3()
+	if r.StaticFrac < 0.12 || r.StaticFrac > 0.25 {
+		t.Errorf("static/peak = %.3f, paper ~0.18", r.StaticFrac)
+	}
+	if r.OverheadFrac < 0.08 || r.OverheadFrac > 0.25 {
+		t.Errorf("non-RAPL overhead = %.3f, paper ~0.15", r.OverheadFrac)
+	}
+	if r.PeakPkgW <= r.IdlePkgW || r.PeakPSUW <= r.IdlePSUW {
+		t.Error("peak power must exceed idle power")
+	}
+	if !strings.Contains(r.Render(), "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+// Figure 4: the first core dominates, extra cores cost a clock-dependent
+// increment, HT siblings are nearly free, and the first-core cost follows
+// the uncore clock.
+func TestFigure4Shape(t *testing.T) {
+	r := Figure4()
+	if len(r.Combos) != 4 {
+		t.Fatalf("combos = %d", len(r.Combos))
+	}
+	for _, c := range r.Combos {
+		if c.FirstCoreW < 2.5*c.AddlCoreW {
+			t.Errorf("combo %d/%d: first core %.1f W should dominate additional core %.1f W",
+				c.CoreMHz, c.UncoreMHz, c.FirstCoreW, c.AddlCoreW)
+		}
+		if c.SiblingW > 0.4*c.AddlCoreW+0.3 {
+			t.Errorf("combo %d/%d: HT sibling %.2f W should be nearly free vs core %.2f W",
+				c.CoreMHz, c.UncoreMHz, c.SiblingW, c.AddlCoreW)
+		}
+		// The ladder is monotone.
+		for k := 1; k < len(c.PowerW); k++ {
+			if c.PowerW[k] < c.PowerW[k-1]-0.01 {
+				t.Errorf("combo %d/%d: ladder not monotone at %d", c.CoreMHz, c.UncoreMHz, k)
+			}
+		}
+	}
+	// First-core cost grows with the uncore clock (combo 0 is min/min,
+	// combo 1 is min/max).
+	if r.Combos[1].FirstCoreW <= r.Combos[0].FirstCoreW {
+		t.Error("first-core cost should adhere to the uncore clock")
+	}
+	// Additional-core cost grows with the core clock (combos 1..3 share
+	// max uncore).
+	if !(r.Combos[1].AddlCoreW < r.Combos[2].AddlCoreW && r.Combos[2].AddlCoreW < r.Combos[3].AddlCoreW) {
+		t.Error("additional-core cost should grow with the core clock")
+	}
+}
+
+// Figure 5: uncore halting needs all sockets idle; socket 0 draws more
+// than socket 1; the idle-but-unhalted socket's power follows the uncore
+// clock.
+func TestFigure5Shape(t *testing.T) {
+	r := Figure5()
+	if r.HaltedW[0] <= r.HaltedW[1] {
+		t.Errorf("socket 0 halted power %.1f should exceed socket 1's %.1f", r.HaltedW[0], r.HaltedW[1])
+	}
+	for i := range r.UncoreMHz {
+		if r.Socket1W[i] <= r.HaltedW[1] {
+			t.Errorf("idle socket 1 at uncore %d should draw more than halted", r.UncoreMHz[i])
+		}
+	}
+	for i := 1; i < len(r.UncoreMHz); i++ {
+		if r.Socket1W[i] <= r.Socket1W[i-1] {
+			t.Error("idle socket power should grow with the uncore clock")
+		}
+	}
+}
+
+// Figure 6: bandwidth follows the uncore; the lowest core clock reaches
+// nearly full bandwidth at max uncore.
+func TestFigure6Shape(t *testing.T) {
+	r := Figure6()
+	byKey := map[[2]int]Fig6Cell{}
+	for _, c := range r.Cells {
+		byKey[[2]int{c.CoreMHz, c.UncoreMHz}] = c
+	}
+	if byKey[[2]int{1200, 3000}].BandwidthGBs < 0.93*byKey[[2]int{2600, 3000}].BandwidthGBs {
+		t.Error("lowest core clock should reach nearly full bandwidth at max uncore")
+	}
+	if byKey[[2]int{2600, 1200}].BandwidthGBs >= 0.6*byKey[[2]int{2600, 3000}].BandwidthGBs {
+		t.Error("bandwidth should mainly depend on the uncore clock")
+	}
+	// Low clocks draw the least power for the same bandwidth regime.
+	if byKey[[2]int{1200, 3000}].PkgW >= byKey[[2]int{2600, 3000}].PkgW {
+		t.Error("lower core clock should draw less power")
+	}
+}
+
+// Figure 7: the EET delay appears under balanced EPB, disappears under
+// performance, and turbo is a bad deal for memory-bound work.
+func TestFigure7Shape(t *testing.T) {
+	r := Figure7()
+	// (a) balanced: turbo engages ~1 s after the raise at t=1s.
+	if r.BalancedCompute.TurboAt < 1800*time.Millisecond {
+		t.Errorf("balanced turbo at %v, want ~2s (1s raise + 1s delay)", r.BalancedCompute.TurboAt)
+	}
+	// (b) performance: immediate.
+	if r.PerformanceCompute.TurboAt > 1200*time.Millisecond {
+		t.Errorf("performance turbo at %v, want ~1s", r.PerformanceCompute.TurboAt)
+	}
+	// Compute gains real performance from turbo.
+	if r.PerformanceCompute.PerfGain() < 1.5 {
+		t.Errorf("compute turbo perf gain = %.2f, want > 1.5", r.PerformanceCompute.PerfGain())
+	}
+	// (c) memory-bound: power rises without performance.
+	if g := r.BalancedMemory.PerfGain(); g > 1.1 {
+		t.Errorf("memory-bound turbo perf gain = %.2f, want ~1 (bad decision)", g)
+	}
+	if g := r.BalancedMemory.PowerGain(); g < 1.1 {
+		t.Errorf("memory-bound turbo power gain = %.2f, want clearly > 1", g)
+	}
+}
+
+// Figure 8: automatic UFS picks the max uncore clock, costing ~12 W for no
+// compute-bound gain.
+func TestFigure8Shape(t *testing.T) {
+	r := Figure8()
+	var auto, low, high Fig8Row
+	for _, row := range r.Rows {
+		switch row.Policy {
+		case "automatic UFS":
+			auto = row
+		case "pinned 1.2 GHz":
+			low = row
+		case "pinned 3.0 GHz":
+			high = row
+		}
+	}
+	// Performance is clock-insensitive (slight advantage to the low
+	// uncore per the paper is optional; equality is the key shape).
+	if low.InstrRate < 0.99*high.InstrRate {
+		t.Error("compute-bound throughput should not depend on the uncore clock")
+	}
+	// Auto behaves like max uncore.
+	if auto.PkgW < high.PkgW-1 {
+		t.Errorf("automatic UFS power %.1f should match pinned 3.0 GHz %.1f", auto.PkgW, high.PkgW)
+	}
+	delta := auto.PkgW - low.PkgW
+	if delta < 8 || delta > 18 {
+		t.Errorf("auto-vs-1.2GHz power delta = %.1f W, paper ~12 W", delta)
+	}
+}
+
+// Figure 12: measuring needs ~100 ms, applying is fine around ~1 ms.
+func TestFigure12Shape(t *testing.T) {
+	r := Figure12()
+	if r.MeasureWindow < 50*time.Millisecond || r.MeasureWindow > 200*time.Millisecond {
+		t.Errorf("measure window = %v, paper 100ms", r.MeasureWindow)
+	}
+	if r.ApplySettle > 2*time.Millisecond {
+		t.Errorf("apply settle = %v, paper ~1ms", r.ApplySettle)
+	}
+	// Deviation blows up at the shortest measurement windows.
+	shortest := r.MeasureCurve[len(r.MeasureCurve)-1]
+	longest := r.MeasureCurve[0]
+	if shortest.Deviation < 5*longest.Deviation {
+		t.Errorf("short-window deviation %.4f should dwarf long-window %.4f",
+			shortest.Deviation, longest.Deviation)
+	}
+	if !strings.Contains(r.Render(), "Figure 12") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+
+	"ecldb/internal/energy"
+	"ecldb/internal/hw"
+	"ecldb/internal/perfmodel"
+	"ecldb/internal/workload"
+)
+
+// ProfileResult summarizes one energy profile figure: the configuration
+// set, its skyline, ruling zones, and the savings metrics the paper
+// quotes.
+type ProfileResult struct {
+	Workload string
+	Params   energy.GeneratorParams
+	// Configurations is the profile size (paper: 145 for the default
+	// parameters).
+	Configurations int
+	// SkylineSize is the number of envelope configurations.
+	SkylineSize int
+	// Optimal is the most energy-efficient configuration.
+	Optimal string
+	// OptimalCoreMHz/OptimalUncoreMHz expose its clocks for assertions.
+	OptimalCoreMHz, OptimalUncoreMHz int
+	OptimalThreads                   int
+	// UnderZone/OverZone count configurations per ruling zone.
+	UnderZone, OverZone int
+	// RespAdvantage is optimal-vs-baseline performance (the paper's
+	// "query response advantage"; positive when contention makes the
+	// all-max baseline slower).
+	RespAdvantage float64
+	// MaxRTISavings is the peak energy saving of ECL-RTI against the
+	// all-max race-to-idle baseline across performance levels.
+	MaxRTISavings float64
+	// EffAdvantage is optimal efficiency over baseline efficiency.
+	EffAdvantage float64
+	// Skyline points (performance level, efficiency level) normalized
+	// to peaks, for plotting.
+	SkylinePerf, SkylineEff []float64
+}
+
+// profileFor evaluates a profile for a characteristics set.
+func profileFor(ch perfmodel.Characteristics, gp energy.GeneratorParams) (*energy.Profile, error) {
+	topo := hw.HaswellEP()
+	cfgs, err := energy.Generate(topo, gp)
+	if err != nil {
+		return nil, err
+	}
+	p := energy.NewProfile(topo, cfgs)
+	if err := energy.EvaluateModel(p, topo, hw.DefaultPowerParams(), ch, 0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// summarizeProfile computes the ProfileResult metrics.
+func summarizeProfile(name string, gp energy.GeneratorParams, p *energy.Profile) ProfileResult {
+	topo := hw.HaswellEP()
+	res := ProfileResult{Workload: name, Params: gp, Configurations: p.Size()}
+	opt := p.MostEfficient()
+	base := p.Lookup(hw.AllMax(topo))
+	idleW := 0.0
+	if p.Idle() != nil {
+		idleW = p.Idle().PowerW
+	}
+	res.Optimal = opt.Config.String()
+	res.OptimalCoreMHz = int(opt.Config.AvgCoreMHz(topo.ThreadsPerCore))
+	res.OptimalUncoreMHz = opt.Config.UncoreMHz
+	res.OptimalThreads = opt.Config.ActiveThreads()
+	res.RespAdvantage = opt.Score/base.Score - 1
+	res.EffAdvantage = opt.Efficiency() / base.Efficiency()
+	for _, e := range p.Entries() {
+		if e.Config.Idle() {
+			continue
+		}
+		switch p.ZoneOf(e) {
+		case energy.ZoneUnder:
+			res.UnderZone++
+		case energy.ZoneOver:
+			res.OverZone++
+		}
+	}
+	sky := p.Skyline()
+	res.SkylineSize = len(sky)
+	maxScore, maxEff := p.MaxScore(), opt.Efficiency()
+	for _, e := range sky {
+		res.SkylinePerf = append(res.SkylinePerf, e.Score/maxScore)
+		res.SkylineEff = append(res.SkylineEff, e.Efficiency()/maxEff)
+	}
+	// Peak ECL-RTI savings versus the baseline race-to-idle line.
+	for d := 0.02; d <= 1.0; d += 0.02 {
+		demand := d * base.Score
+		effRTI := energy.RTIEfficiency(opt, idleW, demand)
+		duty := demand / base.Score
+		effBase := demand / (duty*base.PowerW + (1-duty)*idleW)
+		if effRTI > 0 && effBase > 0 {
+			if s := 1 - effBase/effRTI; s > res.MaxRTISavings {
+				res.MaxRTISavings = s
+			}
+		}
+	}
+	return res
+}
+
+// Render formats one profile summary.
+func (r ProfileResult) Render() string {
+	t := Table{
+		Title: fmt.Sprintf("Energy profile: %s (fcore=%d funcore=%d mixed=%v cmax=%d)",
+			r.Workload, r.Params.FCore, r.Params.FUncore, r.Params.CoreMixed, r.Params.CMax),
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"configurations", f0(float64(r.Configurations))},
+			{"skyline size", f0(float64(r.SkylineSize))},
+			{"optimal configuration", r.Optimal},
+			{"zones under/over", fmt.Sprintf("%d / %d", r.UnderZone, r.OverZone)},
+			{"response advantage vs all-max", pct(r.RespAdvantage)},
+			{"max ECL-RTI savings", pct(r.MaxRTISavings)},
+			{"efficiency vs all-max", f2(r.EffAdvantage) + "x"},
+		},
+	}
+	return t.Render()
+}
+
+// Fig9Result holds the compute-bound profiles for the three generator
+// parameter settings of Figure 9.
+type Fig9Result struct {
+	// A: fcore=4, funcore=3, mixed off (paper: 145 configurations).
+	A ProfileResult
+	// B: fcore=7 (more clock steps, no better skyline).
+	B ProfileResult
+	// C: mixed clocks enabled (more configurations, no better skyline).
+	C ProfileResult
+}
+
+// Figure9 reproduces the generator-granularity comparison on the
+// compute-bound workload.
+func Figure9() (Fig9Result, error) {
+	ch := perfmodel.ComputeBound()
+	var res Fig9Result
+	for _, c := range []struct {
+		gp  energy.GeneratorParams
+		out *ProfileResult
+	}{
+		{energy.GeneratorParams{FCore: 4, FUncore: 3, CMax: 256}, &res.A},
+		{energy.GeneratorParams{FCore: 7, FUncore: 3, CMax: 256}, &res.B},
+		{energy.GeneratorParams{FCore: 4, FUncore: 3, CoreMixed: true, CMax: 256}, &res.C},
+	} {
+		p, err := profileFor(ch, c.gp)
+		if err != nil {
+			return res, err
+		}
+		*c.out = summarizeProfile("compute-bound", c.gp, p)
+	}
+	return res, nil
+}
+
+// Render formats Figure 9.
+func (r Fig9Result) Render() string {
+	return r.A.Render() + r.B.Render() + r.C.Render()
+}
+
+// Fig10Result holds the workload-dependency profiles of Figure 10.
+type Fig10Result struct {
+	MemoryBound ProfileResult // (a): column scan
+	Atomic      ProfileResult // (b): shared-cacheline increments
+	HashTable   ProfileResult // (c): shared hash-table inserts
+}
+
+// Figure10 reproduces the workload-dependent profile shapes.
+func Figure10() (Fig10Result, error) {
+	gp := energy.DefaultGeneratorParams()
+	var res Fig10Result
+	for _, c := range []struct {
+		ch  perfmodel.Characteristics
+		out *ProfileResult
+	}{
+		{perfmodel.MemoryScan(), &res.MemoryBound},
+		{perfmodel.AtomicContention(), &res.Atomic},
+		{perfmodel.HashTableInsert(), &res.HashTable},
+	} {
+		p, err := profileFor(c.ch, gp)
+		if err != nil {
+			return res, err
+		}
+		*c.out = summarizeProfile(c.ch.Name, gp, p)
+	}
+	return res, nil
+}
+
+// Render formats Figure 10.
+func (r Fig10Result) Render() string {
+	return r.MemoryBound.Render() + r.Atomic.Render() + r.HashTable.Render()
+}
+
+// AppendixResult holds the benchmark profiles of Figures 17-20.
+type AppendixResult struct {
+	TATPIndexed    ProfileResult // Figure 17
+	TATPNonIndexed ProfileResult // Figure 18
+	SSBIndexed     ProfileResult // Figure 19 (Q2.1)
+	SSBNonIndexed  ProfileResult // Figure 20 (Q2.1)
+}
+
+// AppendixProfiles reproduces the appendix energy profiles for TATP and
+// SSB (Q2.1 as representative, like the paper).
+func AppendixProfiles() (AppendixResult, error) {
+	gp := energy.DefaultGeneratorParams()
+	var res AppendixResult
+	ssbIdx, err := workload.NewSSBQuery(true, "Q2.1")
+	if err != nil {
+		return res, err
+	}
+	ssbScan, err := workload.NewSSBQuery(false, "Q2.1")
+	if err != nil {
+		return res, err
+	}
+	for _, c := range []struct {
+		wl  workload.Workload
+		out *ProfileResult
+	}{
+		{workload.NewTATP(true), &res.TATPIndexed},
+		{workload.NewTATP(false), &res.TATPNonIndexed},
+		{ssbIdx, &res.SSBIndexed},
+		{ssbScan, &res.SSBNonIndexed},
+	} {
+		p, err := profileFor(c.wl.Characteristics(), gp)
+		if err != nil {
+			return res, err
+		}
+		*c.out = summarizeProfile(c.wl.Name(), gp, p)
+	}
+	return res, nil
+}
+
+// Render formats Figures 17-20.
+func (r AppendixResult) Render() string {
+	return r.TATPIndexed.Render() + r.TATPNonIndexed.Render() +
+		r.SSBIndexed.Render() + r.SSBNonIndexed.Render()
+}

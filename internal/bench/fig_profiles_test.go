@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ecldb/internal/hw"
+)
+
+// Figure 9: the default generator yields the paper's 145 configurations;
+// finer granularity adds configurations without significantly improving
+// the skyline.
+func TestFigure9Shape(t *testing.T) {
+	r, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.A.Configurations != 145 {
+		t.Errorf("default generator = %d configurations, paper reports 145", r.A.Configurations)
+	}
+	if r.B.Configurations <= r.A.Configurations {
+		t.Error("fcore=7 should add configurations")
+	}
+	if r.C.Configurations <= r.A.Configurations {
+		t.Error("mixed clocks should add configurations")
+	}
+	// The skyline does not significantly improve: peak efficiency gains
+	// stay within a few percent.
+	for _, other := range []ProfileResult{r.B, r.C} {
+		if other.EffAdvantage > r.A.EffAdvantage*1.05 {
+			t.Errorf("%+v: finer granularity improved peak efficiency by more than 5%%", other.Params)
+		}
+	}
+	// Compute-bound: the lowest uncore clock is the most efficient.
+	if r.A.OptimalUncoreMHz != hw.MinUncoreMHz {
+		t.Errorf("compute-bound optimal uncore = %d, want minimum", r.A.OptimalUncoreMHz)
+	}
+	if !strings.Contains(r.Render(), "compute-bound") {
+		t.Error("render incomplete")
+	}
+}
+
+// Figure 10: the three contention workloads produce the paper's opposite
+// profile shapes, with its quoted savings and response numbers.
+func TestFigure10Shape(t *testing.T) {
+	r, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a) memory-bound: low core clocks, max uncore, ~40 % savings.
+	mb := r.MemoryBound
+	if mb.OptimalCoreMHz != hw.MinCoreMHz || mb.OptimalUncoreMHz != hw.MaxUncoreMHz {
+		t.Errorf("memory-bound optimal = %s, want min core / max uncore", mb.Optimal)
+	}
+	if mb.MaxRTISavings < 0.30 || mb.MaxRTISavings > 0.60 {
+		t.Errorf("memory-bound max savings = %s, paper ~40%%", pct(mb.MaxRTISavings))
+	}
+	// The all-max baseline is *slower* (memory-controller contention).
+	if mb.RespAdvantage <= 0 {
+		t.Errorf("memory-bound response advantage = %s, want positive", pct(mb.RespAdvantage))
+	}
+
+	// (b) atomic contention: two HyperThreads at turbo with the lowest
+	// uncore, ~90 % savings, ~200 % response advantage.
+	at := r.Atomic
+	if at.OptimalThreads != 2 || at.OptimalCoreMHz != hw.TurboMHz || at.OptimalUncoreMHz != hw.MinUncoreMHz {
+		t.Errorf("atomic optimal = %s, want 2 threads at turbo, min uncore", at.Optimal)
+	}
+	if at.MaxRTISavings < 0.75 {
+		t.Errorf("atomic max savings = %s, paper ~90%%", pct(at.MaxRTISavings))
+	}
+	if at.RespAdvantage < 1.2 || at.RespAdvantage > 4.0 {
+		t.Errorf("atomic response advantage = %s, paper ~200%%", pct(at.RespAdvantage))
+	}
+	// The over-utilization zone is absent: nothing beats the optimum's
+	// performance.
+	if at.OverZone != 0 {
+		t.Errorf("atomic over zone = %d, paper: not present", at.OverZone)
+	}
+
+	// (c) hash-table inserts: the same effects at a smaller scale
+	// (paper: 42 % savings, ~8 % response benefit).
+	ht := r.HashTable
+	if ht.MaxRTISavings < 0.30 || ht.MaxRTISavings > 0.65 {
+		t.Errorf("hash-table max savings = %s, paper ~42%%", pct(ht.MaxRTISavings))
+	}
+	if ht.RespAdvantage < 0.0 || ht.RespAdvantage > 0.25 {
+		t.Errorf("hash-table response advantage = %s, paper ~8%%", pct(ht.RespAdvantage))
+	}
+}
+
+// Figures 17-20: indexed profiles resemble the compute-bound shape with a
+// lower uncore clock; non-indexed ones resemble the memory-bound shape;
+// SSB needs at least TATP's uncore clock (data shipping).
+func TestAppendixProfilesShape(t *testing.T) {
+	r, err := AppendixProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-indexed variants: bandwidth-bound shape.
+	for _, p := range []ProfileResult{r.TATPNonIndexed, r.SSBNonIndexed} {
+		if p.OptimalCoreMHz != hw.MinCoreMHz {
+			t.Errorf("%s optimal core = %d, want minimum (scan-bound)", p.Workload, p.OptimalCoreMHz)
+		}
+		if p.OptimalUncoreMHz != hw.MaxUncoreMHz {
+			t.Errorf("%s optimal uncore = %d, want maximum", p.Workload, p.OptimalUncoreMHz)
+		}
+	}
+	// Indexed variants run a generally lower uncore clock.
+	if r.TATPIndexed.OptimalUncoreMHz >= r.TATPNonIndexed.OptimalUncoreMHz {
+		t.Error("indexed TATP should use a lower uncore clock than non-indexed")
+	}
+	if r.SSBIndexed.OptimalUncoreMHz >= r.SSBNonIndexed.OptimalUncoreMHz {
+		t.Error("indexed SSB should use a lower uncore clock than non-indexed")
+	}
+	// SSB ships more data between partitions: its uncore requirement is
+	// at least TATP's.
+	if r.SSBIndexed.OptimalUncoreMHz < r.TATPIndexed.OptimalUncoreMHz {
+		t.Error("SSB should need at least TATP's uncore clock")
+	}
+	// Indexed TATP favors medium core clocks (the paper's Table 1
+	// discussion).
+	if r.TATPIndexed.OptimalCoreMHz <= hw.MinCoreMHz || r.TATPIndexed.OptimalCoreMHz >= hw.TurboMHz {
+		t.Errorf("indexed TATP optimal core = %d, want medium", r.TATPIndexed.OptimalCoreMHz)
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ecldb/internal/trace"
+)
+
+// plotSeries renders one or more time series as an ASCII chart, one mark
+// per series. Series are resampled onto the plot width; the y-axis spans
+// [0, max] over all series.
+func plotSeries(title, yLabel string, width, height int, series []*trace.Series, marks []rune) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s --\n", title)
+	max := 0.0
+	var end float64
+	for _, s := range series {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		if m := s.Max(); m > max {
+			max = m
+		}
+		if e := s.Times[s.Len()-1].Seconds(); e > end {
+			end = e
+		}
+	}
+	if max <= 0 || end <= 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	grid := make([][]rune, height)
+	for y := range grid {
+		grid[y] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		mark := marks[si%len(marks)]
+		idx := 0
+		for x := 0; x < width; x++ {
+			t := end * float64(x) / float64(width-1)
+			for idx+1 < s.Len() && s.Times[idx+1].Seconds() <= t {
+				idx++
+			}
+			v := s.Values[idx]
+			y := height - 1 - int(math.Round(v/max*float64(height-1)))
+			if y >= 0 && y < height {
+				grid[y][x] = mark
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%8.1f +%s\n", max, strings.Repeat("-", width))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%8s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%8.1f +%s> t (0..%.0fs)  [%s]\n", 0.0, strings.Repeat("-", width), end, yLabel)
+	return b.String()
+}

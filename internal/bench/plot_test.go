@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ecldb/internal/trace"
+)
+
+func TestPlotSeries(t *testing.T) {
+	var a, b trace.Series
+	for i := 0; i <= 10; i++ {
+		a.Add(time.Duration(i)*time.Second, float64(i*10))
+		b.Add(time.Duration(i)*time.Second, 50)
+	}
+	out := plotSeries("test", "W", 40, 8, []*trace.Series{&a, &b}, []rune{'A', 'B'})
+	if !strings.Contains(out, "test") || !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("plot incomplete:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header + top axis + 8 rows + bottom axis + trailing newline.
+	if len(lines) < 11 {
+		t.Fatalf("plot has %d lines:\n%s", len(lines), out)
+	}
+	// The rising series ends in the top row's right corner region.
+	if !strings.Contains(lines[2], "A") {
+		t.Errorf("rising series missing from top row: %q", lines[2])
+	}
+}
+
+func TestPlotSeriesEmpty(t *testing.T) {
+	out := plotSeries("empty", "W", 40, 8, []*trace.Series{nil, {}}, []rune{'A'})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot should say so:\n%s", out)
+	}
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The power-cap extension: measured power respects each cap, tighter caps
+// draw less power, and the severely binding cap costs latency — the cap
+// outranks the latency limit.
+func TestPowerCapTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	r, err := PowerCap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(r.Points))
+	}
+	uncapped := r.Points[0]
+	if uncapped.CapW != 0 {
+		t.Fatal("first point must be the uncapped anchor")
+	}
+	for i, p := range r.Points[1:] {
+		// Budget: cap per socket x 2 sockets, with a margin for the RAPL
+		// noise on the profile entries the enforcement relies on (an
+		// entry measured slightly under its true power sneaks below the
+		// cap) plus transition slop.
+		if budget := p.CapW * 2 * 1.15; p.AvgRAPLW > budget {
+			t.Errorf("cap %.0f W: measured %.1f W exceeds budget %.1f W",
+				p.CapW, p.AvgRAPLW, budget)
+		}
+		if p.AvgRAPLW > uncapped.AvgRAPLW*1.02 {
+			t.Errorf("cap %.0f W draws more power (%.1f W) than uncapped (%.1f W)",
+				p.CapW, p.AvgRAPLW, uncapped.AvgRAPLW)
+		}
+		if i > 0 && p.AvgRAPLW > r.Points[i].AvgRAPLW*1.05 {
+			t.Errorf("tighter cap %.0f W draws more power (%.1f W) than looser %.0f W (%.1f W)",
+				p.CapW, p.AvgRAPLW, r.Points[i].CapW, r.Points[i].AvgRAPLW)
+		}
+	}
+	tightest := r.Points[len(r.Points)-1]
+	if tightest.Violations <= uncapped.Violations {
+		t.Errorf("severely binding cap should violate the latency limit: %.2f%% vs uncapped %.2f%%",
+			tightest.Violations*100, uncapped.Violations*100)
+	}
+	if !strings.Contains(r.Render(), "power capping") {
+		t.Error("render incomplete")
+	}
+}

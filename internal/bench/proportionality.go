@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"time"
+
+	"ecldb/internal/loadprofile"
+	"ecldb/internal/sim"
+	"ecldb/internal/workload"
+)
+
+// Energy proportionality sweep. The paper's Figure 13 discussion: the ECL
+// makes power track load almost perfectly above ~50 % load, while the
+// polling-based baseline stays near its full power regardless of load.
+// This experiment quantifies that with a constant-load sweep.
+
+// PropPoint is one load level's mean power under both governors.
+type PropPoint struct {
+	LoadFrac  float64
+	BaselineW float64
+	ECLW      float64
+}
+
+// PropResult is the proportionality sweep outcome.
+type PropResult struct {
+	Points []PropPoint
+	// BaselineProp and ECLProp are energy-proportionality scores in
+	// [0,1]: 1 - mean |power/power_at_highest_load - load| over the
+	// sweep. A perfectly proportional system (power tracking load all
+	// the way to zero) scores 1; an always-on system scores poorly
+	// because it draws near-peak power at low load.
+	BaselineProp float64
+	ECLProp      float64
+}
+
+// Proportionality sweeps constant loads from 10 % to 90 % of capacity on
+// the non-indexed key-value workload.
+func Proportionality() (PropResult, error) {
+	var out PropResult
+	wl := func() workload.Workload { return workload.NewKV(false) }
+	capacity, err := sim.MeasureCapacity(wl(), 41)
+	if err != nil {
+		return out, err
+	}
+	const runLen = 30 * time.Second
+	run := func(gov sim.Governor, frac float64) (float64, error) {
+		res, err := sim.Run(sim.Options{
+			Workload: wl(),
+			Load:     loadprofile.Constant{Qps: capacity * frac, Len: runLen},
+			Governor: gov,
+			Prewarm:  gov == sim.GovernorECL,
+			Seed:     41,
+		})
+		if err != nil {
+			return 0, err
+		}
+		// Skip the first quarter (controller settling).
+		p := res.Rec.Series("power_rapl_w")
+		sum, n := 0.0, 0
+		for i, ts := range p.Times {
+			if ts >= runLen/4 {
+				sum += p.Values[i]
+				n++
+			}
+		}
+		return sum / float64(n), nil
+	}
+	fracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	for _, f := range fracs {
+		bw, err := run(sim.GovernorBaseline, f)
+		if err != nil {
+			return out, err
+		}
+		ew, err := run(sim.GovernorECL, f)
+		if err != nil {
+			return out, err
+		}
+		out.Points = append(out.Points, PropPoint{LoadFrac: f, BaselineW: bw, ECLW: ew})
+	}
+	score := func(get func(PropPoint) float64) float64 {
+		peak := get(out.Points[len(out.Points)-1])
+		if peak <= 0 {
+			return 0
+		}
+		dev := 0.0
+		for _, p := range out.Points {
+			d := get(p)/peak - p.LoadFrac
+			if d < 0 {
+				d = -d
+			}
+			dev += d
+		}
+		return 1 - dev/float64(len(out.Points))
+	}
+	out.BaselineProp = score(func(p PropPoint) float64 { return p.BaselineW })
+	out.ECLProp = score(func(p PropPoint) float64 { return p.ECLW })
+	return out, nil
+}
+
+// Render formats the proportionality sweep.
+func (r PropResult) Render() string {
+	t := Table{
+		Title:  "Energy proportionality sweep (kv non-indexed, constant loads)",
+		Header: []string{"load", "baseline W", "ECL W"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{pct(p.LoadFrac), f1(p.BaselineW), f1(p.ECLW)})
+	}
+	t.Note = "proportionality score: baseline " + f2(r.BaselineProp) + ", ECL " + f2(r.ECLProp) +
+		" (1 = power tracks load perfectly)"
+	return t.Render()
+}

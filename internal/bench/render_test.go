@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every hardware figure renders a complete, titled table.
+func TestHardwareFigureRenders(t *testing.T) {
+	outputs := map[string]string{
+		"Figure 4": Figure4().Render(),
+		"Figure 5": Figure5().Render(),
+		"Figure 6": Figure6().Render(),
+		"Figure 7": Figure7().Render(),
+		"Figure 8": Figure8().Render(),
+	}
+	for title, out := range outputs {
+		if !strings.Contains(out, title) {
+			t.Errorf("%s render missing its title:\n%s", title, out)
+		}
+		if strings.Count(out, "\n") < 4 {
+			t.Errorf("%s render suspiciously short:\n%s", title, out)
+		}
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := Table{
+		Title:  "t",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"xxxxxx", "y"}, {"1", "2"}},
+		Note:   "n",
+	}
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, two rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: the second column starts at the same offset in the
+	// header and all rows.
+	idx := strings.Index(lines[1], "long-column")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	if lines[3][idx] != 'y' || lines[4][idx] != '2' {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[5], "note: n") {
+		t.Errorf("note missing: %q", lines[5])
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if f1(3.14159) != "3.1" || f2(3.14159) != "3.14" || f0(3.7) != "4" {
+		t.Error("float helpers wrong")
+	}
+	if g3(123456789) != "1.23e+08" {
+		t.Errorf("g3 = %q", g3(123456789))
+	}
+	if pct(0.1234) != "12.3%" {
+		t.Errorf("pct = %q", pct(0.1234))
+	}
+}

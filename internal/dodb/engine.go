@@ -1,0 +1,475 @@
+// Package dodb implements the elastic data-oriented in-memory database
+// runtime of the paper's Section 3: data partitions with single-owner
+// access, an elastic worker pool pinned to (simulated) hardware threads,
+// hierarchical message passing, per-query latency tracking, and
+// utilization reporting toward the Energy-Control Loop.
+//
+// The engine is driven in discrete steps by the simulation: each step it
+// receives, per hardware thread, whether the thread's worker is active and
+// how many instructions it can retire (from the performance model under
+// the machine's effective configuration), processes messages accordingly,
+// and reports the activity the machine integrates into power and
+// performance counters.
+package dodb
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ecldb/internal/hw"
+	"ecldb/internal/msg"
+	"ecldb/internal/perfmodel"
+	"ecldb/internal/workload"
+)
+
+// Config configures the engine.
+type Config struct {
+	// Topo is the machine topology workers are pinned to.
+	Topo hw.Topology
+	// Workload drives data population and query generation.
+	Workload workload.Workload
+	// Partitions is the number of data partitions; 0 means one per
+	// hardware thread (the paper's 1:1 worker-partition ratio at the
+	// full configuration).
+	Partitions int
+	// BatchSize is the number of messages a worker processes per
+	// partition ownership; 0 means 64.
+	BatchSize int
+	// LatencyWindow is the sliding window of the latency tracker;
+	// 0 means one second.
+	LatencyWindow time.Duration
+	// StaticBinding disables the elasticity extension: each partition
+	// is served exclusively by its statically assigned hardware thread,
+	// as in the original data-oriented architecture. Used by the
+	// ablation benchmarks to demonstrate why elasticity is a
+	// prerequisite for worker shutdown.
+	StaticBinding bool
+	// NUMARouting admits queries at the home socket of their first
+	// target partition instead of a random socket, so single-partition
+	// queries never cross the interconnect. Models a NUMA-aware client
+	// connection router in front of the DBMS.
+	NUMARouting bool
+	// Seed makes query generation deterministic.
+	Seed int64
+}
+
+// query tracks one in-flight query.
+type query struct {
+	submitted time.Duration
+	remaining int
+	dropped   bool
+}
+
+// SocketStats is the per-socket outcome of one engine step.
+type SocketStats struct {
+	// BusyFrac is the fraction of the step each local thread spent on
+	// useful work (message processing / communication).
+	BusyFrac []float64
+	// UsedInstr is the number of instructions each local thread retired
+	// on useful work.
+	UsedInstr []float64
+	// MemBytes is the DRAM traffic of the socket during the step.
+	MemBytes float64
+	// Utilization is the socket's demand-relative utilization as
+	// reported to the socket-level ECL: work done relative to the
+	// active workers' capacity, or 1.0 if work is pending while no
+	// worker is active.
+	Utilization float64
+}
+
+// Engine is the database runtime.
+type Engine struct {
+	cfg       Config
+	topo      hw.Topology
+	wl        workload.Workload
+	rng       *rand.Rand
+	router    *msg.Router
+	parts     []workload.PartitionState
+	partHome  []int
+	latency   *LatencyTracker
+	loadCarry float64
+	// budgetDebt carries per-thread instruction overshoot into the next
+	// step: a worker finishing a message larger than its remaining
+	// budget pays the excess off before taking new work, so throughput
+	// matches the modeled capacity even when one message costs about a
+	// step's budget.
+	budgetDebt [][]float64
+	inFlight   map[*query]struct{}
+	completed  int64
+	submitted  int64
+	dropped    int64
+	lastUtil   []float64
+	// busySec/activeSec accumulate per-socket busy and active worker
+	// thread-seconds; their ratio over a window tells the ECL whether a
+	// measurement window ran at full tilt (profile scores must be
+	// full-load capacities).
+	busySec   []float64
+	activeSec []float64
+	// commMessages counts inter-socket message transfers.
+	commMessages int64
+}
+
+// New builds an engine, populating every partition's data.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("dodb: no workload")
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = cfg.Topo.TotalThreads()
+	}
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("dodb: invalid partition count %d", cfg.Partitions)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.LatencyWindow <= 0 {
+		cfg.LatencyWindow = time.Second
+	}
+	e := &Engine{
+		cfg:      cfg,
+		topo:     cfg.Topo,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		latency:  NewLatencyTracker(cfg.LatencyWindow),
+		inFlight: make(map[*query]struct{}),
+		lastUtil: make([]float64, cfg.Topo.Sockets),
+	}
+	e.budgetDebt = make([][]float64, cfg.Topo.Sockets)
+	for s := range e.budgetDebt {
+		e.budgetDebt[s] = make([]float64, cfg.Topo.ThreadsPerSocket())
+	}
+	e.busySec = make([]float64, cfg.Topo.Sockets)
+	e.activeSec = make([]float64, cfg.Topo.Sockets)
+	if err := e.install(cfg.Workload); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// install wires a workload: partition data, homes, and the message router.
+func (e *Engine) install(wl workload.Workload) error {
+	e.wl = wl
+	e.parts = make([]workload.PartitionState, e.cfg.Partitions)
+	e.partHome = make([]int, e.cfg.Partitions)
+	homes := make([][]int, e.topo.Sockets)
+	for p := 0; p < e.cfg.Partitions; p++ {
+		e.parts[p] = wl.NewPartition(p, e.rng)
+		s := p % e.topo.Sockets // round-robin partition placement
+		e.partHome[p] = s
+		homes[s] = append(homes[s], p)
+	}
+	router, err := msg.NewRouter(homes)
+	if err != nil {
+		return err
+	}
+	e.router = router
+	return nil
+}
+
+// Workload returns the current workload.
+func (e *Engine) Workload() workload.Workload { return e.wl }
+
+// SocketCharacteristics returns the hardware characteristics of the work
+// homed on one socket: per-socket when the workload differentiates (the
+// paper's heterogeneous-processor case), the global characteristics
+// otherwise.
+func (e *Engine) SocketCharacteristics(socket int) perfmodel.Characteristics {
+	if psw, ok := e.wl.(workload.PerSocketWorkload); ok {
+		return psw.SocketCharacteristics(socket)
+	}
+	return e.wl.Characteristics()
+}
+
+// Partitions returns the partition count.
+func (e *Engine) Partitions() int { return e.cfg.Partitions }
+
+// Latency returns the engine's latency tracker.
+func (e *Engine) Latency() *LatencyTracker { return e.latency }
+
+// CompletedQueries returns the lifetime completed query count.
+func (e *Engine) CompletedQueries() int64 { return e.completed }
+
+// SubmittedQueries returns the lifetime submitted query count.
+func (e *Engine) SubmittedQueries() int64 { return e.submitted }
+
+// DroppedQueries returns queries abandoned by a workload switch.
+func (e *Engine) DroppedQueries() int64 { return e.dropped }
+
+// InFlight returns the number of queries currently in the system.
+func (e *Engine) InFlight() int { return len(e.inFlight) }
+
+// PendingMessages returns undelivered messages across all hubs.
+func (e *Engine) PendingMessages() int { return e.router.PendingTotal() }
+
+// CommMessages returns the lifetime count of inter-socket transfers.
+func (e *Engine) CommMessages() int64 { return e.commMessages }
+
+// Utilization returns the socket utilization the last step reported.
+func (e *Engine) Utilization(socket int) float64 { return e.lastUtil[socket] }
+
+// BusySeconds returns the cumulative busy and active worker
+// thread-seconds of a socket. Differencing two readings tells how fully
+// utilized the socket's active workers were over a window.
+func (e *Engine) BusySeconds(socket int) (busy, active float64) {
+	return e.busySec[socket], e.activeSec[socket]
+}
+
+// SwitchWorkload replaces the workload at runtime (the paper's Section 6.3
+// workload-change experiment). Partition data is rebuilt; in-flight
+// queries of the old workload are dropped (counted in DroppedQueries).
+func (e *Engine) SwitchWorkload(wl workload.Workload) error {
+	for q := range e.inFlight {
+		q.dropped = true
+		delete(e.inFlight, q)
+		e.dropped++
+	}
+	return e.install(wl)
+}
+
+// OfferLoad submits load according to a query rate sustained over dt,
+// carrying fractional queries across calls so low rates are exact.
+func (e *Engine) OfferLoad(qps float64, dt time.Duration, now time.Duration) error {
+	if qps < 0 {
+		return fmt.Errorf("dodb: negative load %v", qps)
+	}
+	e.loadCarry += qps * dt.Seconds()
+	for e.loadCarry >= 1 {
+		e.loadCarry--
+		if err := e.SubmitQuery(now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SubmitQuery generates and routes one query.
+func (e *Engine) SubmitQuery(now time.Duration) error {
+	ops := e.wl.NewQuery(e.rng, e.cfg.Partitions)
+	if len(ops) == 0 {
+		return fmt.Errorf("dodb: workload %s generated an empty query", e.wl.Name())
+	}
+	q := &query{submitted: now, remaining: len(ops)}
+	e.inFlight[q] = struct{}{}
+	e.submitted++
+	// Client connection placement: random socket, or the first target
+	// partition's home under NUMA-aware routing.
+	origin := e.rng.Intn(e.topo.Sockets)
+	if e.cfg.NUMARouting {
+		origin = e.partHome[ops[0].Partition]
+	}
+	for _, op := range ops {
+		op := op
+		m := &msg.Message{
+			Partition: op.Partition,
+			Instr:     op.Instr,
+			Enqueued:  now,
+			Done: func(done time.Duration) {
+				if q.dropped {
+					return
+				}
+				q.remaining--
+				if q.remaining == 0 {
+					delete(e.inFlight, q)
+					e.completed++
+					e.latency.Record(done-q.submitted, done)
+				}
+			},
+		}
+		if op.Exec != nil {
+			st := e.parts[op.Partition]
+			exec := op.Exec
+			m.Exec = func() { exec(st) }
+		}
+		if err := e.router.Send(origin, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step runs the database for one step ending at now (the step covers
+// [now-dt, now)). active and budget give, per socket and local thread,
+// whether the worker is active and its instruction capacity for the step.
+// The returned stats feed the machine's power/counter integration and the
+// ECL's utilization input.
+func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64) []SocketStats {
+	nSock := e.topo.Sockets
+	tps := e.topo.ThreadsPerSocket()
+	stats := make([]SocketStats, nSock)
+	for s := 0; s < nSock; s++ {
+		stats[s].BusyFrac = make([]float64, tps)
+		stats[s].UsedInstr = make([]float64, tps)
+	}
+
+	// Communication endpoints first: they run on the first active
+	// thread of each socket and deliver remote messages.
+	for s := 0; s < nSock; s++ {
+		commThread := firstActive(active[s])
+		if commThread < 0 {
+			continue // socket asleep: outbound messages wait
+		}
+		rep, err := e.router.RunCommEndpoint(s)
+		if err != nil {
+			panic(err) // internal invariant: partitions are registered
+		}
+		e.commMessages += int64(rep.Messages)
+		if rep.Instr > 0 {
+			used := rep.Instr
+			if used > budget[s][commThread] {
+				used = budget[s][commThread]
+			}
+			budget[s][commThread] -= used
+			stats[s].UsedInstr[commThread] += rep.Instr
+			stats[s].MemBytes += rep.Bytes
+		}
+	}
+
+	// Workers drain partition queues within their budgets. Each
+	// ownership processes at most BatchSize messages, so partitions are
+	// served fairly; a worker may overshoot its budget by at most one
+	// message.
+	for s := 0; s < nSock; s++ {
+		bpi := e.SocketCharacteristics(s).BytesPerInstr
+		hub := e.router.Hub(s)
+		remainingBudget := budget[s]
+		origBudget := make([]float64, tps)
+		copy(origBudget, remainingBudget)
+		// Pay down debt from previous steps' overshoot.
+		for lt := 0; lt < tps; lt++ {
+			if d := e.budgetDebt[s][lt]; d > 0 {
+				pay := minF(d, remainingBudget[lt])
+				remainingBudget[lt] -= pay
+				e.budgetDebt[s][lt] -= pay
+			}
+		}
+		for {
+			progressed := false
+			for lt := 0; lt < tps; lt++ {
+				if !active[s][lt] || remainingBudget[lt] <= 0 {
+					continue
+				}
+				token := workerToken(s, lt)
+				part, ok := e.acquireFor(hub, s, lt)
+				if !ok {
+					continue
+				}
+				for n := 0; n < e.cfg.BatchSize && remainingBudget[lt] > 0; n++ {
+					batch, err := hub.Dequeue(token, part, 1)
+					if err != nil {
+						panic(err)
+					}
+					if len(batch) == 0 {
+						break
+					}
+					m := batch[0]
+					if m.Exec != nil {
+						m.Exec()
+					}
+					remainingBudget[lt] -= m.Instr
+					stats[s].UsedInstr[lt] += m.Instr
+					stats[s].MemBytes += m.Instr * bpi
+					if m.Done != nil {
+						m.Done(now)
+					}
+					progressed = true
+				}
+				if err := hub.Release(token, part); err != nil {
+					panic(err)
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		// Record fresh overshoot as debt, then busy fractions and
+		// utilization (debt paydown counts as busy time: the thread
+		// was finishing a message).
+		var usedSum, budgetSum float64
+		for lt := 0; lt < tps; lt++ {
+			if !active[s][lt] || origBudget[lt] <= 0 {
+				continue
+			}
+			if over := -remainingBudget[lt]; over > 0 {
+				e.budgetDebt[s][lt] += over
+			}
+			busyInstr := origBudget[lt] - maxF(remainingBudget[lt], 0)
+			frac := busyInstr / origBudget[lt]
+			if frac > 1 {
+				frac = 1
+			}
+			stats[s].BusyFrac[lt] = frac
+			usedSum += busyInstr
+			budgetSum += origBudget[lt]
+			e.busySec[s] += frac * dt.Seconds()
+			e.activeSec[s] += dt.Seconds()
+		}
+		switch {
+		case budgetSum > 0:
+			stats[s].Utilization = usedSum / budgetSum
+		case hub.Pending() > 0:
+			// Demand exists but no worker is awake: report full
+			// utilization so the ECL ramps up.
+			stats[s].Utilization = 1
+		default:
+			stats[s].Utilization = 0
+		}
+		e.lastUtil[s] = stats[s].Utilization
+	}
+	return stats
+}
+
+// acquireFor acquires the next serveable partition for a worker. Under
+// static binding (the non-elastic ablation) a worker may only serve its
+// own statically mapped partition.
+func (e *Engine) acquireFor(hub *msg.Hub, socket, lt int) (int, bool) {
+	token := workerToken(socket, lt)
+	if !e.cfg.StaticBinding {
+		return hub.Acquire(token)
+	}
+	global := e.topo.GlobalThread(socket, lt)
+	for _, p := range hub.Partitions() {
+		if e.boundThread(p) == global && hub.AcquireSpecific(token, p) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// boundThread returns the global hardware thread a partition is statically
+// mapped to in the non-elastic mode. With one partition per hardware
+// thread this is a bijection within the partition's home socket.
+func (e *Engine) boundThread(p int) int {
+	s := e.partHome[p]
+	tps := e.topo.ThreadsPerSocket()
+	return e.topo.GlobalThread(s, (p/e.topo.Sockets)%tps)
+}
+
+// workerToken derives a unique ownership token for a worker.
+func workerToken(socket, lt int) int { return socket*1024 + lt + 1 }
+
+func firstActive(active []bool) int {
+	for i, a := range active {
+		if a {
+			return i
+		}
+	}
+	return -1
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

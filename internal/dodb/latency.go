@@ -1,0 +1,136 @@
+package dodb
+
+import (
+	"sort"
+	"time"
+)
+
+// latencySample is one completed query.
+type latencySample struct {
+	at      time.Duration // completion time
+	latency time.Duration
+}
+
+// LatencyTracker keeps a sliding window of query latencies and derives the
+// metrics the system-level ECL consumes: the current average latency and
+// its trend (used to estimate the time until the latency limit is
+// violated, Section 5.2).
+type LatencyTracker struct {
+	window  time.Duration
+	samples []latencySample
+	head    int
+	total   int64 // lifetime completed queries
+
+	threshold time.Duration
+	overCount int64
+}
+
+// NewLatencyTracker creates a tracker with the given sliding window.
+func NewLatencyTracker(window time.Duration) *LatencyTracker {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &LatencyTracker{window: window}
+}
+
+// Record adds a completed query.
+func (lt *LatencyTracker) Record(latency, now time.Duration) {
+	lt.samples = append(lt.samples, latencySample{at: now, latency: latency})
+	lt.total++
+	if lt.threshold > 0 && latency > lt.threshold {
+		lt.overCount++
+	}
+	lt.evict(now)
+}
+
+// SetThreshold arms a lifetime counter of queries exceeding the given
+// latency (used to report limit violations in the evaluation).
+func (lt *LatencyTracker) SetThreshold(d time.Duration) { lt.threshold = d }
+
+// OverThreshold returns how many recorded queries exceeded the armed
+// threshold.
+func (lt *LatencyTracker) OverThreshold() int64 { return lt.overCount }
+
+// evict drops samples older than the window.
+func (lt *LatencyTracker) evict(now time.Duration) {
+	cutoff := now - lt.window
+	for lt.head < len(lt.samples) && lt.samples[lt.head].at < cutoff {
+		lt.head++
+	}
+	// Compact occasionally to bound memory.
+	if lt.head > 4096 && lt.head*2 > len(lt.samples) {
+		lt.samples = append([]latencySample(nil), lt.samples[lt.head:]...)
+		lt.head = 0
+	}
+}
+
+// Total returns the lifetime number of completed queries.
+func (lt *LatencyTracker) Total() int64 { return lt.total }
+
+// Count returns the number of samples currently in the window.
+func (lt *LatencyTracker) Count(now time.Duration) int {
+	lt.evict(now)
+	return len(lt.samples) - lt.head
+}
+
+// Average returns the mean latency over the window, or 0 with no samples.
+func (lt *LatencyTracker) Average(now time.Duration) time.Duration {
+	lt.evict(now)
+	n := len(lt.samples) - lt.head
+	if n == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range lt.samples[lt.head:] {
+		sum += s.latency
+	}
+	return sum / time.Duration(n)
+}
+
+// Percentile returns the p-quantile (0..1) latency over the window.
+func (lt *LatencyTracker) Percentile(now time.Duration, p float64) time.Duration {
+	lt.evict(now)
+	in := lt.samples[lt.head:]
+	if len(in) == 0 {
+		return 0
+	}
+	lats := make([]time.Duration, len(in))
+	for i, s := range in {
+		lats[i] = s.latency
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(p*float64(len(lats))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return lats[idx]
+}
+
+// Trend returns the latency slope in (latency seconds) per (wall second)
+// over the window, via least-squares regression. A positive slope means
+// latencies are rising toward the limit.
+func (lt *LatencyTracker) Trend(now time.Duration) float64 {
+	lt.evict(now)
+	in := lt.samples[lt.head:]
+	if len(in) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, s := range in {
+		x := s.at.Seconds()
+		y := s.latency.Seconds()
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(len(in))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

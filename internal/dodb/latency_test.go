@@ -1,0 +1,88 @@
+package dodb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyTrackerAverage(t *testing.T) {
+	lt := NewLatencyTracker(time.Second)
+	lt.Record(10*time.Millisecond, 0)
+	lt.Record(30*time.Millisecond, 100*time.Millisecond)
+	if got := lt.Average(100 * time.Millisecond); got != 20*time.Millisecond {
+		t.Errorf("Average = %v, want 20ms", got)
+	}
+	if lt.Total() != 2 {
+		t.Errorf("Total = %d", lt.Total())
+	}
+}
+
+func TestLatencyTrackerWindowEviction(t *testing.T) {
+	lt := NewLatencyTracker(time.Second)
+	lt.Record(100*time.Millisecond, 0)
+	lt.Record(10*time.Millisecond, 2*time.Second)
+	// The first sample is out of the window at t=2s.
+	if got := lt.Average(2 * time.Second); got != 10*time.Millisecond {
+		t.Errorf("Average = %v, want 10ms after eviction", got)
+	}
+	if got := lt.Count(2 * time.Second); got != 1 {
+		t.Errorf("Count = %d, want 1", got)
+	}
+	if lt.Total() != 2 {
+		t.Error("Total must be lifetime, not windowed")
+	}
+}
+
+func TestLatencyTrackerPercentile(t *testing.T) {
+	lt := NewLatencyTracker(time.Minute)
+	for i := 1; i <= 100; i++ {
+		lt.Record(time.Duration(i)*time.Millisecond, time.Second)
+	}
+	if got := lt.Percentile(time.Second, 0.5); got != 50*time.Millisecond {
+		t.Errorf("P50 = %v, want 50ms", got)
+	}
+	if got := lt.Percentile(time.Second, 0.99); got != 99*time.Millisecond {
+		t.Errorf("P99 = %v, want 99ms", got)
+	}
+}
+
+func TestLatencyTrackerTrend(t *testing.T) {
+	lt := NewLatencyTracker(time.Minute)
+	// Latency rising 10 ms per second.
+	for i := 0; i <= 10; i++ {
+		lt.Record(time.Duration(i)*10*time.Millisecond, time.Duration(i)*time.Second)
+	}
+	slope := lt.Trend(10 * time.Second)
+	if slope < 0.009 || slope > 0.011 {
+		t.Errorf("Trend = %v, want ~0.01", slope)
+	}
+	// Flat latency: zero slope.
+	flat := NewLatencyTracker(time.Minute)
+	for i := 0; i <= 10; i++ {
+		flat.Record(50*time.Millisecond, time.Duration(i)*time.Second)
+	}
+	if got := flat.Trend(10 * time.Second); got < -1e-9 || got > 1e-9 {
+		t.Errorf("flat Trend = %v, want 0", got)
+	}
+}
+
+func TestLatencyTrackerEmpty(t *testing.T) {
+	lt := NewLatencyTracker(0) // defaulted window
+	if lt.Average(0) != 0 || lt.Percentile(0, 0.5) != 0 || lt.Trend(0) != 0 {
+		t.Error("empty tracker should report zeros")
+	}
+}
+
+func TestLatencyTrackerCompaction(t *testing.T) {
+	lt := NewLatencyTracker(10 * time.Millisecond)
+	// Push enough samples to trigger internal compaction.
+	for i := 0; i < 20000; i++ {
+		lt.Record(time.Millisecond, time.Duration(i)*time.Millisecond)
+	}
+	if got := lt.Count(20000 * time.Millisecond); got > 11 {
+		t.Errorf("window holds %d samples, want <= 11", got)
+	}
+	if lt.Total() != 20000 {
+		t.Errorf("Total = %d", lt.Total())
+	}
+}

@@ -1,0 +1,34 @@
+package ecl
+
+import "ecldb/internal/hw"
+
+// Baseline is the paper's comparison governor (Section 6.1): all hardware
+// threads stay active with CPU- and OS-driven frequency control (energy-
+// efficient turbo under a balanced bias, automatic uncore scaling),
+// resembling a race-to-idle strategy. Because the data-oriented runtime's
+// message passing is polling-based, workers never sleep: the system is
+// always-on, which is exactly the energy problem the ECL attacks.
+type Baseline struct {
+	machine *hw.Machine
+}
+
+// NewBaseline constructs the baseline governor.
+func NewBaseline(m *hw.Machine) *Baseline { return &Baseline{machine: m} }
+
+// Start applies the always-on configuration and hands frequency control to
+// the hardware.
+func (b *Baseline) Start() {
+	b.machine.SetEPB(hw.EPBBalanced)
+	b.machine.SetAutoUFS(true)
+	topo := b.machine.Topology()
+	cfg := hw.AllMax(topo)
+	for s := 0; s < topo.Sockets; s++ {
+		if err := b.machine.Apply(s, cfg); err != nil {
+			panic(err) // AllMax is always valid for the topology
+		}
+	}
+}
+
+// Stop satisfies the governor interface; the baseline has no periodic
+// work.
+func (b *Baseline) Stop() {}

@@ -1,0 +1,165 @@
+package ecl
+
+import (
+	"time"
+
+	"ecldb/internal/hw"
+)
+
+// Meta-calibration (Section 5.1, Figure 12): hardware differs in how fast
+// configurations can be applied and how short a RAPL measurement window
+// may be before it becomes untrustworthy. On startup the ECL detects both
+// times empirically: it takes a reference measurement with a generous
+// window, then decreases the window (and the post-apply settle time) step
+// by step while recording the deviation from the reference. The paper
+// finds applying is accurate even at 1 ms while measuring needs ~100 ms.
+
+// Advancer steps the world (machine, clock, workload activity) forward by
+// dt. Calibration runs through it so the machine integrates power under a
+// realistic full load.
+type Advancer func(dt time.Duration)
+
+// CalPoint is one step of a calibration curve.
+type CalPoint struct {
+	// Window is the measurement window or post-apply settle time probed.
+	Window time.Duration
+	// Deviation is the worst relative deviation from the reference
+	// power observed at this window.
+	Deviation float64
+}
+
+// Calibration is the meta-calibration outcome.
+type Calibration struct {
+	// MeasureCurve holds deviation vs. measurement window (Figure 12's
+	// "measure" series), largest window first.
+	MeasureCurve []CalPoint
+	// ApplyCurve holds deviation vs. post-apply settle time (Figure
+	// 12's "apply" series), largest first.
+	ApplyCurve []CalPoint
+	// MeasureWindow is the chosen (smallest trustworthy) measurement
+	// window.
+	MeasureWindow time.Duration
+	// ApplySettle is the chosen post-apply settle time.
+	ApplySettle time.Duration
+}
+
+// calWindows are the probed measurement windows.
+var calWindows = []time.Duration{
+	time.Second, 500 * time.Millisecond, 200 * time.Millisecond,
+	100 * time.Millisecond, 50 * time.Millisecond, 20 * time.Millisecond,
+	10 * time.Millisecond, 5 * time.Millisecond, 2 * time.Millisecond,
+	time.Millisecond,
+}
+
+// calSettles are the probed post-apply settle times. The ladder stops at
+// 1 ms, like the paper's procedure: P-/C-state transitions cost only
+// microseconds, so applying is "even accurate when using a 1 ms interval".
+var calSettles = []time.Duration{
+	10 * time.Millisecond, 5 * time.Millisecond, 2 * time.Millisecond,
+	time.Millisecond,
+}
+
+// MetaCalibrate runs the startup calibration on one socket. tolerance is
+// the acceptable relative deviation (the reproduction uses 2 %). The
+// advance callback must keep the machine under load while time passes.
+func MetaCalibrate(m *hw.Machine, socket int, advance Advancer, tolerance float64) Calibration {
+	if tolerance <= 0 {
+		tolerance = 0.02
+	}
+	topo := m.Topology()
+	high := hw.AllMax(topo)
+	low := hw.NewConfiguration(topo)
+	low.Threads[0] = true
+
+	apply := func(cfg hw.Configuration, settle time.Duration) {
+		if err := m.Apply(socket, cfg); err != nil {
+			panic(err)
+		}
+		advance(settle)
+	}
+	measure := func(window time.Duration) float64 {
+		e0 := m.ReadEnergy(socket, hw.DomainPackage) + m.ReadEnergy(socket, hw.DomainDRAM)
+		advance(window)
+		e1 := m.ReadEnergy(socket, hw.DomainPackage) + m.ReadEnergy(socket, hw.DomainDRAM)
+		return (e1 - e0) / window.Seconds()
+	}
+
+	// Reference powers with generous times.
+	const genSettle = 20 * time.Millisecond
+	const refWindow = 2 * time.Second
+	apply(high, genSettle)
+	refHigh := measure(refWindow)
+	apply(low, genSettle)
+	refLow := measure(refWindow)
+
+	cal := Calibration{}
+
+	// Probe measurement windows (switching between the two
+	// configurations each trial, as the paper describes).
+	const trials = 6
+	for _, w := range calWindows {
+		worst := 0.0
+		for i := 0; i < trials; i++ {
+			cfg, ref := high, refHigh
+			if i%2 == 1 {
+				cfg, ref = low, refLow
+			}
+			apply(cfg, genSettle)
+			p := measure(w)
+			if dev := relDev(p, ref); dev > worst {
+				worst = dev
+			}
+		}
+		cal.MeasureCurve = append(cal.MeasureCurve, CalPoint{Window: w, Deviation: worst})
+	}
+	cal.MeasureWindow = chooseSmallest(cal.MeasureCurve, tolerance, 100*time.Millisecond)
+
+	// Probe post-apply settle times. The probe measures over a longer
+	// window than the chosen minimum so residual measurement noise does
+	// not mask the apply transient being calibrated.
+	applyProbe := 4 * cal.MeasureWindow
+	for _, settle := range calSettles {
+		worst := 0.0
+		for i := 0; i < trials; i++ {
+			cfg, ref := high, refHigh
+			if i%2 == 1 {
+				cfg, ref = low, refLow
+			}
+			apply(cfg, settle)
+			p := measure(applyProbe)
+			if dev := relDev(p, ref); dev > worst {
+				worst = dev
+			}
+		}
+		cal.ApplyCurve = append(cal.ApplyCurve, CalPoint{Window: settle, Deviation: worst})
+	}
+	cal.ApplySettle = chooseSmallest(cal.ApplyCurve, tolerance, time.Millisecond)
+	return cal
+}
+
+// chooseSmallest returns the smallest probed window whose deviation stays
+// within tolerance, falling back to the default when nothing qualifies.
+func chooseSmallest(curve []CalPoint, tolerance float64, fallback time.Duration) time.Duration {
+	best := time.Duration(0)
+	for _, pt := range curve {
+		if pt.Deviation > tolerance {
+			break // stepping further down only gets worse
+		}
+		best = pt.Window
+	}
+	if best == 0 {
+		return fallback
+	}
+	return best
+}
+
+func relDev(p, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	d := (p - ref) / ref
+	if d < 0 {
+		return -d
+	}
+	return d
+}

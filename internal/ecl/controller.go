@@ -1,0 +1,177 @@
+package ecl
+
+import (
+	"fmt"
+	"time"
+
+	"ecldb/internal/energy"
+	"ecldb/internal/hw"
+	"ecldb/internal/vtime"
+)
+
+// Options configures the full ECL hierarchy.
+type Options struct {
+	// Interval is the base control interval of the socket-level ECLs
+	// (the paper evaluates 1 Hz and 2 Hz).
+	Interval time.Duration
+	// LatencyLimit is the user-defined soft limit on the average query
+	// latency (the paper uses 100 ms).
+	LatencyLimit time.Duration
+	// Maintenance selects the profile maintenance strategy.
+	Maintenance MaintenanceMode
+	// Generator parameterizes the configuration generator.
+	Generator energy.GeneratorParams
+	// DisableRTI turns off race-to-idle (ablation).
+	DisableRTI bool
+	// MeasureWindow overrides the RAPL measurement window (0 = the
+	// meta-calibrated 100 ms).
+	MeasureWindow time.Duration
+	// PowerCapW, when positive, caps each socket's package+DRAM power
+	// (the machine-level budget is the cap times the socket count). The
+	// cap is a hard constraint enforced through the energy profile; see
+	// SocketParams.PowerCapW.
+	PowerCapW float64
+	// DesyncRTI staggers the socket-level loops' tick phases instead of
+	// ticking them together (ablation). With aligned phases the sockets'
+	// race-to-idle grids coincide, so their idle windows overlap and the
+	// machine reaches the deepest sleep state (uncore halted only when
+	// *all* sockets idle — Section 2.2); staggered phases destroy that
+	// overlap.
+	DesyncRTI bool
+}
+
+// DefaultOptions returns the paper's standard setting: 1 Hz loops, 100 ms
+// latency limit, multiplexed maintenance, fcore=4/funcore=3/cmax=256.
+func DefaultOptions() Options {
+	return Options{
+		Interval:     time.Second,
+		LatencyLimit: 100 * time.Millisecond,
+		Maintenance:  MaintainMultiplexed,
+		Generator:    energy.DefaultGeneratorParams(),
+	}
+}
+
+// Controller wires the hierarchy: one socket-level ECL per processor plus
+// the system-level ECL, ticking on a shared phase so the race-to-idle
+// grids of all sockets align (deepest sleep needs machine-wide idle).
+type Controller struct {
+	machine *hw.Machine
+	clock   *vtime.Clock
+	system  *SystemECL
+	sockets []*SocketECL
+	stats   RuntimeStats
+	opts    Options
+	tasks   []vtime.Task
+	started bool
+}
+
+// NewController builds the ECL hierarchy. Each socket gets its own energy
+// profile (the paper: workload characteristics can differ per processor).
+func NewController(m *hw.Machine, clock *vtime.Clock, lat LatencySource, stats RuntimeStats, opts Options) (*Controller, error) {
+	if m == nil || clock == nil || lat == nil || stats == nil {
+		return nil, fmt.Errorf("ecl: nil dependency")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	if opts.LatencyLimit <= 0 {
+		opts.LatencyLimit = 100 * time.Millisecond
+	}
+	if opts.Generator == (energy.GeneratorParams{}) {
+		opts.Generator = energy.DefaultGeneratorParams()
+	}
+	topo := m.Topology()
+	c := &Controller{
+		machine: m,
+		clock:   clock,
+		system:  NewSystemECL(opts.LatencyLimit, lat),
+		stats:   stats,
+		opts:    opts,
+	}
+	for s := 0; s < topo.Sockets; s++ {
+		cfgs, err := energy.Generate(topo, opts.Generator)
+		if err != nil {
+			return nil, err
+		}
+		sp := DefaultSocketParams(s)
+		sp.Interval = opts.Interval
+		sp.Maintenance = opts.Maintenance
+		sp.DisableRTI = opts.DisableRTI
+		sp.LatencyLimit = opts.LatencyLimit
+		sp.PowerCapW = opts.PowerCapW
+		if opts.MeasureWindow > 0 {
+			sp.MeasureWindow = opts.MeasureWindow
+		}
+		sock := NewSocketECL(sp, m, clock, energy.NewProfile(topo, cfgs))
+		sock.SetRuntimeStats(stats)
+		c.sockets = append(c.sockets, sock)
+	}
+	return c, nil
+}
+
+// Start pins the hardware into explicitly controlled mode (EPB
+// performance, automatic uncore scaling off — the paper's Section 2.3
+// recommendation) and begins ticking.
+func (c *Controller) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.machine.SetEPB(hw.EPBPerformance)
+	c.machine.SetAutoUFS(false)
+	if c.opts.DesyncRTI && len(c.sockets) > 1 {
+		// Ablation: each socket ticks on its own phase-shifted grid, with
+		// a fresh time-to-violation estimate per tick.
+		phase := c.opts.Interval / time.Duration(len(c.sockets))
+		for i := range c.sockets {
+			s, sock := i, c.sockets[i]
+			c.tasks = append(c.tasks, c.clock.EveryAt(
+				c.opts.Interval+time.Duration(s)*phase, c.opts.Interval, func() {
+					ttv := c.system.Tick(c.clock.Now())
+					sock.Tick(c.stats.Utilization(s), ttv)
+				}))
+		}
+		return
+	}
+	c.tasks = append(c.tasks, c.clock.Every(c.opts.Interval, c.tick))
+}
+
+// Stop cancels the control loop.
+func (c *Controller) Stop() {
+	if !c.started {
+		return
+	}
+	for _, t := range c.tasks {
+		t.Cancel()
+	}
+	c.tasks = nil
+	for _, s := range c.sockets {
+		s.cancelPending()
+	}
+	c.started = false
+}
+
+// tick runs one hierarchy iteration: the system-level ECL first (it
+// produces the time-to-violation), then every socket-level ECL.
+func (c *Controller) tick() {
+	ttv := c.system.Tick(c.clock.Now())
+	for s, sock := range c.sockets {
+		sock.Tick(c.stats.Utilization(s), ttv)
+	}
+}
+
+// System returns the system-level ECL.
+func (c *Controller) System() *SystemECL { return c.system }
+
+// Socket returns the socket-level ECL of one processor.
+func (c *Controller) Socket(i int) *SocketECL { return c.sockets[i] }
+
+// Sockets returns the number of socket-level ECLs.
+func (c *Controller) Sockets() int { return len(c.sockets) }
+
+// Overhead returns the modeled compute share of the ECL itself. The paper
+// measures ~2 % of one hardware thread per socket; the controller's work
+// (reading two counters, a profile lookup, scheduling a handful of
+// transitions) is negligible next to the control interval, so the
+// simulation charges this constant share.
+func (c *Controller) Overhead() float64 { return 0.02 }

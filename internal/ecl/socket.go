@@ -1,0 +1,715 @@
+package ecl
+
+import (
+	"time"
+
+	"ecldb/internal/energy"
+	"ecldb/internal/hw"
+	"ecldb/internal/vtime"
+)
+
+// MaintenanceMode selects the energy-profile maintenance strategy
+// (Section 5.1, evaluated in the paper's Figures 15/16).
+type MaintenanceMode int
+
+const (
+	// MaintainNone disables profile maintenance ("ECL static"): the
+	// profile is never updated after its initial state.
+	MaintainNone MaintenanceMode = iota
+	// MaintainOnline updates only the configurations the loop actually
+	// applies ("ECL online"). Zero overhead, but stale entries linger.
+	MaintainOnline
+	// MaintainMultiplexed additionally re-evaluates stale entries in
+	// dedicated measurement windows when drift is detected
+	// ("ECL multiplexed"; includes online adaptation).
+	MaintainMultiplexed
+)
+
+// String names the mode.
+func (m MaintenanceMode) String() string {
+	switch m {
+	case MaintainNone:
+		return "static"
+	case MaintainOnline:
+		return "online"
+	case MaintainMultiplexed:
+		return "multiplexed"
+	}
+	return "unknown"
+}
+
+// SocketParams configures one socket-level ECL.
+type SocketParams struct {
+	// Socket is the processor this loop rules.
+	Socket int
+	// Interval is the base control interval (the paper evaluates 1 Hz
+	// and 2 Hz).
+	Interval time.Duration
+	// Maintenance selects the profile maintenance strategy.
+	Maintenance MaintenanceMode
+	// MeasureWindow is the minimum window for a trustworthy RAPL
+	// measurement (from meta-calibration; the paper finds 100 ms).
+	MeasureWindow time.Duration
+	// AdaptShare bounds the fraction of an interval spent on
+	// multiplexed re-evaluation windows.
+	AdaptShare float64
+	// DriftThreshold is the relative efficiency drift that, sustained
+	// over consecutive online updates, triggers multiplexed
+	// re-adaptation of the whole profile.
+	DriftThreshold float64
+	// DisableRTI forces the loop to never race to idle (ablation).
+	DisableRTI bool
+	// LatencyLimit bounds race-to-idle stretches: idle windows longer
+	// than a fraction of the limit would violate it outright.
+	LatencyLimit time.Duration
+	// PowerCapW, when positive, caps the socket's package+DRAM power: the
+	// loop only applies profile configurations whose measured power stays
+	// at or below the cap, even when that violates the latency limit (the
+	// cap is a hard constraint, like a RAPL power limit, but enforced
+	// through the energy profile instead of hardware clamping — the loop
+	// keeps its configuration ranking instead of being throttled blindly).
+	// Enforcement needs evaluated entries; until the first measurements
+	// arrive the loop cannot honor the cap.
+	PowerCapW float64
+}
+
+// DefaultSocketParams returns the paper-calibrated parameters.
+func DefaultSocketParams(socket int) SocketParams {
+	return SocketParams{
+		Socket:         socket,
+		Interval:       time.Second,
+		Maintenance:    MaintainMultiplexed,
+		MeasureWindow:  100 * time.Millisecond,
+		AdaptShare:     0.4,
+		DriftThreshold: 0.15,
+		LatencyLimit:   100 * time.Millisecond,
+	}
+}
+
+// segment is one planned stretch of an interval: a configuration to apply
+// and, optionally, a profile entry to update from the stretch's
+// measurement.
+type segment struct {
+	cfg     hw.Configuration
+	measure *energy.Entry
+	adapt   bool // multiplexed re-evaluation window (re-queued on a failed gate)
+	// aggregate marks race-to-idle run slices: individually too short
+	// for a trustworthy RAPL measurement, they accumulate into one
+	// online measurement per interval (the paper's online adaptation
+	// keeps working while the loop races to idle).
+	aggregate bool
+	dur       time.Duration
+}
+
+// RuntimeStats is the DBMS-side feedback the socket-level ECL consumes:
+// demand-relative utilization plus cumulative busy/active thread-seconds
+// (for gating profile measurements on full-load windows).
+type RuntimeStats interface {
+	Utilization(socket int) float64
+	BusySeconds(socket int) (busy, active float64)
+}
+
+// SocketECL is the per-processor control loop (Section 5.1).
+type SocketECL struct {
+	p       SocketParams
+	machine *hw.Machine
+	clock   *vtime.Clock
+	profile *energy.Profile
+	stats   RuntimeStats
+	idleCfg hw.Configuration
+
+	// demand is the current performance-level demand in instructions/s.
+	demand float64
+	// lastCapacity is the performance level offered during the previous
+	// interval (duty-weighted across segments).
+	lastCapacity float64
+
+	// Measurement state of the currently running segment.
+	segStart     time.Duration
+	segEntry     *energy.Entry
+	segAdapt     bool
+	segAggregate bool
+	segPkgJ      float64
+	segDramJ     float64
+	segInstr     float64
+	segBusy      float64
+	segActive    float64
+	pendingOps   []vtime.Task
+
+	// Interval-level utilization bookkeeping.
+	tickBusy   float64
+	tickActive float64
+
+	// Aggregated online measurement across RTI run slices.
+	aggEntry           *energy.Entry
+	aggE, aggI, aggSec float64
+	aggBusy, aggActive float64
+
+	// Multiplexed adaptation queue and drift tracking.
+	adaptQueue    []*energy.Entry
+	adaptAttempts map[*energy.Entry]int
+	driftHits     int
+	// driftScore/driftPower accumulate measured-vs-stored ratios of
+	// drifting updates; on a confirmed workload change the stale
+	// profile is rescaled by their averages.
+	driftScore, driftPower []float64
+
+	// Telemetry and safety state.
+	lastRTIDuty   float64
+	lastRTICycles int
+	rtiActive     bool
+	adaptBusy     bool
+	lastUtil      float64
+	violTicks     int
+	ticks         int64
+}
+
+// NewSocketECL builds a socket-level loop over an existing profile. The
+// profile may be entirely unevaluated; the loop then starts conservatively
+// at the full configuration and (in multiplexed mode) measures its way to
+// a usable profile. stats may be nil, in which case measurement gating is
+// disabled (useful for synthetic full-load tests).
+func NewSocketECL(p SocketParams, m *hw.Machine, clock *vtime.Clock, profile *energy.Profile) *SocketECL {
+	if p.Interval <= 0 {
+		p.Interval = time.Second
+	}
+	if p.MeasureWindow <= 0 {
+		p.MeasureWindow = 100 * time.Millisecond
+	}
+	if p.AdaptShare <= 0 || p.AdaptShare > 0.8 {
+		p.AdaptShare = 0.4
+	}
+	if p.DriftThreshold <= 0 {
+		p.DriftThreshold = 0.15
+	}
+	if p.LatencyLimit <= 0 {
+		p.LatencyLimit = 100 * time.Millisecond
+	}
+	s := &SocketECL{
+		p:             p,
+		machine:       m,
+		clock:         clock,
+		profile:       profile,
+		idleCfg:       hw.NewConfiguration(m.Topology()),
+		adaptAttempts: make(map[*energy.Entry]int),
+	}
+	// Never-evaluated entries start on the adaptation queue.
+	s.adaptQueue = profile.Stale(0, time.Duration(1<<62))
+	return s
+}
+
+// SetRuntimeStats attaches the DBMS feedback used to gate profile
+// measurements on full-load windows.
+func (s *SocketECL) SetRuntimeStats(rs RuntimeStats) { s.stats = rs }
+
+// ResetAdaptation clears the multiplexed adaptation queue. Called after an
+// external profile establishment (e.g. the pre-run measurement sweep) so
+// the loop does not re-measure entries that are already fresh.
+func (s *SocketECL) ResetAdaptation() {
+	s.adaptQueue = nil
+	s.adaptAttempts = make(map[*energy.Entry]int)
+	s.driftHits = 0
+}
+
+// ReplaceProfile swaps in an externally provided profile (e.g. one
+// restored from disk for a recurring workload). Never-evaluated entries of
+// the new profile are queued for multiplexed evaluation; measurement state
+// referring to the old profile is dropped.
+func (s *SocketECL) ReplaceProfile(p *energy.Profile) {
+	s.profile = p
+	s.segEntry = nil
+	s.aggEntry = nil
+	s.adaptAttempts = make(map[*energy.Entry]int)
+	s.driftHits = 0
+	s.driftScore, s.driftPower = nil, nil
+	s.adaptQueue = p.Stale(s.clock.Now(), time.Duration(1<<62))
+}
+
+// Profile returns the loop's energy profile.
+func (s *SocketECL) Profile() *energy.Profile { return s.profile }
+
+// Demand returns the current performance-level demand (instr/s).
+func (s *SocketECL) Demand() float64 { return s.demand }
+
+// RTI reports whether the last interval used race-to-idle, with its duty
+// cycle and cycle count.
+func (s *SocketECL) RTI() (active bool, duty float64, cycles int) {
+	return s.rtiActive, s.lastRTIDuty, s.lastRTICycles
+}
+
+// AdaptPending returns the number of entries queued for multiplexed
+// re-evaluation.
+func (s *SocketECL) AdaptPending() int { return len(s.adaptQueue) }
+
+// Tick runs one control iteration: it closes the previous interval's
+// measurements, recomputes the performance demand from the reported
+// utilization and the system-level ECL's time-to-violation, and plans the
+// next interval (adaptation windows, then steady or race-to-idle
+// operation).
+//
+// The util argument is the runtime's instantaneous utilization signal;
+// when runtime stats are attached, the loop instead derives the
+// utilization over its whole past interval from the busy/active
+// thread-second counters — a single end-of-interval sample aliases with
+// race-to-idle switching and destabilizes the controller.
+func (s *SocketECL) Tick(util float64, ttv time.Duration) {
+	now := s.clock.Now()
+	s.ticks++
+	s.finishSegment(now)
+	s.flushAggregate(now)
+	s.cancelPending()
+
+	if s.stats != nil {
+		busy, active := s.stats.BusySeconds(s.p.Socket)
+		dBusy, dActive := busy-s.tickBusy, active-s.tickActive
+		s.tickBusy, s.tickActive = busy, active
+		if dActive > 0 {
+			util = dBusy / dActive
+		}
+		// dActive == 0: the socket slept all interval; keep the
+		// instantaneous signal (1.0 when work is pending).
+	}
+	s.lastUtil = util
+	if ttv == 0 {
+		s.violTicks++
+	} else {
+		s.violTicks = 0
+	}
+	s.updateDemand(util, ttv)
+
+	plan := s.plan(ttv)
+	s.execute(now, plan)
+}
+
+// updateDemand implements the utilization controller (Section 5.1): at
+// full utilization the demand grows exponentially (discovery), with
+// aggressiveness scaled by latency pressure; below full utilization the
+// demand is utilization times the offered performance level (formula 3).
+func (s *SocketECL) updateDemand(util float64, ttv time.Duration) {
+	maxScore := s.profile.MaxScore()
+	minDemand := maxScore / 256
+	if minDemand <= 0 {
+		minDemand = 1
+	}
+	base := s.lastCapacity
+	if base < minDemand {
+		base = minDemand
+	}
+	if util >= 0.98 {
+		// Cold start: with no offered capacity yet, begin at full
+		// performance and let formula (3) shrink the demand — the
+		// reactive analogue of race-to-idle. Ramping up from the bottom
+		// instead would violate the latency limit for many intervals.
+		if s.lastCapacity == 0 && maxScore > 0 {
+			s.demand = maxScore
+			return
+		}
+		switch {
+		case ttv == 0:
+			// Limit already violated: jump to the top.
+			s.demand = maxScore * 1.25
+		case ttv < 3*s.p.Interval:
+			s.demand = base * 4
+		case ttv < 10*s.p.Interval:
+			s.demand = base * 2.2
+		default:
+			s.demand = base * 1.6
+		}
+	} else {
+		next := util * base
+		// Clamp the decrease rate: one drained interval (e.g. right
+		// after a load spike passed) must not idle the socket outright.
+		if next < s.demand*0.5 {
+			next = s.demand * 0.5
+		}
+		s.demand = next
+	}
+	if maxScore > 0 && s.demand > maxScore*1.25 {
+		s.demand = maxScore * 1.25
+	}
+	if s.demand < 0 {
+		s.demand = 0
+	}
+}
+
+// provisionHeadroom is the factor by which the offered capacity exceeds
+// the measured demand. Without headroom the loop converges to exactly the
+// arrival rate and any standing backlog never drains; with ~10 % the
+// backlog drains, utilization settles near 0.9, and the discovery
+// trigger stays quiet — a stable fixed point.
+const provisionHeadroom = 1.1
+
+// plan builds the next interval: multiplexed adaptation windows first,
+// then either steady operation in the chosen configuration or race-to-idle
+// switching against the optimal-zone configuration.
+func (s *SocketECL) plan(ttv time.Duration) []segment {
+	interval := s.p.Interval
+	var plan []segment
+
+	// Safety valve: under a sustained latency violation at full
+	// utilization, stop trusting the (possibly stale) profile ranking
+	// and ramp up everything. The all-max stretch is itself a
+	// measurement, so the profile's top end corrects first.
+	if s.violTicks >= 3 && s.lastUtil >= 0.98 {
+		all := hw.AllMax(s.machine.Topology())
+		cfg, capacity := all, s.profile.MaxScore()
+		if s.p.PowerCapW > 0 {
+			// Under a power cap the ramp-up stops at the fastest
+			// configuration that fits: the cap outranks the latency limit.
+			if e := s.profile.ForPerformanceCapped(capacity*2, s.p.PowerCapW); e != nil {
+				cfg, capacity = e.Config, e.Score
+			}
+		}
+		s.rtiActive = false
+		s.lastRTIDuty = 1
+		s.lastCapacity = capacity
+		var meas *energy.Entry
+		if s.p.Maintenance != MaintainNone {
+			meas = s.profile.Lookup(cfg)
+		}
+		return []segment{{cfg: cfg, measure: meas, dur: interval}}
+	}
+
+	// Multiplexed adaptation windows. Each measurement is preceded by an
+	// idle accumulation slice so the window runs on batched backlog at
+	// full tilt — the paper's "leverages the RTI controller to simulate
+	// high load situations". Adaptation pauses under latency pressure
+	// and throttles with shrinking utilization headroom: stolen windows
+	// cannot be compensated when the system is already nearly full.
+	s.adaptBusy = false
+	if s.p.Maintenance == MaintainMultiplexed && len(s.adaptQueue) > 0 && ttv > 2*interval {
+		share := s.p.AdaptShare
+		if headroom := (1 - s.lastUtil) * 0.8; headroom < share {
+			share = headroom
+		}
+		budget := time.Duration(float64(interval) * share)
+		slot := 3 * s.p.MeasureWindow // 2x idle accumulation + window
+		for budget >= slot && len(s.adaptQueue) > 0 {
+			e := s.popMostRelevant()
+			plan = append(plan,
+				segment{cfg: s.idleCfg, dur: 2 * s.p.MeasureWindow},
+				segment{cfg: e.Config, measure: e, adapt: true, dur: s.p.MeasureWindow})
+			budget -= slot
+			s.adaptBusy = true
+		}
+	}
+	used := time.Duration(0)
+	for _, seg := range plan {
+		used += seg.dur
+	}
+	remaining := interval - used
+
+	// Provision for the whole interval's arrivals within the remaining
+	// time: adaptation windows (including their idle accumulation) must
+	// not silently shrink the offered capacity.
+	target := s.demand * provisionHeadroom
+	if remaining > 0 && remaining < interval {
+		target *= float64(interval) / float64(remaining)
+	}
+	entry := s.profile.ForPerformanceCapped(target, s.p.PowerCapW)
+	if entry == nil {
+		// Nothing evaluated yet: run everything at full throttle until
+		// the profile has substance.
+		plan = append(plan, segment{cfg: hw.AllMax(s.machine.Topology()), dur: remaining})
+		s.rtiActive = false
+		s.lastCapacity = 0
+		return plan
+	}
+	opt := s.profile.MostEfficientCapped(s.p.PowerCapW)
+
+	// Race-to-idle in the under-utilization zone (Section 4.3): switch
+	// between the optimal configuration and idle. Disabled under latency
+	// pressure, since long idle stretches hurt response times.
+	useRTI := !s.p.DisableRTI && opt != nil && target < opt.Score && ttv > 2*s.p.Interval
+	if useRTI {
+		duty := target / opt.Score
+		cycleLen := s.rtiCycleLen(remaining, ttv)
+		cycles := int(remaining / cycleLen)
+		if cycles < 1 {
+			cycles = 1
+		}
+		const minRun = 2 * time.Millisecond
+		for i := 0; i < cycles; i++ {
+			// Exact cycle boundaries so the plan covers the interval
+			// to the nanosecond.
+			start := remaining * time.Duration(i) / time.Duration(cycles)
+			end := remaining * time.Duration(i+1) / time.Duration(cycles)
+			cl := end - start
+			runSlice := time.Duration(duty * float64(cl))
+			if runSlice > 0 && runSlice < minRun {
+				runSlice = minRun
+			}
+			if runSlice > cl {
+				runSlice = cl
+			}
+			if runSlice > 0 {
+				// Run slices are online measurements of the optimal
+				// configuration: individually when long enough,
+				// otherwise aggregated over the interval.
+				var meas *energy.Entry
+				agg := false
+				if s.p.Maintenance != MaintainNone {
+					meas = opt
+					agg = runSlice < s.p.MeasureWindow
+				}
+				plan = append(plan, segment{cfg: opt.Config, measure: meas, aggregate: agg, dur: runSlice})
+			}
+			if idleSlice := cl - runSlice; idleSlice > 0 {
+				var meas *energy.Entry
+				if s.p.Maintenance != MaintainNone && idleSlice >= s.p.MeasureWindow {
+					meas = s.profile.Idle()
+				}
+				plan = append(plan, segment{cfg: s.idleCfg, measure: meas, dur: idleSlice})
+			}
+		}
+		s.rtiActive = true
+		s.lastRTIDuty = duty
+		s.lastRTICycles = cycles
+		s.lastCapacity = duty * opt.Score
+		return plan
+	}
+
+	// Steady operation in the chosen configuration; the whole stretch is
+	// an online measurement.
+	var meas *energy.Entry
+	if s.p.Maintenance != MaintainNone && remaining >= s.p.MeasureWindow {
+		meas = entry
+	}
+	plan = append(plan, segment{cfg: entry.Config, measure: meas, dur: remaining})
+	s.rtiActive = false
+	s.lastRTIDuty = 1
+	s.lastRTICycles = 0
+	s.lastCapacity = entry.Score
+	return plan
+}
+
+// rtiCycleLen chooses the RTI switching period: short cycles (down to the
+// paper's ~10-20 ms, up to 50 cycles per interval) under latency pressure,
+// longer cycles when there is headroom. All socket-level ECLs share the
+// same tick phase and the same (global) time-to-violation input, so their
+// cycle grids align and idle windows synchronize across sockets — a
+// prerequisite for the machine-wide deepest sleep state.
+func (s *SocketECL) rtiCycleLen(remaining, ttv time.Duration) time.Duration {
+	min := remaining / 50
+	if min < 10*time.Millisecond {
+		min = 10 * time.Millisecond
+	}
+	// An idle stretch directly adds to query latency, so the cycle must
+	// stay well below the latency limit regardless of headroom.
+	max := remaining / 4
+	if lim := s.p.LatencyLimit / 3; max > lim {
+		max = lim
+	}
+	if max < min {
+		max = min
+	}
+	var want time.Duration
+	if ttv == NoViolation {
+		want = max
+	} else {
+		want = ttv / 10
+	}
+	if want < min {
+		want = min
+	}
+	if want > max {
+		want = max
+	}
+	return want
+}
+
+// execute schedules the plan's configuration transitions on the clock.
+func (s *SocketECL) execute(now time.Duration, plan []segment) {
+	t := now
+	for i, seg := range plan {
+		seg := seg
+		if i == 0 {
+			s.beginSegment(now, seg)
+		} else {
+			at := t - now
+			s.pendingOps = append(s.pendingOps, s.clock.After(at, func() {
+				s.finishSegment(s.clock.Now())
+				s.beginSegment(s.clock.Now(), seg)
+			}))
+		}
+		t += seg.dur
+	}
+}
+
+// beginSegment applies a segment's configuration and snapshots counters.
+func (s *SocketECL) beginSegment(now time.Duration, seg segment) {
+	if err := s.machine.Apply(s.p.Socket, seg.cfg); err != nil {
+		panic(err) // profile configurations are validated at generation
+	}
+	s.segStart = now
+	s.segEntry = seg.measure
+	s.segAdapt = seg.adapt
+	s.segAggregate = seg.aggregate
+	s.segPkgJ = s.machine.ReadEnergy(s.p.Socket, hw.DomainPackage)
+	s.segDramJ = s.machine.ReadEnergy(s.p.Socket, hw.DomainDRAM)
+	s.segInstr = s.machine.SocketInstructions(s.p.Socket)
+	if s.stats != nil {
+		s.segBusy, s.segActive = s.stats.BusySeconds(s.p.Socket)
+	}
+}
+
+// finishSegment closes the running segment, updating the profile when the
+// segment was a measurement (online adaptation). A measurement only
+// counts if the socket's workers ran at full tilt during the window — the
+// performance score is the configuration's *capacity*, and instructions
+// retired under partial load would corrupt it. Sustained drift of the
+// measured efficiency marks the whole profile stale for multiplexed
+// re-adaptation.
+func (s *SocketECL) finishSegment(now time.Duration) {
+	entry := s.segEntry
+	adapt := s.segAdapt
+	aggregate := s.segAggregate
+	s.segEntry = nil
+	s.segAdapt = false
+	s.segAggregate = false
+	if entry == nil || s.p.Maintenance == MaintainNone {
+		return
+	}
+	dt := (now - s.segStart).Seconds()
+	if dt <= 0 {
+		return
+	}
+	dE := (s.machine.ReadEnergy(s.p.Socket, hw.DomainPackage) - s.segPkgJ) +
+		(s.machine.ReadEnergy(s.p.Socket, hw.DomainDRAM) - s.segDramJ)
+	dI := s.machine.SocketInstructions(s.p.Socket) - s.segInstr
+	var dBusy, dActive float64
+	if s.stats != nil {
+		busy, active := s.stats.BusySeconds(s.p.Socket)
+		dBusy, dActive = busy-s.segBusy, active-s.segActive
+	}
+	if aggregate {
+		// RTI run slice: too short alone; accumulate toward one online
+		// measurement per interval.
+		if s.aggEntry != entry {
+			s.flushAggregate(now)
+			s.aggEntry = entry
+		}
+		s.aggE += dE
+		s.aggI += dI
+		s.aggSec += dt
+		s.aggBusy += dBusy
+		s.aggActive += dActive
+		return
+	}
+	if s.stats != nil && !entry.Config.Idle() {
+		if dActive <= 0 || dBusy/dActive < 0.85 {
+			// Partial-load window: unusable as a capacity measurement.
+			if adapt && s.adaptAttempts[entry] < 2 {
+				s.adaptAttempts[entry]++
+				s.adaptQueue = append(s.adaptQueue, entry)
+			}
+			return
+		}
+	}
+	delete(s.adaptAttempts, entry)
+	s.record(entry, dE, dI, dt, now)
+}
+
+// flushAggregate finalizes the accumulated RTI-slice measurement, if it
+// amounts to a trustworthy window.
+func (s *SocketECL) flushAggregate(now time.Duration) {
+	entry := s.aggEntry
+	dE, dI, sec := s.aggE, s.aggI, s.aggSec
+	busy, active := s.aggBusy, s.aggActive
+	s.aggEntry = nil
+	s.aggE, s.aggI, s.aggSec, s.aggBusy, s.aggActive = 0, 0, 0, 0, 0
+	if entry == nil || sec < s.p.MeasureWindow.Seconds() {
+		return
+	}
+	if s.stats != nil && (active <= 0 || busy/active < 0.85) {
+		// The run slices were not fully busy: the backlog drained
+		// early, so the instruction rate understates capacity.
+		return
+	}
+	s.record(entry, dE, dI, sec, now)
+}
+
+// record updates the profile with a completed measurement and runs the
+// drift-triggered re-adaptation policy: sustained drift means the workload
+// changed, so the stale profile is rescaled by the observed measurement
+// ratios (fresh and stale scores are otherwise in incompatible units), and
+// in multiplexed mode everything is queued for re-evaluation.
+func (s *SocketECL) record(entry *energy.Entry, dE, dI, sec float64, now time.Duration) {
+	if dE < 0 || dI < 0 || sec <= 0 {
+		return
+	}
+	oldScore, oldPower := entry.Score, entry.PowerW
+	wasEvaluated := entry.Evaluated
+	power, score := dE/sec, dI/sec
+	drift, err := s.profile.Update(entry.Config, power, score, now)
+	if err != nil {
+		return
+	}
+	if s.p.Maintenance == MaintainNone {
+		return
+	}
+	if drift > s.p.DriftThreshold {
+		s.driftHits++
+		if wasEvaluated && oldScore > 0 && oldPower > 0 {
+			s.driftScore = append(s.driftScore, score/oldScore)
+			s.driftPower = append(s.driftPower, power/oldPower)
+		}
+	} else if s.driftHits > 0 {
+		s.driftHits--
+	}
+	if s.driftHits < 2 {
+		return
+	}
+	// Confirmed workload change: rescale entries not measured recently,
+	// then (multiplexed only) re-measure everything.
+	if rs, rp := avgRatio(s.driftScore), avgRatio(s.driftPower); rs > 0 {
+		s.profile.RescaleStale(now, 2*s.p.Interval, rs, rp)
+	}
+	s.driftScore, s.driftPower = nil, nil
+	s.driftHits = 0
+	if s.p.Maintenance == MaintainMultiplexed && len(s.adaptQueue) == 0 {
+		s.adaptQueue = s.profile.Stale(now, 2*s.p.Interval)
+	}
+}
+
+// avgRatio averages ratio samples, returning 0 for none.
+func avgRatio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// popMostRelevant removes and returns the queued entry whose (stale) score
+// lies closest to the current demand: the configurations the loop is about
+// to rely on refresh first, so the system behaves well within seconds of a
+// workload change while the full profile refresh trickles on — the
+// "requires more time, but finds a slightly more energy-efficient
+// configuration" behaviour of the paper's Figure 15.
+func (s *SocketECL) popMostRelevant() *energy.Entry {
+	best, bestDist := 0, -1.0
+	for i, e := range s.adaptQueue {
+		d := e.Score - s.demand
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	e := s.adaptQueue[best]
+	s.adaptQueue = append(s.adaptQueue[:best], s.adaptQueue[best+1:]...)
+	return e
+}
+
+// cancelPending cancels transitions scheduled by the previous tick.
+func (s *SocketECL) cancelPending() {
+	for _, t := range s.pendingOps {
+		t.Cancel()
+	}
+	s.pendingOps = s.pendingOps[:0]
+}

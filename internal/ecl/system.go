@@ -1,0 +1,87 @@
+// Package ecl implements the paper's Energy-Control Loop (Section 5): a
+// hierarchical, reactive control loop integrated into the data-oriented
+// DBMS runtime.
+//
+// One socket-level ECL per processor maintains a workload-dependent energy
+// profile, detects the socket's performance demand from worker
+// utilization, applies the most energy-efficient hardware configuration
+// satisfying the demand, covers the under-utilization zone by race-to-idle
+// switching, and keeps the profile fresh through online and multiplexed
+// adaptation. A single system-level ECL monitors the average query latency
+// against a user-defined soft limit and broadcasts the estimated time
+// until violation, which modulates the socket-level ECLs' discovery
+// aggressiveness and race-to-idle usage.
+package ecl
+
+import (
+	"math"
+	"time"
+)
+
+// NoViolation is the time-to-violation value meaning "latency is flat or
+// falling; no violation in sight".
+const NoViolation = time.Duration(math.MaxInt64)
+
+// LatencySource provides the globally observable query latency metrics
+// (implemented by the DBMS runtime's latency tracker).
+type LatencySource interface {
+	// Average returns the mean query latency over the sliding window.
+	Average(now time.Duration) time.Duration
+	// Trend returns the latency slope in seconds per second.
+	Trend(now time.Duration) float64
+	// Count returns the number of queries in the window.
+	Count(now time.Duration) int
+}
+
+// SystemECL is the system-level control loop (Section 5.2). It owns no
+// hardware; it only turns the latency signal into the time-to-violation
+// estimate the socket-level ECLs consume.
+type SystemECL struct {
+	// Limit is the user-defined maximum average query latency, treated
+	// as a soft constraint.
+	Limit time.Duration
+	// Source provides latency observations.
+	Source LatencySource
+
+	lastAvg time.Duration
+	lastTTV time.Duration
+}
+
+// NewSystemECL constructs the system-level ECL.
+func NewSystemECL(limit time.Duration, src LatencySource) *SystemECL {
+	return &SystemECL{Limit: limit, Source: src, lastTTV: NoViolation}
+}
+
+// Tick observes the current latency and returns the estimated time until
+// the latency limit is violated: zero if the limit is already violated,
+// NoViolation if latency is flat or falling below the limit.
+func (sys *SystemECL) Tick(now time.Duration) time.Duration {
+	avg := sys.Source.Average(now)
+	sys.lastAvg = avg
+	if sys.Source.Count(now) == 0 {
+		sys.lastTTV = NoViolation
+		return sys.lastTTV
+	}
+	if avg >= sys.Limit {
+		sys.lastTTV = 0
+		return 0
+	}
+	slope := sys.Source.Trend(now) // latency seconds per second
+	if slope <= 1e-9 {
+		sys.lastTTV = NoViolation
+		return sys.lastTTV
+	}
+	secs := (sys.Limit - avg).Seconds() / slope
+	if secs > 1e6 {
+		sys.lastTTV = NoViolation
+		return sys.lastTTV
+	}
+	sys.lastTTV = time.Duration(secs * float64(time.Second))
+	return sys.lastTTV
+}
+
+// LastAverage returns the latency observed at the most recent Tick.
+func (sys *SystemECL) LastAverage() time.Duration { return sys.lastAvg }
+
+// LastTimeToViolation returns the most recent estimate.
+func (sys *SystemECL) LastTimeToViolation() time.Duration { return sys.lastTTV }

@@ -1,0 +1,69 @@
+package energy
+
+import (
+	"time"
+
+	"ecldb/internal/hw"
+	"ecldb/internal/perfmodel"
+)
+
+// EvaluateModel fills a profile analytically from the machine's power and
+// performance models, assuming every active thread runs at full capacity
+// on the given workload. The running system never uses this path — the
+// socket-level ECL measures entries through RAPL and the instruction
+// counters — but profile figures (9, 10, 17-20) and tests use it to render
+// complete profiles cheaply.
+func EvaluateModel(p *Profile, topo hw.Topology, pp hw.PowerParams, ch perfmodel.Characteristics, now time.Duration) error {
+	n := topo.ThreadsPerSocket()
+	for _, e := range p.Entries() {
+		cfg := e.Config
+		if cfg.Idle() {
+			// The idle configuration's power assumes the whole machine
+			// idles (uncore halted); score is zero by definition.
+			pkg, dram := pp.SocketPowerW(topo, 0, cfg, hw.SocketActivity{}, true, 0)
+			if _, err := p.Update(cfg, pkg+dram, 0, now); err != nil {
+				return err
+			}
+			continue
+		}
+		cap_ := perfmodel.SocketCapacity(topo, cfg, ch, 1)
+		act := hw.SocketActivity{
+			Busy:     make([]float64, n),
+			MemGBs:   cap_.MemGBsAtFull,
+			DynScale: cap_.DynScale,
+		}
+		for i, r := range cap_.PerThread {
+			if r > 0 {
+				act.Busy[i] = 1
+			}
+		}
+		pkg, dram := pp.SocketPowerW(topo, 0, cfg, act, false, hw.BandwidthCapGBs(cfg.UncoreMHz))
+		if pkg > pp.TDPWatts && pp.TDPWatts > 0 {
+			pkg = pp.TDPWatts // sustained operation clamps to TDP
+		}
+		if _, err := p.Update(cfg, pkg+dram, cap_.Aggregate, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RTIEfficiency returns the energy efficiency of emulating the demanded
+// performance level by race-to-idle switching between the given
+// configuration entry and idle mode (the paper's "ECL RTI" line): the
+// socket runs the configuration for a duty fraction of the time and
+// sleeps for the rest.
+func RTIEfficiency(run *Entry, idlePowerW, demand float64) float64 {
+	if run == nil || !run.Evaluated || run.Score <= 0 || demand <= 0 {
+		return 0
+	}
+	duty := demand / run.Score
+	if duty > 1 {
+		duty = 1
+	}
+	power := duty*run.PowerW + (1-duty)*idlePowerW
+	if power <= 0 {
+		return 0
+	}
+	return duty * run.Score / power
+}

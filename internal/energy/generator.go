@@ -1,0 +1,238 @@
+// Package energy implements the paper's energy profiles (Section 4): sets
+// of per-socket hardware configurations annotated at runtime with measured
+// power, performance score (instructions retired per second), and energy
+// efficiency. The profile's skyline answers the socket-level ECL's central
+// question — "what is the most energy-efficient configuration that still
+// delivers performance level p?" — and its maximum-efficiency entry splits
+// the configuration space into the under-utilization, optimal, and
+// over-utilization ruling zones (Section 4.3).
+package energy
+
+import (
+	"fmt"
+
+	"ecldb/internal/hw"
+)
+
+// GeneratorParams controls the configuration generator (Section 4.2).
+type GeneratorParams struct {
+	// FCore is the number of distinct core frequencies, always
+	// including the lowest, the highest non-turbo, and the turbo
+	// frequency (for FCore >= 3).
+	FCore int
+	// FUncore is the number of distinct uncore frequencies, spanning
+	// the full uncore range.
+	FUncore int
+	// CoreMixed enables configurations where active cores run at
+	// different frequencies. Off means all active cores share a clock.
+	CoreMixed bool
+	// CMax caps the number of generated configurations. If the raw
+	// count exceeds it, hardware threads are aggregated to groups
+	// (first HyperThread siblings, then pairs of cores, ...) until the
+	// profile fits, at the cost of granularity.
+	CMax int
+}
+
+// DefaultGeneratorParams returns the setting the paper uses for its main
+// experiments (Figures 9a and 10): fcore=4, funcore=3, mixed off,
+// cmax=256, which yields 145 configurations on the 2x12x2 topology
+// (144 plus the idle configuration).
+func DefaultGeneratorParams() GeneratorParams {
+	return GeneratorParams{FCore: 4, FUncore: 3, CoreMixed: false, CMax: 256}
+}
+
+// Validate reports whether the parameters are usable.
+func (g GeneratorParams) Validate() error {
+	if g.FCore < 1 || g.FUncore < 1 {
+		return fmt.Errorf("energy: FCore and FUncore must be >= 1, got %d/%d", g.FCore, g.FUncore)
+	}
+	if g.CMax < 2 {
+		return fmt.Errorf("energy: CMax must be >= 2, got %d", g.CMax)
+	}
+	return nil
+}
+
+// CoreFreqLadder returns n core frequencies: n-1 evenly spaced values over
+// the non-turbo P-state range plus the turbo frequency (the paper's ladder
+// includes "the lowest, highest, and turbo frequency").
+func CoreFreqLadder(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{hw.MinCoreMHz}
+	}
+	if n == 2 {
+		return []int{hw.MinCoreMHz, hw.TurboMHz}
+	}
+	out := spaced(hw.MinCoreMHz, hw.MaxCoreMHz, n-1)
+	return append(out, hw.TurboMHz)
+}
+
+// UncoreFreqLadder returns n uncore frequencies evenly spanning the uncore
+// range.
+func UncoreFreqLadder(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{hw.MinUncoreMHz}
+	}
+	return spaced(hw.MinUncoreMHz, hw.MaxUncoreMHz, n)
+}
+
+// spaced returns n values evenly spread over [lo, hi], rounded to the
+// platform frequency step, first value lo and last value hi.
+func spaced(lo, hi, n int) []int {
+	if n == 1 {
+		return []int{lo}
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := lo + (hi-lo)*i/(n-1)
+		out[i] = (v / hw.FreqStepMHz) * hw.FreqStepMHz
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Generate produces the configuration set for one socket of the topology.
+// The result always contains the idle configuration (all threads off) as
+// its first element. Unit grouping is applied automatically to respect
+// CMax (the paper's example: 24 threads x 4 core freqs x 3 uncore freqs =
+// 288 > 256, so HyperThread siblings are fused, giving 144+1).
+func Generate(topo hw.Topology, p GeneratorParams) ([]hw.Configuration, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	coreFreqs := CoreFreqLadder(p.FCore)
+	uncFreqs := UncoreFreqLadder(p.FUncore)
+
+	// Grow the unit size (threads per activation unit) until the count
+	// fits within CMax. Unit sizes walk thread -> HT-sibling pair ->
+	// 2-core group -> 3-core group ... Units always contain whole cores
+	// beyond size 1 so per-core clocks stay well defined.
+	for _, unitThreads := range unitSizes(topo) {
+		if p.CoreMixed && unitThreads < topo.ThreadsPerCore {
+			// Siblings share a clock, so mixed assignments need
+			// whole-core units.
+			continue
+		}
+		n := countConfigs(topo, p, unitThreads, len(coreFreqs), len(uncFreqs))
+		if n > p.CMax-1 { // reserve one slot for idle
+			continue
+		}
+		cfgs := enumerate(topo, p, unitThreads, coreFreqs, uncFreqs)
+		out := make([]hw.Configuration, 0, len(cfgs)+1)
+		out = append(out, hw.NewConfiguration(topo))
+		out = append(out, cfgs...)
+		return out, nil
+	}
+	return nil, fmt.Errorf("energy: CMax=%d too small even at coarsest granularity", p.CMax)
+}
+
+// unitSizes lists the candidate activation-unit sizes in threads, finest
+// first: single thread, one core (all siblings), then multiples of cores.
+func unitSizes(topo hw.Topology) []int {
+	sizes := []int{1}
+	for cores := 1; cores <= topo.CoresPerSocket; cores++ {
+		if topo.CoresPerSocket%cores != 0 {
+			continue
+		}
+		sizes = append(sizes, cores*topo.ThreadsPerCore)
+	}
+	return sizes
+}
+
+// countConfigs computes how many configurations enumerate would emit.
+func countConfigs(topo hw.Topology, p GeneratorParams, unitThreads, nCore, nUnc int) int {
+	units := topo.ThreadsPerSocket() / unitThreads
+	if !p.CoreMixed {
+		return units * nCore * nUnc
+	}
+	// Mixed clocks: for k active units, the distinct assignments are
+	// the multisets of size (active core-bearing units) over nCore
+	// frequencies. Units smaller than a core cannot mix clocks within
+	// the core, so mixing granularity is per unit-of-cores.
+	total := 0
+	for k := 1; k <= units; k++ {
+		total += multisets(k, nCore)
+	}
+	return total * nUnc
+}
+
+// multisets returns C(k+n-1, n-1): the number of size-k multisets over n
+// items.
+func multisets(k, n int) int {
+	// Compute the binomial coefficient iteratively.
+	num, den := 1, 1
+	for i := 1; i <= n-1; i++ {
+		num *= k + i
+		den *= i
+	}
+	return num / den
+}
+
+// enumerate emits the configuration set at the given unit granularity.
+func enumerate(topo hw.Topology, p GeneratorParams, unitThreads int, coreFreqs, uncFreqs []int) []hw.Configuration {
+	units := topo.ThreadsPerSocket() / unitThreads
+	var out []hw.Configuration
+	for k := 1; k <= units; k++ {
+		var assignments [][]int // frequency per active unit
+		if p.CoreMixed {
+			assignments = freqMultisets(k, coreFreqs)
+		} else {
+			for _, f := range coreFreqs {
+				a := make([]int, k)
+				for i := range a {
+					a[i] = f
+				}
+				assignments = append(assignments, a)
+			}
+		}
+		for _, assign := range assignments {
+			for _, unc := range uncFreqs {
+				out = append(out, build(topo, unitThreads, assign, unc))
+			}
+		}
+	}
+	return out
+}
+
+// freqMultisets enumerates non-decreasing frequency assignments of length
+// k over the ladder (multisets, exploiting core homogeneity).
+func freqMultisets(k int, ladder []int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < len(ladder); i++ {
+			cur = append(cur, ladder[i])
+			rec(i)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// build materializes a configuration that activates the first k units and
+// applies the per-unit frequency assignment. Units are filled in thread
+// order, so unit granularity >= ThreadsPerCore activates sibling pairs
+// together (matching the paper's HT-group aggregation).
+func build(topo hw.Topology, unitThreads int, assign []int, uncMHz int) hw.Configuration {
+	c := hw.NewConfiguration(topo)
+	c.UncoreMHz = uncMHz
+	for u, f := range assign {
+		for t := 0; t < unitThreads; t++ {
+			lt := u*unitThreads + t
+			c.Threads[lt] = true
+			c.CoreMHz[topo.CoreOfLocal(lt)] = f
+		}
+	}
+	return c
+}

@@ -1,0 +1,179 @@
+package energy
+
+import (
+	"testing"
+
+	"ecldb/internal/hw"
+)
+
+var topo = hw.HaswellEP()
+
+func TestCoreFreqLadderAnchors(t *testing.T) {
+	l := CoreFreqLadder(4)
+	if len(l) != 4 {
+		t.Fatalf("ladder length = %d, want 4", len(l))
+	}
+	if l[0] != hw.MinCoreMHz {
+		t.Errorf("first = %d, want lowest %d", l[0], hw.MinCoreMHz)
+	}
+	if l[2] != hw.MaxCoreMHz {
+		t.Errorf("third = %d, want highest non-turbo %d", l[2], hw.MaxCoreMHz)
+	}
+	if l[3] != hw.TurboMHz {
+		t.Errorf("last = %d, want turbo %d", l[3], hw.TurboMHz)
+	}
+	if len(CoreFreqLadder(7)) != 7 {
+		t.Error("fcore=7 ladder should have 7 entries")
+	}
+	if got := CoreFreqLadder(1); len(got) != 1 || got[0] != hw.MinCoreMHz {
+		t.Errorf("fcore=1 ladder = %v", got)
+	}
+}
+
+func TestUncoreFreqLadderAnchors(t *testing.T) {
+	l := UncoreFreqLadder(3)
+	want := []int{1200, 2100, 3000}
+	if len(l) != 3 {
+		t.Fatalf("ladder = %v, want 3 entries", l)
+	}
+	for i := range want {
+		if l[i] != want[i] {
+			t.Errorf("ladder = %v, want %v", l, want)
+			break
+		}
+	}
+}
+
+// The paper's main setting: fcore=4, funcore=3, mixed off, cmax=256 gives
+// 288 raw configurations, forcing HyperThread-sibling grouping and
+// yielding 144 + the idle configuration = 145.
+func TestGenerateMatchesPaperCount(t *testing.T) {
+	cfgs, err := Generate(topo, DefaultGeneratorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 145 {
+		t.Fatalf("got %d configurations, paper reports 145", len(cfgs))
+	}
+	if !cfgs[0].Idle() {
+		t.Error("first configuration should be idle")
+	}
+	// HT grouping: every non-idle configuration activates sibling pairs.
+	for _, c := range cfgs[1:] {
+		n := c.ActiveThreads()
+		if n%2 != 0 {
+			t.Fatalf("configuration %s activates %d threads; HT grouping should give even counts", c, n)
+		}
+		if n/2 != c.ActiveCores(topo.ThreadsPerCore) {
+			t.Fatalf("configuration %s does not activate whole sibling pairs", c)
+		}
+	}
+}
+
+func TestGenerateUngroupedWhenItFits(t *testing.T) {
+	// 24 threads x 2 core freqs x 2 uncore freqs = 96 < 255: single
+	// threads remain the activation unit.
+	cfgs, err := Generate(topo, GeneratorParams{FCore: 2, FUncore: 2, CMax: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 97 {
+		t.Fatalf("got %d configurations, want 96+idle", len(cfgs))
+	}
+	seenOdd := false
+	for _, c := range cfgs[1:] {
+		if c.ActiveThreads()%2 == 1 {
+			seenOdd = true
+			break
+		}
+	}
+	if !seenOdd {
+		t.Error("ungrouped generation should contain odd thread counts")
+	}
+}
+
+func TestGenerateAllValid(t *testing.T) {
+	for _, p := range []GeneratorParams{
+		DefaultGeneratorParams(),
+		{FCore: 7, FUncore: 3, CMax: 256},
+		{FCore: 4, FUncore: 3, CoreMixed: true, CMax: 256},
+		{FCore: 2, FUncore: 1, CMax: 64},
+	} {
+		cfgs, err := Generate(topo, p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if len(cfgs) > p.CMax {
+			t.Errorf("%+v: %d configurations exceed CMax", p, len(cfgs))
+		}
+		keys := map[string]bool{}
+		for _, c := range cfgs {
+			if err := c.Validate(topo); err != nil {
+				t.Fatalf("%+v: invalid configuration: %v", p, err)
+			}
+			k := c.Key(topo.ThreadsPerCore)
+			if keys[k] {
+				t.Fatalf("%+v: duplicate configuration %s", p, c)
+			}
+			keys[k] = true
+		}
+	}
+}
+
+// Figure 9(c): enabling mixed core frequencies produces configurations
+// with heterogeneous active clocks.
+func TestGenerateMixedHasHeterogeneousClocks(t *testing.T) {
+	cfgs, err := Generate(topo, GeneratorParams{FCore: 4, FUncore: 3, CoreMixed: true, CMax: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cfgs {
+		clocks := map[int]bool{}
+		for core := range c.CoreMHz {
+			if c.CoreActive(core, topo.ThreadsPerCore) {
+				clocks[c.CoreMHz[core]] = true
+			}
+		}
+		if len(clocks) > 1 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("mixed generation produced no heterogeneous-clock configuration")
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	if _, err := Generate(topo, GeneratorParams{FCore: 0, FUncore: 3, CMax: 256}); err == nil {
+		t.Error("want error for FCore=0")
+	}
+	if _, err := Generate(topo, GeneratorParams{FCore: 4, FUncore: 3, CMax: 1}); err == nil {
+		t.Error("want error for CMax=1")
+	}
+}
+
+func TestGenerateCoarsensUnderTightCMax(t *testing.T) {
+	cfgs, err := Generate(topo, GeneratorParams{FCore: 4, FUncore: 3, CMax: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) > 40 {
+		t.Fatalf("got %d configurations, CMax is 40", len(cfgs))
+	}
+	if len(cfgs) < 10 {
+		t.Fatalf("got only %d configurations; coarsening should retain coverage", len(cfgs))
+	}
+}
+
+func TestMultisets(t *testing.T) {
+	cases := []struct{ k, n, want int }{
+		{1, 4, 4}, {2, 2, 3}, {3, 2, 4}, {2, 4, 10}, {12, 4, 455},
+	}
+	for _, c := range cases {
+		if got := multisets(c.k, c.n); got != c.want {
+			t.Errorf("multisets(%d,%d) = %d, want %d", c.k, c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package energy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ecldb/internal/hw"
+	"ecldb/internal/perfmodel"
+)
+
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	p := NewProfile(topo, mustGenerate(t, DefaultGeneratorParams()))
+	if err := EvaluateModel(p, topo, hw.DefaultPowerParams(), perfmodel.ComputeBound(), 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(&buf, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != p.Size() {
+		t.Fatalf("Size = %d, want %d", got.Size(), p.Size())
+	}
+	for i, e := range p.Entries() {
+		g := got.Entries()[i]
+		if !g.Config.Equal(e.Config, topo.ThreadsPerCore) {
+			t.Fatalf("entry %d configuration mismatch", i)
+		}
+		if g.PowerW != e.PowerW || g.Score != e.Score || g.Evaluated != e.Evaluated || g.LastEval != e.LastEval {
+			t.Fatalf("entry %d measurements mismatch: %+v vs %+v", i, g, e)
+		}
+	}
+	// The loaded profile is functional.
+	if got.MostEfficient() == nil || got.MostEfficient().Config.String() != p.MostEfficient().Config.String() {
+		t.Error("loaded profile has a different optimum")
+	}
+}
+
+func TestProfileSaveLoadUnevaluated(t *testing.T) {
+	p := NewProfile(topo, mustGenerate(t, DefaultGeneratorParams()))
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(&buf, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range got.Entries() {
+		if e.Evaluated {
+			t.Fatal("unevaluated entries must stay unevaluated")
+		}
+	}
+}
+
+func TestLoadProfileRejectsGarbage(t *testing.T) {
+	if _, err := LoadProfile(strings.NewReader("not json"), topo); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := LoadProfile(strings.NewReader(`{"version":9}`), topo); err == nil {
+		t.Error("unknown version should fail")
+	}
+	// A configuration that does not fit the topology.
+	bad := `{"version":1,"entries":[{"threads":[true],"core_mhz":[1200],"uncore_mhz":1200}]}`
+	if _, err := LoadProfile(strings.NewReader(bad), topo); err == nil {
+		t.Error("mismatched topology should fail")
+	}
+}

@@ -1,0 +1,53 @@
+package hw
+
+// Memory subsystem model. The paper's Figure 6 shows that the achievable
+// memory bandwidth of a socket mainly depends on the uncore clock (which
+// drives the LLC and the four memory controllers) and that nearly the full
+// bandwidth is reachable with all cores at the lowest P-state as long as
+// the uncore runs at its maximum. Memory latency improves moderately with
+// the uncore clock, which is what makes memory-latency-bound workloads
+// (index lookups) favor a somewhat higher uncore clock than pure compute.
+const (
+	// PeakBandwidthGBs is the sustained per-socket DRAM bandwidth with
+	// the uncore at its maximum clock (4x DDR4-2133 channels).
+	PeakBandwidthGBs = 56.0
+	// MinBandwidthFrac is the fraction of peak bandwidth available at
+	// the minimum uncore clock.
+	MinBandwidthFrac = 0.35
+	// IssueGBsPerCoreGHz is the per-core memory request issue capability
+	// per GHz of core clock. Twelve cores at 1.2 GHz just saturate the
+	// peak bandwidth, matching Figure 6.
+	IssueGBsPerCoreGHz = 4.0
+	// MemLatencyMinNs is the local DRAM access latency at the maximum
+	// uncore clock.
+	MemLatencyMinNs = 75.0
+	// MemLatencySpreadNs is the additional latency at the minimum
+	// uncore clock. DRAM latency is dominated by the DRAM core timing,
+	// so the uncore clock moves it only moderately — which is why the
+	// paper's memory-latency-bound (indexed) workloads get away with a
+	// generally lower uncore clock (Section 6.2).
+	MemLatencySpreadNs = 18.0
+	// RemoteLatencyExtraNs is the additional latency of an access to a
+	// remote socket's memory over the interconnect.
+	RemoteLatencyExtraNs = 60.0
+)
+
+// BandwidthCapGBs returns the DRAM bandwidth ceiling of a socket for a
+// given uncore clock.
+func BandwidthCapGBs(uncoreMHz int) float64 {
+	n := uncoreNorm(uncoreMHz)
+	return PeakBandwidthGBs * (MinBandwidthFrac + (1-MinBandwidthFrac)*n)
+}
+
+// CoreIssueGBs returns how much memory traffic one core at the given clock
+// can generate, before the socket-level bandwidth cap applies.
+func CoreIssueGBs(coreMHz int) float64 {
+	return IssueGBsPerCoreGHz * float64(coreMHz) / 1000.0
+}
+
+// MemLatencyNs returns the local DRAM access latency for a given uncore
+// clock.
+func MemLatencyNs(uncoreMHz int) float64 {
+	n := uncoreNorm(uncoreMHz)
+	return MemLatencyMinNs + MemLatencySpreadNs*(1-n)
+}

@@ -1,0 +1,174 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConfigurationIsIdle(t *testing.T) {
+	topo := HaswellEP()
+	c := NewConfiguration(topo)
+	if err := c.Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Idle() {
+		t.Error("new configuration should be idle")
+	}
+	if c.ActiveThreads() != 0 || c.ActiveCores(topo.ThreadsPerCore) != 0 {
+		t.Error("idle configuration reports active resources")
+	}
+	if c.UncoreMHz != MinUncoreMHz {
+		t.Errorf("UncoreMHz = %d, want %d", c.UncoreMHz, MinUncoreMHz)
+	}
+}
+
+func TestAllMaxConfiguration(t *testing.T) {
+	topo := HaswellEP()
+	c := AllMax(topo)
+	if err := c.Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+	// A Configuration describes a single socket: 12 cores, 24 threads.
+	if got := c.ActiveThreads(); got != 24 {
+		t.Errorf("ActiveThreads = %d, want 24", got)
+	}
+	if got := c.ActiveCores(2); got != 12 {
+		t.Errorf("ActiveCores = %d, want 12", got)
+	}
+	if c.UncoreMHz != MaxUncoreMHz {
+		t.Errorf("UncoreMHz = %d, want %d", c.UncoreMHz, MaxUncoreMHz)
+	}
+	if got := c.AvgCoreMHz(2); got != TurboMHz {
+		t.Errorf("AvgCoreMHz = %v, want %d", got, TurboMHz)
+	}
+}
+
+func TestConfigurationValidateRejectsBadClocks(t *testing.T) {
+	topo := HaswellEP()
+	c := NewConfiguration(topo)
+	c.CoreMHz[0] = 900
+	if err := c.Validate(topo); err == nil {
+		t.Error("want error for core clock below minimum")
+	}
+	c = NewConfiguration(topo)
+	c.UncoreMHz = 3500
+	if err := c.Validate(topo); err == nil {
+		t.Error("want error for uncore clock above maximum")
+	}
+	c = NewConfiguration(topo)
+	c.Threads = c.Threads[:3]
+	if err := c.Validate(topo); err == nil {
+		t.Error("want error for wrong thread slot count")
+	}
+}
+
+func TestConfigurationCloneIsDeep(t *testing.T) {
+	topo := HaswellEP()
+	c := AllMax(topo)
+	d := c.Clone()
+	d.Threads[0] = false
+	d.CoreMHz[0] = MinCoreMHz
+	d.UncoreMHz = MinUncoreMHz
+	if !c.Threads[0] || c.CoreMHz[0] != TurboMHz || c.UncoreMHz != MaxUncoreMHz {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestConfigurationEqualIgnoresInactiveCoreClocks(t *testing.T) {
+	topo := HaswellEP()
+	a := NewConfiguration(topo)
+	a.Threads[0] = true
+	a.CoreMHz[0] = 2000
+	b := a.Clone()
+	b.CoreMHz[5] = 2600 // core 5 inactive: clock is irrelevant
+	if !a.Equal(b, topo.ThreadsPerCore) {
+		t.Error("Equal should ignore clocks of inactive cores")
+	}
+	b.CoreMHz[0] = 2100
+	if a.Equal(b, topo.ThreadsPerCore) {
+		t.Error("Equal should notice active core clock difference")
+	}
+}
+
+func TestConfigurationKeyNormalizesInactiveClocks(t *testing.T) {
+	topo := HaswellEP()
+	a := NewConfiguration(topo)
+	a.Threads[2] = true // core 1
+	a.CoreMHz[1] = 1800
+	b := a.Clone()
+	b.CoreMHz[7] = 2600
+	if a.Key(2) != b.Key(2) {
+		t.Errorf("keys differ for identical hardware state:\n%s\n%s", a.Key(2), b.Key(2))
+	}
+	b.UncoreMHz = 2400
+	if a.Key(2) == b.Key(2) {
+		t.Error("keys equal despite different uncore clock")
+	}
+}
+
+func TestConfigurationString(t *testing.T) {
+	topo := HaswellEP()
+	c := NewConfiguration(topo)
+	if got := c.String(); got != "idle" {
+		t.Errorf("String() = %q, want \"idle\"", got)
+	}
+	c.Threads[0], c.Threads[1], c.Threads[2] = true, true, true
+	c.CoreMHz[0] = 1200
+	c.CoreMHz[1] = 2100
+	c.UncoreMHz = 3000
+	got := c.String()
+	for _, want := range []string{"3t@", "1x1200", "1x2100", "unc3000"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestConfigurationActiveHelpers(t *testing.T) {
+	topo := HaswellEP()
+	c := NewConfiguration(topo)
+	c.Threads[0] = true // core 0, sibling 0
+	c.Threads[1] = true // core 0, sibling 1
+	c.Threads[4] = true // core 2
+	if got := c.ActiveThreads(); got != 3 {
+		t.Errorf("ActiveThreads = %d, want 3", got)
+	}
+	if got := c.ActiveCores(2); got != 2 {
+		t.Errorf("ActiveCores = %d, want 2", got)
+	}
+	if !c.CoreActive(0, 2) || c.CoreActive(1, 2) || !c.CoreActive(2, 2) {
+		t.Error("CoreActive misreports")
+	}
+	list := c.ActiveThreadList()
+	if len(list) != 3 || list[0] != 0 || list[1] != 1 || list[2] != 4 {
+		t.Errorf("ActiveThreadList = %v", list)
+	}
+}
+
+// Property: Key equality must coincide with Equal, for arbitrary
+// configurations over a small topology.
+func TestConfigurationKeyMatchesEqual(t *testing.T) {
+	topo := Topology{Sockets: 1, CoresPerSocket: 3, ThreadsPerCore: 2}
+	gen := func(seed uint64) Configuration {
+		c := NewConfiguration(topo)
+		for i := range c.Threads {
+			seed = splitmix(seed)
+			c.Threads[i] = seed&1 == 0
+		}
+		for i := range c.CoreMHz {
+			seed = splitmix(seed)
+			c.CoreMHz[i] = MinCoreMHz + int(seed%15)*FreqStepMHz
+		}
+		seed = splitmix(seed)
+		c.UncoreMHz = MinUncoreMHz + int(seed%19)*FreqStepMHz
+		return c
+	}
+	f := func(s1, s2 uint64) bool {
+		a, b := gen(s1), gen(s2)
+		return (a.Key(2) == b.Key(2)) == a.Equal(b, 2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package hw
+
+import "time"
+
+// EPB is the energy-performance bias, a per-processor hint to the CPU's
+// own power management (set via MSR on real hardware). The paper's
+// Section 2.3 finds that its only observable effect on the core clock is
+// a one-second delay before the energy-efficient turbo (EET) engages for
+// the powersave and balanced settings, and recommends the performance
+// setting when doing explicit energy control.
+type EPB int
+
+const (
+	// EPBPerformance grants turbo immediately and disables the
+	// conservative uncore scaling delay. Recommended by the paper for
+	// explicit energy control.
+	EPBPerformance EPB = iota
+	// EPBBalanced delays the energy-efficient turbo by about a second.
+	EPBBalanced
+	// EPBPowersave behaves like balanced on the paper's system.
+	EPBPowersave
+)
+
+// String returns the conventional name of the bias setting.
+func (e EPB) String() string {
+	switch e {
+	case EPBPerformance:
+		return "performance"
+	case EPBBalanced:
+		return "balanced"
+	case EPBPowersave:
+		return "powersave"
+	}
+	return "unknown"
+}
+
+// EETDelay is the delay before the energy-efficient turbo engages under
+// the powersave or balanced EPB settings (Figure 7).
+const EETDelay = time.Second
+
+// ufsDecayTau controls how quickly the automatic uncore frequency scaling
+// ramps the uncore clock down when the cores go idle.
+const ufsDecayTau = 100 * time.Millisecond
+
+// firmware models the CPU-driven energy management the paper evaluates in
+// Section 2.3: the energy-efficient turbo delay and the automatic uncore
+// frequency scaling, which the paper shows to make poor decisions (it
+// drives the uncore to its maximum under compute-bound load, costing
+// ~12 W for no performance gain, Figure 8).
+type firmware struct {
+	epb     EPB
+	autoUFS bool
+	// turboSince records, per socket and core, when the requested clock
+	// first became a turbo clock; zero-valued entries mean "not
+	// requesting turbo". Used to implement the EET delay.
+	turboSince [][]time.Duration
+	turboReq   [][]bool
+	// ufsMHz is the uncore clock chosen by automatic UFS, per socket.
+	ufsMHz []float64
+}
+
+func newFirmware(t Topology) *firmware {
+	f := &firmware{
+		epb:        EPBPerformance,
+		turboSince: make([][]time.Duration, t.Sockets),
+		turboReq:   make([][]bool, t.Sockets),
+		ufsMHz:     make([]float64, t.Sockets),
+	}
+	for s := 0; s < t.Sockets; s++ {
+		f.turboSince[s] = make([]time.Duration, t.CoresPerSocket)
+		f.turboReq[s] = make([]bool, t.CoresPerSocket)
+		f.ufsMHz[s] = MinUncoreMHz
+	}
+	return f
+}
+
+// noteRequest records a configuration request so the EET delay can be
+// tracked per core.
+func (f *firmware) noteRequest(socket int, cfg Configuration, now time.Duration) {
+	for core, mhz := range cfg.CoreMHz {
+		req := mhz > MaxCoreMHz
+		if req && !f.turboReq[socket][core] {
+			f.turboSince[socket][core] = now
+		}
+		f.turboReq[socket][core] = req
+	}
+}
+
+// coreClock returns the clock the core actually runs at, applying the
+// energy-efficient turbo delay.
+func (f *firmware) coreClock(socket, core, requestedMHz int, now time.Duration) int {
+	if requestedMHz <= MaxCoreMHz {
+		return requestedMHz
+	}
+	if f.epb == EPBPerformance {
+		return requestedMHz
+	}
+	if now-f.turboSince[socket][core] >= EETDelay {
+		return requestedMHz
+	}
+	return MaxCoreMHz
+}
+
+// uncoreClock returns the effective uncore clock: the requested one, or
+// the automatic UFS choice when automatic scaling is enabled.
+func (f *firmware) uncoreClock(socket, requestedMHz int) int {
+	if !f.autoUFS {
+		return requestedMHz
+	}
+	return int(f.ufsMHz[socket])
+}
+
+// observe updates the automatic UFS state from the socket's core activity
+// during a step of length dt. The automatic governor ramps the uncore to
+// its maximum as soon as cores are busy — the overshoot behaviour of
+// Figure 8 — and decays it when they are not.
+func (f *firmware) observe(socket int, busyAvg float64, dt time.Duration) {
+	if !f.autoUFS {
+		return
+	}
+	cur := f.ufsMHz[socket]
+	if busyAvg > 0.05 {
+		f.ufsMHz[socket] = MaxUncoreMHz
+		return
+	}
+	// Exponential decay toward the minimum clock.
+	decay := float64(dt) / float64(ufsDecayTau)
+	if decay > 1 {
+		decay = 1
+	}
+	f.ufsMHz[socket] = cur - (cur-MinUncoreMHz)*decay
+}

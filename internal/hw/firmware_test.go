@@ -1,0 +1,111 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEPBString(t *testing.T) {
+	cases := map[EPB]string{
+		EPBPerformance: "performance",
+		EPBBalanced:    "balanced",
+		EPBPowersave:   "powersave",
+		EPB(9):         "unknown",
+	}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("EPB(%d).String() = %q, want %q", e, got, want)
+		}
+	}
+}
+
+func TestEETDelayTracksRequestEdges(t *testing.T) {
+	topo := HaswellEP()
+	f := newFirmware(topo)
+	f.epb = EPBBalanced
+	cfg := NewConfiguration(topo)
+	cfg.Threads[0] = true
+	cfg.CoreMHz[0] = TurboMHz
+
+	// Turbo requested at t=0: held at the non-turbo ceiling.
+	f.noteRequest(0, cfg, 0)
+	if got := f.coreClock(0, 0, TurboMHz, 500*time.Millisecond); got != MaxCoreMHz {
+		t.Errorf("clock at 0.5s = %d, want held", got)
+	}
+	if got := f.coreClock(0, 0, TurboMHz, EETDelay); got != TurboMHz {
+		t.Errorf("clock at delay = %d, want turbo", got)
+	}
+	// Dropping the request and re-requesting restarts the delay.
+	low := cfg.Clone()
+	low.CoreMHz[0] = MaxCoreMHz
+	f.noteRequest(0, low, 2*time.Second)
+	f.noteRequest(0, cfg, 3*time.Second)
+	if got := f.coreClock(0, 0, TurboMHz, 3*time.Second+500*time.Millisecond); got != MaxCoreMHz {
+		t.Errorf("clock after re-request = %d, want held again", got)
+	}
+	// A sustained request does not restart the timer.
+	f.noteRequest(0, cfg, 3*time.Second+600*time.Millisecond)
+	if got := f.coreClock(0, 0, TurboMHz, 4*time.Second); got != TurboMHz {
+		t.Errorf("clock after sustained request = %d, want turbo", got)
+	}
+}
+
+func TestEETPerformanceBypassesDelay(t *testing.T) {
+	topo := HaswellEP()
+	f := newFirmware(topo)
+	f.epb = EPBPerformance
+	cfg := NewConfiguration(topo)
+	cfg.CoreMHz[0] = TurboMHz
+	f.noteRequest(0, cfg, 0)
+	if got := f.coreClock(0, 0, TurboMHz, 0); got != TurboMHz {
+		t.Errorf("performance EPB clock = %d, want immediate turbo", got)
+	}
+}
+
+func TestEETNonTurboPassthrough(t *testing.T) {
+	topo := HaswellEP()
+	f := newFirmware(topo)
+	f.epb = EPBBalanced
+	if got := f.coreClock(0, 0, 1900, 0); got != 1900 {
+		t.Errorf("non-turbo clock = %d, want passthrough", got)
+	}
+}
+
+func TestUFSPinnedWhenDisabled(t *testing.T) {
+	topo := HaswellEP()
+	f := newFirmware(topo)
+	f.autoUFS = false
+	if got := f.uncoreClock(0, 2400); got != 2400 {
+		t.Errorf("pinned uncore = %d, want 2400", got)
+	}
+}
+
+func TestUFSRampAndDecay(t *testing.T) {
+	topo := HaswellEP()
+	f := newFirmware(topo)
+	f.autoUFS = true
+	// Busy: jumps to max immediately.
+	f.observe(0, 0.5, 10*time.Millisecond)
+	if got := f.uncoreClock(0, MinUncoreMHz); got != MaxUncoreMHz {
+		t.Errorf("busy uncore = %d, want max", got)
+	}
+	// Idle: decays exponentially toward the minimum.
+	prev := float64(MaxUncoreMHz)
+	for i := 0; i < 20; i++ {
+		f.observe(0, 0, 50*time.Millisecond)
+		cur := f.ufsMHz[0]
+		if cur > prev {
+			t.Fatal("decay not monotone")
+		}
+		prev = cur
+	}
+	if prev > MinUncoreMHz+100 {
+		t.Errorf("uncore after decay = %.0f, want near min", prev)
+	}
+	// A decay step larger than the time constant clamps.
+	f.ufsMHz[0] = MaxUncoreMHz
+	f.observe(0, 0, time.Second)
+	if got := f.ufsMHz[0]; got != MinUncoreMHz {
+		t.Errorf("full decay = %.0f, want min", got)
+	}
+}

@@ -1,0 +1,433 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Domain selects a RAPL measurement domain of one socket.
+type Domain int
+
+const (
+	// DomainPackage covers the cores, caches, and uncore of a socket.
+	DomainPackage Domain = iota
+	// DomainDRAM covers the memory attached to a socket's controllers.
+	DomainDRAM
+)
+
+// ApplyLatency is the time between requesting a configuration change and
+// the hardware operating in the new state. P-state and C-state transitions
+// cost only microseconds on the paper's system (Section 5.1, Figure 12).
+const ApplyLatency = 10 * time.Microsecond
+
+// raplUpdatePeriod is the interval at which the RAPL energy counters
+// refresh. Reads between refreshes observe the last refreshed value, and
+// the refresh instant jitters, which is what makes short measurement
+// windows inaccurate (the effect behind Figure 12's 100 ms trade-off).
+const raplUpdatePeriod = time.Millisecond
+
+// raplQuantumJ is the energy resolution of a counter read.
+const raplQuantumJ = 61e-6
+
+// raplJitterFrac is the maximum refresh-instant jitter as a fraction of
+// the update period.
+const raplJitterFrac = 0.35
+
+// Machine is the simulated server. It holds the requested per-socket
+// configurations, derives the effective hardware state (firmware may
+// override clocks, configuration changes take ApplyLatency to settle),
+// integrates power into RAPL counters and the PSU meter, maintains
+// instructions-retired counters, and enforces the per-socket sustained
+// power limit (TDP) with a short turbo budget.
+//
+// Machine is driven by explicit Step calls from the simulation loop and is
+// not safe for concurrent use.
+type Machine struct {
+	topo Topology
+	pp   PowerParams
+	fw   *firmware
+	seed uint64
+
+	now       time.Duration
+	requested []Configuration
+	pending   []pendingApply
+
+	pkg   []raplCounter
+	dram  []raplCounter
+	instr []float64 // per global hardware thread
+
+	psuJ        float64
+	lastPkgW    []float64
+	lastDramW   []float64
+	lastPSUW    float64
+	turboBudget []float64
+	throttle    []float64
+
+	// C-state residency accounting.
+	activeSec    []float64 // per socket: at least one core active
+	idleSec      []float64 // per socket: all cores gated, uncore running
+	deepSleepSec float64   // machine-wide: all uncores halted
+}
+
+type pendingApply struct {
+	cfg   Configuration
+	at    time.Duration
+	valid bool
+}
+
+// NewMachine constructs a machine with all sockets idle. The seed
+// determines the deterministic RAPL refresh jitter.
+func NewMachine(topo Topology, pp PowerParams, seed int64) *Machine {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		topo:        topo,
+		pp:          pp,
+		fw:          newFirmware(topo),
+		seed:        uint64(seed)*0x9e3779b97f4a7c15 + 0x1234567,
+		requested:   make([]Configuration, topo.Sockets),
+		pending:     make([]pendingApply, topo.Sockets),
+		instr:       make([]float64, topo.TotalThreads()),
+		pkg:         make([]raplCounter, topo.Sockets),
+		dram:        make([]raplCounter, topo.Sockets),
+		lastPkgW:    make([]float64, topo.Sockets),
+		lastDramW:   make([]float64, topo.Sockets),
+		turboBudget: make([]float64, topo.Sockets),
+		throttle:    make([]float64, topo.Sockets),
+	}
+	m.activeSec = make([]float64, topo.Sockets)
+	m.idleSec = make([]float64, topo.Sockets)
+	for s := 0; s < topo.Sockets; s++ {
+		m.requested[s] = NewConfiguration(topo)
+		m.turboBudget[s] = pp.TurboBudgetJ
+		m.throttle[s] = 1
+	}
+	return m
+}
+
+// Topology returns the machine's processor layout.
+func (m *Machine) Topology() Topology { return m.topo }
+
+// Params returns the machine's power calibration.
+func (m *Machine) Params() PowerParams { return m.pp }
+
+// Now returns the machine's local virtual time (advanced by Step).
+func (m *Machine) Now() time.Duration { return m.now }
+
+// SetEPB sets the energy-performance bias of all processors.
+func (m *Machine) SetEPB(e EPB) { m.fw.epb = e }
+
+// EPB returns the current energy-performance bias.
+func (m *Machine) EPB() EPB { return m.fw.epb }
+
+// SetAutoUFS enables or disables the CPU's automatic uncore frequency
+// scaling. With it disabled the requested uncore clock is pinned.
+func (m *Machine) SetAutoUFS(on bool) { m.fw.autoUFS = on }
+
+// Apply requests a new configuration for one socket. The change becomes
+// effective ApplyLatency after the call; a later Apply on the same socket
+// supersedes a pending one.
+func (m *Machine) Apply(socket int, cfg Configuration) error {
+	if socket < 0 || socket >= m.topo.Sockets {
+		return fmt.Errorf("hw: socket %d out of range", socket)
+	}
+	if err := cfg.Validate(m.topo); err != nil {
+		return err
+	}
+	m.pending[socket] = pendingApply{cfg: cfg.Clone(), at: m.now + ApplyLatency, valid: true}
+	m.fw.noteRequest(socket, cfg, m.now)
+	return nil
+}
+
+// Requested returns the most recently requested configuration of a socket
+// (whether or not it has settled yet).
+func (m *Machine) Requested(socket int) Configuration {
+	if p := m.pending[socket]; p.valid {
+		return p.cfg.Clone()
+	}
+	return m.requested[socket].Clone()
+}
+
+// settled returns the configuration the hardware is operating in right
+// now, before firmware overrides.
+func (m *Machine) settled(socket int) Configuration {
+	if p := m.pending[socket]; p.valid && m.now >= p.at {
+		return p.cfg
+	}
+	return m.requested[socket]
+}
+
+// Effective returns the configuration the socket hardware is actually
+// running: the settled request with firmware overrides (energy-efficient
+// turbo delay, automatic uncore scaling) applied.
+func (m *Machine) Effective(socket int) Configuration {
+	base := m.settled(socket).Clone()
+	for core := range base.CoreMHz {
+		base.CoreMHz[core] = m.fw.coreClock(socket, core, base.CoreMHz[core], m.now)
+	}
+	base.UncoreMHz = clampUncore(m.fw.uncoreClock(socket, base.UncoreMHz))
+	return base
+}
+
+// UncoreHalted reports whether the uncore clocks of the machine are
+// halted. A socket's uncore can halt only when every socket of the machine
+// has no active core (Section 2.2, inter-socket dependency), because any
+// active core may access remote memory.
+func (m *Machine) UncoreHalted() bool {
+	for s := 0; s < m.topo.Sockets; s++ {
+		if m.settled(s).ActiveThreads() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ThrottleFactor returns the performance scale factor (0..1] the package
+// power limiter currently imposes on a socket. 1 means no throttling.
+func (m *Machine) ThrottleFactor(socket int) float64 { return m.throttle[socket] }
+
+// BandwidthCap returns the socket's current DRAM bandwidth ceiling in
+// GB/s, based on the effective uncore clock.
+func (m *Machine) BandwidthCap(socket int) float64 {
+	return BandwidthCapGBs(m.Effective(socket).UncoreMHz)
+}
+
+// MemLatency returns the socket's current local memory latency in
+// nanoseconds, based on the effective uncore clock.
+func (m *Machine) MemLatency(socket int) float64 {
+	return MemLatencyNs(m.Effective(socket).UncoreMHz)
+}
+
+// Step advances the machine by dt, integrating power and counters under
+// the given per-socket activity (which is assumed uniform across the
+// step). Pending configuration changes settling mid-step split the
+// integration so energy accounting stays exact.
+func (m *Machine) Step(dt time.Duration, acts []SocketActivity) {
+	if dt <= 0 {
+		return
+	}
+	if len(acts) != m.topo.Sockets {
+		panic(fmt.Sprintf("hw: Step got %d activities for %d sockets", len(acts), m.topo.Sockets))
+	}
+	end := m.now + dt
+	for m.now < end {
+		// Commit any pending applies that are due.
+		segEnd := end
+		for s := range m.pending {
+			p := &m.pending[s]
+			if !p.valid {
+				continue
+			}
+			if p.at <= m.now {
+				m.requested[s] = p.cfg
+				p.valid = false
+			} else if p.at < segEnd {
+				segEnd = p.at
+			}
+		}
+		m.integrate(segEnd-m.now, dt, acts)
+		m.now = segEnd
+	}
+	// Let the automatic uncore scaling observe this step's activity.
+	for s := 0; s < m.topo.Sockets; s++ {
+		m.fw.observe(s, avgBusy(acts[s].Busy, m.topo.ThreadsPerSocket()), dt)
+	}
+}
+
+// integrate accounts one constant-state segment of length seg; fullStep is
+// the Step length used to prorate the per-step activity totals.
+func (m *Machine) integrate(seg, fullStep time.Duration, acts []SocketActivity) {
+	if seg <= 0 {
+		return
+	}
+	frac := float64(seg) / float64(fullStep)
+	halted := m.UncoreHalted()
+	if halted {
+		m.deepSleepSec += seg.Seconds()
+	}
+	totalW := 0.0
+	for s := 0; s < m.topo.Sockets; s++ {
+		eff := m.Effective(s)
+		if eff.ActiveThreads() > 0 {
+			m.activeSec[s] += seg.Seconds()
+		} else if !halted {
+			m.idleSec[s] += seg.Seconds()
+		}
+		bwCap := BandwidthCapGBs(eff.UncoreMHz)
+		pkgW, dramW := m.pp.SocketPowerW(m.topo, s, eff, acts[s], halted, bwCap)
+		pkgW = m.limitPower(s, pkgW, seg)
+		m.lastPkgW[s], m.lastDramW[s] = pkgW, dramW
+		m.pkg[s].integrate(m.now, seg, pkgW, m.boundarySalt(s, DomainPackage))
+		m.dram[s].integrate(m.now, seg, dramW, m.boundarySalt(s, DomainDRAM))
+		totalW += pkgW + dramW
+		for lt, instr := range acts[s].Instr {
+			m.instr[m.topo.GlobalThread(s, lt)] += instr * frac
+		}
+	}
+	m.lastPSUW = m.pp.PSUPowerW(totalW)
+	m.psuJ += m.lastPSUW * seg.Seconds()
+}
+
+// limitPower applies the per-socket sustained power limit: power above TDP
+// drains the turbo budget; once drained, the package clamps to TDP and the
+// throttle factor reflects the implied clock reduction.
+func (m *Machine) limitPower(socket int, pkgW float64, seg time.Duration) float64 {
+	tdp := m.pp.TDPWatts
+	if tdp <= 0 {
+		m.throttle[socket] = 1
+		return pkgW
+	}
+	sec := seg.Seconds()
+	if pkgW <= tdp {
+		m.turboBudget[socket] = math.Min(m.pp.TurboBudgetJ, m.turboBudget[socket]+(tdp-pkgW)*sec*0.5)
+		m.throttle[socket] = 1
+		return pkgW
+	}
+	m.turboBudget[socket] -= (pkgW - tdp) * sec
+	if m.turboBudget[socket] > 0 {
+		m.throttle[socket] = 1
+		return pkgW
+	}
+	m.turboBudget[socket] = 0
+	floor := m.pp.pkgFloor(socket)
+	dynRaw := pkgW - floor
+	dynCap := tdp - floor
+	if dynRaw > 0 && dynCap > 0 {
+		// Performance scales roughly with the clock, and dynamic power
+		// with its square, so the throttled performance factor is the
+		// square root of the power reduction.
+		m.throttle[socket] = math.Sqrt(dynCap / dynRaw)
+	} else {
+		m.throttle[socket] = 1
+	}
+	return tdp
+}
+
+// ReadEnergy reads a RAPL energy counter with hardware read semantics:
+// the value refreshes about once per millisecond with a jittered refresh
+// instant, quantized to the counter resolution. Differencing two reads
+// over short windows is therefore noticeably inaccurate, matching the
+// meta-calibration findings reproduced in Figure 12.
+func (m *Machine) ReadEnergy(socket int, d Domain) float64 {
+	c := m.counter(socket, d)
+	return math.Floor(c.snapJ/raplQuantumJ) * raplQuantumJ
+}
+
+// TrueEnergy returns the exact integrated energy of a domain. Experiments
+// and traces use it as the "external power meter" ground truth; the ECL
+// itself only uses ReadEnergy.
+func (m *Machine) TrueEnergy(socket int, d Domain) float64 {
+	return m.counter(socket, d).trueJ
+}
+
+func (m *Machine) counter(socket int, d Domain) *raplCounter {
+	switch d {
+	case DomainPackage:
+		return &m.pkg[socket]
+	case DomainDRAM:
+		return &m.dram[socket]
+	}
+	panic(fmt.Sprintf("hw: unknown domain %d", d))
+}
+
+// PSUEnergy returns the energy drawn from the wall so far, in joules.
+func (m *Machine) PSUEnergy() float64 { return m.psuJ }
+
+// LastPower returns the true power of the most recent step: per-socket
+// package and DRAM watts, and the PSU-level total.
+func (m *Machine) LastPower() (pkgW, dramW []float64, psuW float64) {
+	return append([]float64(nil), m.lastPkgW...), append([]float64(nil), m.lastDramW...), m.lastPSUW
+}
+
+// Residency returns the C-state residency of a socket: seconds with at
+// least one active core, seconds fully core-gated with the uncore still
+// running (the inter-socket dependency), and the machine-wide deepest
+// sleep (all uncores halted).
+func (m *Machine) Residency(socket int) (activeSec, idleSec, deepSleepSec float64) {
+	return m.activeSec[socket], m.idleSec[socket], m.deepSleepSec
+}
+
+// ReadInstructions returns the instructions-retired counter of a global
+// hardware thread. These counters are exact on real hardware and here.
+func (m *Machine) ReadInstructions(globalThread int) float64 {
+	return m.instr[globalThread]
+}
+
+// SocketInstructions sums the instructions-retired counters of one socket.
+func (m *Machine) SocketInstructions(socket int) float64 {
+	sum := 0.0
+	base := socket * m.topo.ThreadsPerSocket()
+	for i := 0; i < m.topo.ThreadsPerSocket(); i++ {
+		sum += m.instr[base+i]
+	}
+	return sum
+}
+
+func (m *Machine) boundarySalt(socket int, d Domain) uint64 {
+	return m.seed ^ (uint64(socket)<<32 | uint64(d)<<16 | 0xabcd)
+}
+
+func avgBusy(busy []float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range busy {
+		sum += b
+	}
+	return sum / float64(n)
+}
+
+func clampUncore(mhz int) int {
+	if mhz < MinUncoreMHz {
+		return MinUncoreMHz
+	}
+	if mhz > MaxUncoreMHz {
+		return MaxUncoreMHz
+	}
+	return mhz
+}
+
+// raplCounter accumulates exact energy and exposes refresh-boundary
+// snapshots for reads.
+type raplCounter struct {
+	trueJ   float64
+	snapJ   float64
+	nextIdx int64 // index of the next refresh boundary to take
+}
+
+// integrate adds powerW over a window starting at t0 with length seg,
+// taking refresh snapshots at every jittered boundary inside the window.
+func (r *raplCounter) integrate(t0, seg time.Duration, powerW float64, salt uint64) {
+	end := t0 + seg
+	for {
+		b := boundaryTime(r.nextIdx, salt)
+		if b > end {
+			break
+		}
+		if b > t0 {
+			r.snapJ = r.trueJ + powerW*(b-t0).Seconds()
+		} else {
+			r.snapJ = r.trueJ
+		}
+		r.nextIdx++
+	}
+	r.trueJ += powerW * seg.Seconds()
+}
+
+// boundaryTime returns the k-th jittered refresh instant.
+func boundaryTime(k int64, salt uint64) time.Duration {
+	j := splitmix(uint64(k) ^ salt)
+	// Map to [-raplJitterFrac, +raplJitterFrac) of the period.
+	frac := (float64(j>>11)/float64(1<<53))*2*raplJitterFrac - raplJitterFrac
+	return time.Duration(k)*raplUpdatePeriod + time.Duration(frac*float64(raplUpdatePeriod))
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

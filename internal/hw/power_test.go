@@ -1,0 +1,248 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fullBusy returns an activity with every active thread of cfg fully busy.
+func fullBusy(topo Topology, cfg Configuration) SocketActivity {
+	n := topo.ThreadsPerSocket()
+	act := SocketActivity{Busy: make([]float64, n), Spin: make([]float64, n), Instr: make([]float64, n)}
+	for i, a := range cfg.Threads {
+		if a {
+			act.Busy[i] = 1
+		}
+	}
+	return act
+}
+
+// socketPower is a test helper computing package power for one socket.
+func socketPower(topo Topology, cfg Configuration, act SocketActivity, halted bool) float64 {
+	pp := DefaultPowerParams()
+	pkg, _ := pp.SocketPowerW(topo, 0, cfg, act, halted, BandwidthCapGBs(cfg.UncoreMHz))
+	return pkg
+}
+
+// Figure 4: the first core of a socket is expensive to activate (it wakes
+// the uncore/LLC), additional physical cores cost a much smaller,
+// clock-dependent increment, and HyperThread siblings are nearly free.
+func TestFirstCoreActivationDominates(t *testing.T) {
+	topo := HaswellEP()
+	idle := NewConfiguration(topo)
+
+	one := NewConfiguration(topo)
+	one.Threads[0] = true
+	one.UncoreMHz = MaxUncoreMHz
+
+	two := one.Clone()
+	two.Threads[2] = true // second physical core
+
+	halted := socketPower(topo, idle, SocketActivity{}, true)
+	first := socketPower(topo, one, fullBusy(topo, one), false)
+	second := socketPower(topo, two, fullBusy(topo, two), false)
+
+	costFirst := first - halted
+	costSecond := second - first
+	if costFirst < 3*costSecond {
+		t.Errorf("first core cost %.1f W should dominate second core cost %.1f W", costFirst, costSecond)
+	}
+}
+
+func TestHyperThreadSiblingNearlyFree(t *testing.T) {
+	topo := HaswellEP()
+	one := NewConfiguration(topo)
+	one.Threads[0] = true
+	one.CoreMHz[0] = MaxCoreMHz
+	one.UncoreMHz = MaxUncoreMHz
+
+	withSibling := one.Clone()
+	withSibling.Threads[1] = true
+
+	p1 := socketPower(topo, one, fullBusy(topo, one), false)
+	p2 := socketPower(topo, withSibling, fullBusy(topo, withSibling), false)
+	costCore := p1 - socketPower(topo, NewConfiguration(topo), SocketActivity{}, true)
+	costSibling := p2 - p1
+	if costSibling > 0.35*costCore {
+		t.Errorf("HT sibling cost %.2f W should be a small fraction of core cost %.2f W", costSibling, costCore)
+	}
+}
+
+// Figure 4 correlation: the first-core activation cost grows with the
+// uncore clock.
+func TestFirstCoreCostGrowsWithUncore(t *testing.T) {
+	topo := HaswellEP()
+	cost := func(uncore int) float64 {
+		c := NewConfiguration(topo)
+		c.Threads[0] = true
+		c.UncoreMHz = uncore
+		return socketPower(topo, c, fullBusy(topo, c), false) -
+			socketPower(topo, NewConfiguration(topo), SocketActivity{}, true)
+	}
+	if cost(MaxUncoreMHz) <= cost(MinUncoreMHz) {
+		t.Errorf("first-core cost at max uncore (%.1f W) should exceed min uncore (%.1f W)",
+			cost(MaxUncoreMHz), cost(MinUncoreMHz))
+	}
+}
+
+// Figure 8: running the uncore at 3.0 GHz instead of 1.2 GHz under a
+// compute-bound full load draws roughly 12 W more on the package.
+func TestUncoreClockPowerDelta(t *testing.T) {
+	topo := HaswellEP()
+	mk := func(uncore int) float64 {
+		c := AllMax(topo)
+		c.UncoreMHz = uncore
+		return socketPower(topo, c, fullBusy(topo, c), false)
+	}
+	delta := mk(MaxUncoreMHz) - mk(MinUncoreMHz)
+	if delta < 8 || delta > 18 {
+		t.Errorf("uncore 3.0 vs 1.2 GHz package delta = %.1f W, want roughly 12 W (8..18)", delta)
+	}
+}
+
+// Section 2.2: halting the uncore clock power-gates the LLC and saves up
+// to ~30 W.
+func TestUncoreHaltSavings(t *testing.T) {
+	topo := HaswellEP()
+	idle := NewConfiguration(topo)
+	idle.UncoreMHz = MaxUncoreMHz
+	running := socketPower(topo, idle, SocketActivity{}, false)
+	halted := socketPower(topo, idle, SocketActivity{}, true)
+	saving := running - halted
+	if saving < 20 || saving > 40 {
+		t.Errorf("uncore halt saving = %.1f W, want ~30 W (20..40)", saving)
+	}
+}
+
+// Figure 5: socket 0 draws more power than socket 1 in the same state.
+func TestSocketAsymmetry(t *testing.T) {
+	topo := HaswellEP()
+	pp := DefaultPowerParams()
+	cfg := NewConfiguration(topo)
+	p0, _ := pp.SocketPowerW(topo, 0, cfg, SocketActivity{}, true, 0)
+	p1, _ := pp.SocketPowerW(topo, 1, cfg, SocketActivity{}, true, 0)
+	if p0 <= p1 {
+		t.Errorf("socket 0 power %.1f W should exceed socket 1 power %.1f W", p0, p1)
+	}
+}
+
+// Figure 3: the static power of the whole server is roughly 18 % of the
+// sustained peak power, measured at the PSU.
+func TestStaticToPeakRatio(t *testing.T) {
+	topo := HaswellEP()
+	pp := DefaultPowerParams()
+
+	idleW := 0.0
+	for s := 0; s < topo.Sockets; s++ {
+		pkg, dram := pp.SocketPowerW(topo, s, NewConfiguration(topo), SocketActivity{}, true, 0)
+		idleW += pkg + dram
+	}
+	idlePSU := pp.PSUPowerW(idleW)
+
+	peakW := 0.0
+	cfg := AllMax(topo)
+	for s := 0; s < topo.Sockets; s++ {
+		act := fullBusy(topo, cfg)
+		act.MemGBs = PeakBandwidthGBs
+		act.DynScale = 1.15 // FIRESTARTER-style load
+		pkg, dram := pp.SocketPowerW(topo, s, cfg, act, false, PeakBandwidthGBs)
+		if pkg > pp.TDPWatts {
+			pkg = pp.TDPWatts // sustained (post-turbo-budget) power
+		}
+		peakW += pkg + dram
+	}
+	peakPSU := pp.PSUPowerW(peakW)
+
+	ratio := idlePSU / peakPSU
+	if ratio < 0.12 || ratio > 0.25 {
+		t.Errorf("static/peak PSU ratio = %.3f, want ~0.18 (0.12..0.25)", ratio)
+	}
+}
+
+// Dynamic power overhead not visible to RAPL is about 15 % (Figure 3).
+func TestPSUOverhead(t *testing.T) {
+	pp := DefaultPowerParams()
+	if got := pp.PSUPowerW(100) - pp.PSUPowerW(0) - 100; got < 10 || got > 20 {
+		t.Errorf("PSU dynamic overhead on 100 W = %.1f W, want ~15", got)
+	}
+}
+
+// Spin-polling draws less power than useful work but far more than sleep.
+func TestSpinPowerBetweenIdleAndBusy(t *testing.T) {
+	topo := HaswellEP()
+	cfg := NewConfiguration(topo)
+	cfg.Threads[0] = true
+	cfg.CoreMHz[0] = MaxCoreMHz
+	cfg.UncoreMHz = MinUncoreMHz
+
+	n := topo.ThreadsPerSocket()
+	idleAct := SocketActivity{Busy: make([]float64, n), Spin: make([]float64, n)}
+	spinAct := SocketActivity{Busy: make([]float64, n), Spin: make([]float64, n)}
+	spinAct.Spin[0] = 1
+	busyAct := fullBusy(topo, cfg)
+
+	pIdle := socketPower(topo, cfg, idleAct, false)
+	pSpin := socketPower(topo, cfg, spinAct, false)
+	pBusy := socketPower(topo, cfg, busyAct, false)
+	if !(pIdle < pSpin && pSpin < pBusy) {
+		t.Errorf("want idle %.2f < spin %.2f < busy %.2f", pIdle, pSpin, pBusy)
+	}
+}
+
+// Property: package power is non-negative, monotone in activity, and
+// monotone in core clock.
+func TestPowerMonotonicityProperties(t *testing.T) {
+	topo := HaswellEP()
+	pp := DefaultPowerParams()
+	f := func(seed uint64) bool {
+		seed = splitmix(seed)
+		cfg := NewConfiguration(topo)
+		nact := 1 + int(seed%uint64(topo.ThreadsPerSocket()))
+		for i := 0; i < nact; i++ {
+			cfg.Threads[i] = true
+		}
+		seed = splitmix(seed)
+		freq := MinCoreMHz + int(seed%15)*FreqStepMHz
+		for i := range cfg.CoreMHz {
+			cfg.CoreMHz[i] = freq
+		}
+		seed = splitmix(seed)
+		cfg.UncoreMHz = MinUncoreMHz + int(seed%19)*FreqStepMHz
+
+		low := SocketActivity{Busy: make([]float64, topo.ThreadsPerSocket())}
+		high := SocketActivity{Busy: make([]float64, topo.ThreadsPerSocket())}
+		for i := 0; i < nact; i++ {
+			seed = splitmix(seed)
+			l := float64(seed%1000) / 1000
+			low.Busy[i] = l / 2
+			high.Busy[i] = l
+		}
+		pLow, _ := pp.SocketPowerW(topo, 0, cfg, low, false, BandwidthCapGBs(cfg.UncoreMHz))
+		pHigh, _ := pp.SocketPowerW(topo, 0, cfg, high, false, BandwidthCapGBs(cfg.UncoreMHz))
+		if pLow < 0 || pHigh < pLow {
+			return false
+		}
+		faster := cfg.Clone()
+		for i := range faster.CoreMHz {
+			faster.CoreMHz[i] = TurboMHz
+		}
+		pFast, _ := pp.SocketPowerW(topo, 0, faster, high, false, BandwidthCapGBs(cfg.UncoreMHz))
+		return pFast >= pHigh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRAMPowerScalesWithTraffic(t *testing.T) {
+	pp := DefaultPowerParams()
+	if pp.DRAMPowerW(0) <= 0 {
+		t.Error("DRAM static power should be positive")
+	}
+	if pp.DRAMPowerW(PeakBandwidthGBs) <= pp.DRAMPowerW(0) {
+		t.Error("DRAM power should grow with traffic")
+	}
+	if pp.DRAMPowerW(-5) != pp.DRAMPowerW(0) {
+		t.Error("negative traffic should clamp to zero")
+	}
+}

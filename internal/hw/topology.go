@@ -1,0 +1,90 @@
+// Package hw implements a deterministic simulated NUMA server modeled on
+// the paper's system under test: a 2-socket Intel Xeon E5-2690 v3
+// (Haswell-EP) with 12 physical cores per socket, HyperThreading, per-core
+// clocks (1.2-2.6 GHz plus 3.1 GHz turbo), a per-socket uncore clock
+// (1.2-3.0 GHz), C-states, RAPL package and DRAM energy counters, a PSU
+// power meter, instructions-retired performance counters, and the
+// CPU-driven energy management features the paper analyzes in Section 2
+// (energy-performance bias, energy-efficient turbo, uncore frequency
+// scaling).
+//
+// The power and performance response surface is calibrated against the
+// paper's own measurements (Figures 3-8), so higher layers — energy
+// profiles and the Energy-Control Loop — observe the same qualitative
+// behaviour the authors measured on real hardware: expensive first-core
+// activation dominated by the uncore clock, near-free HyperThread
+// siblings, uncore halting only when every socket is idle, memory
+// bandwidth governed by the uncore clock, the 1 s energy-efficient-turbo
+// delay, and the automatic uncore scaling overshoot.
+package hw
+
+import "fmt"
+
+// Topology describes the processor layout of a machine.
+type Topology struct {
+	Sockets        int // number of processor packages
+	CoresPerSocket int // physical cores per package
+	ThreadsPerCore int // hardware threads per physical core
+}
+
+// HaswellEP returns the topology of the paper's system under test:
+// two sockets, twelve physical cores each, HyperThreading enabled.
+func HaswellEP() Topology {
+	return Topology{Sockets: 2, CoresPerSocket: 12, ThreadsPerCore: 2}
+}
+
+// ThreadsPerSocket returns the number of hardware threads on one socket.
+func (t Topology) ThreadsPerSocket() int {
+	return t.CoresPerSocket * t.ThreadsPerCore
+}
+
+// TotalThreads returns the number of hardware threads on the machine.
+func (t Topology) TotalThreads() int {
+	return t.Sockets * t.ThreadsPerSocket()
+}
+
+// TotalCores returns the number of physical cores on the machine.
+func (t Topology) TotalCores() int {
+	return t.Sockets * t.CoresPerSocket
+}
+
+// Validate reports whether the topology is well formed.
+func (t Topology) Validate() error {
+	if t.Sockets <= 0 || t.CoresPerSocket <= 0 || t.ThreadsPerCore <= 0 {
+		return fmt.Errorf("hw: invalid topology %+v", t)
+	}
+	return nil
+}
+
+// GlobalThread converts a (socket, local thread) pair into a global
+// hardware thread index.
+func (t Topology) GlobalThread(socket, local int) int {
+	return socket*t.ThreadsPerSocket() + local
+}
+
+// SocketOf returns the socket that hosts a global hardware thread index.
+func (t Topology) SocketOf(global int) int {
+	return global / t.ThreadsPerSocket()
+}
+
+// LocalThread returns the socket-local index of a global thread index.
+func (t Topology) LocalThread(global int) int {
+	return global % t.ThreadsPerSocket()
+}
+
+// CoreOfLocal returns the socket-local physical core of a socket-local
+// hardware thread. Sibling hardware threads of one core are laid out
+// adjacently: threads 2c and 2c+1 belong to core c (for two-way SMT).
+func (t Topology) CoreOfLocal(local int) int {
+	return local / t.ThreadsPerCore
+}
+
+// SiblingsOfCore returns the socket-local hardware thread indices that
+// belong to the given socket-local physical core.
+func (t Topology) SiblingsOfCore(core int) []int {
+	s := make([]int, t.ThreadsPerCore)
+	for i := range s {
+		s[i] = core*t.ThreadsPerCore + i
+	}
+	return s
+}

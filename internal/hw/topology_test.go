@@ -1,0 +1,62 @@
+package hw
+
+import "testing"
+
+func TestHaswellEPTopology(t *testing.T) {
+	topo := HaswellEP()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.TotalCores(); got != 24 {
+		t.Errorf("TotalCores = %d, want 24", got)
+	}
+	if got := topo.TotalThreads(); got != 48 {
+		t.Errorf("TotalThreads = %d, want 48", got)
+	}
+	if got := topo.ThreadsPerSocket(); got != 24 {
+		t.Errorf("ThreadsPerSocket = %d, want 24", got)
+	}
+}
+
+func TestTopologyValidateRejectsZero(t *testing.T) {
+	bad := []Topology{
+		{Sockets: 0, CoresPerSocket: 12, ThreadsPerCore: 2},
+		{Sockets: 2, CoresPerSocket: 0, ThreadsPerCore: 2},
+		{Sockets: 2, CoresPerSocket: 12, ThreadsPerCore: 0},
+	}
+	for _, topo := range bad {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", topo)
+		}
+	}
+}
+
+func TestThreadIndexRoundTrip(t *testing.T) {
+	topo := HaswellEP()
+	for s := 0; s < topo.Sockets; s++ {
+		for l := 0; l < topo.ThreadsPerSocket(); l++ {
+			g := topo.GlobalThread(s, l)
+			if topo.SocketOf(g) != s {
+				t.Fatalf("SocketOf(%d) = %d, want %d", g, topo.SocketOf(g), s)
+			}
+			if topo.LocalThread(g) != l {
+				t.Fatalf("LocalThread(%d) = %d, want %d", g, topo.LocalThread(g), l)
+			}
+		}
+	}
+}
+
+func TestCoreSiblingLayout(t *testing.T) {
+	topo := HaswellEP()
+	// Threads 0 and 1 share core 0; threads 2 and 3 share core 1.
+	if topo.CoreOfLocal(0) != 0 || topo.CoreOfLocal(1) != 0 {
+		t.Error("threads 0,1 should belong to core 0")
+	}
+	if topo.CoreOfLocal(2) != 1 || topo.CoreOfLocal(3) != 1 {
+		t.Error("threads 2,3 should belong to core 1")
+	}
+	sib := topo.SiblingsOfCore(5)
+	if len(sib) != 2 || sib[0] != 10 || sib[1] != 11 {
+		t.Errorf("SiblingsOfCore(5) = %v, want [10 11]", sib)
+	}
+}

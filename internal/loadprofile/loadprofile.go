@@ -1,0 +1,167 @@
+// Package loadprofile defines database load profiles: queries-per-second
+// curves over time. The paper evaluates each workload under a load profile
+// because energy efficiency depends on the load (Section 6, Table 1): the
+// "spike" profile sweeps the full load range including an overload phase,
+// and the "twitter" profile replays a bursty real-world shape (a 2 h trace
+// compressed into minutes).
+package loadprofile
+
+import (
+	"math"
+	"time"
+)
+
+// Profile yields the offered load over time.
+type Profile interface {
+	// Name identifies the profile in reports.
+	Name() string
+	// QPS returns the offered queries per second at time t.
+	QPS(t time.Duration) float64
+	// Duration returns the length of the profile.
+	Duration() time.Duration
+}
+
+// Constant is a flat load.
+type Constant struct {
+	Qps float64
+	Len time.Duration
+}
+
+// Name implements Profile.
+func (c Constant) Name() string { return "constant" }
+
+// QPS implements Profile.
+func (c Constant) QPS(t time.Duration) float64 {
+	if t < 0 || t > c.Len {
+		return 0
+	}
+	return c.Qps
+}
+
+// Duration implements Profile.
+func (c Constant) Duration() time.Duration { return c.Len }
+
+// Step walks through load levels, holding each for StepLen.
+type Step struct {
+	Levels  []float64
+	StepLen time.Duration
+}
+
+// Name implements Profile.
+func (s Step) Name() string { return "step" }
+
+// QPS implements Profile.
+func (s Step) QPS(t time.Duration) float64 {
+	if t < 0 || len(s.Levels) == 0 {
+		return 0
+	}
+	i := int(t / s.StepLen)
+	if i >= len(s.Levels) {
+		return 0
+	}
+	return s.Levels[i]
+}
+
+// Duration implements Profile.
+func (s Step) Duration() time.Duration {
+	return time.Duration(len(s.Levels)) * s.StepLen
+}
+
+// Spike is the paper's spike profile (Figure 13): the load ramps from zero
+// through the full range into an overload plateau (peak above the system's
+// capacity), then ramps back down. With PeakQps set ~25 % above capacity,
+// the plateau is an overload phase.
+type Spike struct {
+	PeakQps float64
+	Len     time.Duration
+}
+
+// Name implements Profile.
+func (s Spike) Name() string { return "spike" }
+
+// QPS implements Profile.
+func (s Spike) QPS(t time.Duration) float64 {
+	if t < 0 || t > s.Len || s.Len <= 0 {
+		return 0
+	}
+	x := float64(t) / float64(s.Len)
+	switch {
+	case x < 0.45: // ramp up
+		return s.PeakQps * (x / 0.45)
+	case x < 0.72: // overload plateau
+		return s.PeakQps
+	default: // ramp down
+		return s.PeakQps * (1 - x) / 0.28
+	}
+}
+
+// Duration implements Profile.
+func (s Spike) Duration() time.Duration { return s.Len }
+
+// Twitter is a deterministic synthetic reconstruction of the paper's
+// twitter load profile: a diurnal base wave with frequent alternation and
+// sudden load peaks. BaseQps scales the curve; the peak factor reaches
+// ~1.0 at the largest burst.
+type Twitter struct {
+	BaseQps float64
+	Len     time.Duration
+}
+
+// Name implements Profile.
+func (tw Twitter) Name() string { return "twitter" }
+
+// QPS implements Profile.
+func (tw Twitter) QPS(t time.Duration) float64 {
+	if t < 0 || t > tw.Len || tw.Len <= 0 {
+		return 0
+	}
+	x := float64(t) / float64(tw.Len) // 0..1 over the compressed 2 h
+	// Diurnal base: mid-level with a broad hump.
+	base := 0.45 + 0.2*math.Sin(2*math.Pi*(x-0.2))
+	// Frequent alternation.
+	base += 0.1*math.Sin(2*math.Pi*11*x) + 0.06*math.Sin(2*math.Pi*29*x+1.3)
+	// Sudden peaks (retweet storms) at fixed instants.
+	for _, p := range twitterPeaks {
+		d := (x - p.at) / p.width
+		base += p.height * math.Exp(-d*d)
+	}
+	if base < 0.02 {
+		base = 0.02
+	}
+	return tw.BaseQps * base
+}
+
+// Duration implements Profile.
+func (tw Twitter) Duration() time.Duration { return tw.Len }
+
+// twitterPeaks are the synthetic burst events of the Twitter profile.
+var twitterPeaks = []struct{ at, width, height float64 }{
+	{at: 0.18, width: 0.010, height: 0.55},
+	{at: 0.37, width: 0.006, height: 0.70},
+	{at: 0.55, width: 0.012, height: 0.45},
+	{at: 0.71, width: 0.005, height: 0.80},
+	{at: 0.86, width: 0.008, height: 0.60},
+}
+
+// Sine oscillates between (1-Amp) and (1+Amp) times MeanQps with the given
+// period. Used by ablation benches.
+type Sine struct {
+	MeanQps float64
+	Amp     float64 // 0..1
+	Period  time.Duration
+	Len     time.Duration
+}
+
+// Name implements Profile.
+func (s Sine) Name() string { return "sine" }
+
+// QPS implements Profile.
+func (s Sine) QPS(t time.Duration) float64 {
+	if t < 0 || t > s.Len || s.Period <= 0 {
+		return 0
+	}
+	return s.MeanQps * (1 + s.Amp*math.Sin(2*math.Pi*float64(t)/float64(s.Period)))
+}
+
+// Duration implements Profile.
+func (s Sine) Duration() time.Duration { return s.Len }

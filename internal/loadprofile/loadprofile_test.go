@@ -1,0 +1,130 @@
+package loadprofile
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant{Qps: 100, Len: time.Minute}
+	if c.QPS(30*time.Second) != 100 {
+		t.Error("mid-profile QPS wrong")
+	}
+	if c.QPS(-1) != 0 || c.QPS(2*time.Minute) != 0 {
+		t.Error("out-of-range QPS should be 0")
+	}
+	if c.Duration() != time.Minute || c.Name() == "" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := Step{Levels: []float64{10, 20, 30}, StepLen: time.Second}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 10}, {999 * time.Millisecond, 10}, {time.Second, 20},
+		{2500 * time.Millisecond, 30}, {3 * time.Second, 0}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := s.QPS(c.at); got != c.want {
+			t.Errorf("QPS(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if s.Duration() != 3*time.Second {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+}
+
+func TestSpikeShape(t *testing.T) {
+	s := Spike{PeakQps: 1000, Len: 3 * time.Minute}
+	if got := s.QPS(0); got != 0 {
+		t.Errorf("QPS(0) = %v, want 0", got)
+	}
+	// Monotone ramp-up.
+	prev := -1.0
+	for x := 0.0; x < 0.45; x += 0.05 {
+		v := s.QPS(time.Duration(x * float64(s.Len)))
+		if v < prev {
+			t.Fatalf("ramp-up not monotone at %v", x)
+		}
+		prev = v
+	}
+	// Overload plateau at peak.
+	for _, x := range []float64{0.5, 0.6, 0.7} {
+		if v := s.QPS(time.Duration(x * float64(s.Len))); v != 1000 {
+			t.Errorf("plateau QPS at %v = %v, want 1000", x, v)
+		}
+	}
+	// Ramp-down ends at zero.
+	if v := s.QPS(s.Len); v > 1e-9 {
+		t.Errorf("QPS(end) = %v, want ~0", v)
+	}
+}
+
+func TestTwitterShape(t *testing.T) {
+	tw := Twitter{BaseQps: 1000, Len: 3 * time.Minute}
+	// Never negative, never absurd, and genuinely bursty.
+	min, max := 1e18, 0.0
+	for i := 0; i <= 1000; i++ {
+		v := tw.QPS(time.Duration(i) * tw.Len / 1000)
+		if v < 0 {
+			t.Fatalf("negative QPS at sample %d", i)
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max < 2.5*min {
+		t.Errorf("twitter profile not bursty enough: min=%v max=%v", min, max)
+	}
+	if max > 1.6*tw.BaseQps {
+		t.Errorf("twitter profile exceeds sane peak: %v", max)
+	}
+	// Determinism.
+	if tw.QPS(time.Minute) != tw.QPS(time.Minute) {
+		t.Error("profile must be deterministic")
+	}
+}
+
+func TestTwitterHasSuddenPeaks(t *testing.T) {
+	tw := Twitter{BaseQps: 1000, Len: 2 * time.Hour}
+	// At a known burst instant the load clearly exceeds the local
+	// baseline shortly before it.
+	at := time.Duration(0.71 * float64(tw.Len))
+	before := time.Duration(0.68 * float64(tw.Len))
+	if tw.QPS(at) < 1.4*tw.QPS(before) {
+		t.Errorf("burst at 0.71 not visible: %v vs %v", tw.QPS(at), tw.QPS(before))
+	}
+}
+
+func TestSine(t *testing.T) {
+	s := Sine{MeanQps: 100, Amp: 0.5, Period: time.Minute, Len: 10 * time.Minute}
+	if got := s.QPS(0); got != 100 {
+		t.Errorf("QPS(0) = %v, want mean", got)
+	}
+	if got := s.QPS(15 * time.Second); got < 149 || got > 151 {
+		t.Errorf("QPS(quarter period) = %v, want ~150", got)
+	}
+	if s.QPS(11*time.Minute) != 0 {
+		t.Error("past end should be 0")
+	}
+}
+
+func TestProfilesImplementInterface(t *testing.T) {
+	for _, p := range []Profile{
+		Constant{Qps: 1, Len: time.Second},
+		Step{Levels: []float64{1}, StepLen: time.Second},
+		Spike{PeakQps: 1, Len: time.Second},
+		Twitter{BaseQps: 1, Len: time.Second},
+		Sine{MeanQps: 1, Period: time.Second, Len: time.Second},
+	} {
+		if p.Name() == "" || p.Duration() <= 0 {
+			t.Errorf("%T: degenerate metadata", p)
+		}
+	}
+}

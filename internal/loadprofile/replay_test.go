@@ -1,0 +1,94 @@
+package loadprofile
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReplayInterpolation(t *testing.T) {
+	// A 2-hour trace replayed in 2 minutes: 60x compression.
+	r, err := NewReplay("trace",
+		[]time.Duration{0, time.Hour, 2 * time.Hour},
+		[]float64{100, 300, 100},
+		2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Compression(); got != 60 {
+		t.Errorf("Compression = %v, want 60", got)
+	}
+	if got := r.QPS(0); got != 100 {
+		t.Errorf("QPS(0) = %v", got)
+	}
+	// Playback midpoint maps to the trace's 1 h peak.
+	if got := r.QPS(time.Minute); got != 300 {
+		t.Errorf("QPS(mid) = %v, want 300", got)
+	}
+	// Quarter point interpolates linearly.
+	if got := r.QPS(30 * time.Second); got != 200 {
+		t.Errorf("QPS(quarter) = %v, want 200", got)
+	}
+	if r.QPS(-1) != 0 || r.QPS(3*time.Minute) != 0 {
+		t.Error("out-of-range QPS should be 0")
+	}
+	if r.Duration() != 2*time.Minute {
+		t.Errorf("Duration = %v", r.Duration())
+	}
+	if !strings.HasPrefix(r.Name(), "replay:") {
+		t.Errorf("Name = %q", r.Name())
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := NewReplay("x", nil, nil, time.Minute); err == nil {
+		t.Error("empty trace should fail")
+	}
+	if _, err := NewReplay("x", []time.Duration{0, 1}, []float64{1}, time.Minute); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewReplay("x", []time.Duration{1, 0}, []float64{1, 2}, time.Minute); err == nil {
+		t.Error("descending times should fail")
+	}
+	if _, err := NewReplay("x", []time.Duration{0, 1}, []float64{1, -2}, time.Minute); err == nil {
+		t.Error("negative qps should fail")
+	}
+	if _, err := NewReplay("x", []time.Duration{0, 1}, []float64{1, 2}, 0); err == nil {
+		t.Error("zero playback should fail")
+	}
+}
+
+func TestLoadReplayCSV(t *testing.T) {
+	trace := "t_seconds,qps\n0,100\n3600,300\n7200,100\n"
+	r, err := LoadReplayCSV("csv", strings.NewReader(trace), 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.QPS(time.Minute); got != 300 {
+		t.Errorf("QPS(mid) = %v, want 300", got)
+	}
+	// Alternative column name and extra columns.
+	trace2 := "t_seconds,power,load_qps\n0,1,50\n10,2,150\n"
+	r2, err := LoadReplayCSV("csv2", strings.NewReader(trace2), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.QPS(30 * time.Second); got != 100 {
+		t.Errorf("QPS(mid) = %v, want 100", got)
+	}
+}
+
+func TestLoadReplayCSVErrors(t *testing.T) {
+	if _, err := LoadReplayCSV("x", strings.NewReader(""), time.Minute); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := LoadReplayCSV("x", strings.NewReader("a,b\n1,2\n"), time.Minute); err == nil {
+		t.Error("missing columns should fail")
+	}
+	if _, err := LoadReplayCSV("x", strings.NewReader("t_seconds,qps\nnope,2\n"), time.Minute); err == nil {
+		t.Error("non-numeric time should fail")
+	}
+	if _, err := LoadReplayCSV("x", strings.NewReader("t_seconds,qps\n1,nope\n"), time.Minute); err == nil {
+		t.Error("non-numeric qps should fail")
+	}
+}

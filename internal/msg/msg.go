@@ -1,0 +1,231 @@
+// Package msg implements the hierarchical message passing layer of the
+// elastic data-oriented architecture (Section 3 of the paper).
+//
+// The original data-oriented architecture statically maps each data
+// partition to one worker thread over point-to-point channels, which makes
+// partitions unreachable as soon as their worker sleeps. The paper's
+// elasticity extension replaces that with two levels:
+//
+//   - Intra-socket: messages for a partition are buffered in a
+//     per-partition queue on the partition's home socket. Any worker of
+//     that socket may take ownership of a partition, drain a batch of its
+//     messages, and release it — so shrinking or growing the worker set
+//     never orphans a partition, and load balancing within the socket is
+//     implicit.
+//   - Inter-socket: one communication endpoint per socket buffers
+//     messages that target partitions homed on other sockets and
+//     transfers them in batches to the remote endpoint.
+package msg
+
+import (
+	"fmt"
+	"time"
+)
+
+// Message is one unit of work addressed to a data partition.
+type Message struct {
+	// Partition is the global partition the message operates on.
+	Partition int
+	// Instr is the modeled instruction cost of processing the message.
+	Instr float64
+	// Bytes is the modeled DRAM traffic of processing the message.
+	Bytes float64
+	// Exec optionally performs real work against the partition's data
+	// structures when the message is processed.
+	Exec func()
+	// Done, if set, is invoked when processing completes, with the
+	// completion time (used for query latency accounting).
+	Done func(now time.Duration)
+	// Enqueued is the time the message entered the system.
+	Enqueued time.Duration
+}
+
+// queue is a FIFO of messages for one partition with an ownership flag.
+type queue struct {
+	partition int
+	msgs      []*Message
+	head      int
+	owner     int // worker token holding the partition, or -1
+}
+
+func (q *queue) len() int { return len(q.msgs) - q.head }
+
+func (q *queue) push(m *Message) { q.msgs = append(q.msgs, m) }
+
+func (q *queue) pop() *Message {
+	if q.head >= len(q.msgs) {
+		return nil
+	}
+	m := q.msgs[q.head]
+	q.msgs[q.head] = nil
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
+	return m
+}
+
+// NoOwner marks an unowned partition queue.
+const NoOwner = -1
+
+// Hub is the intra-socket message hub: the per-partition queues of the
+// partitions homed on one socket, plus outbound buffers toward remote
+// sockets. Hubs are driven by the single-threaded simulation and carry no
+// locks; ownership tokens serialize partition access between simulated
+// workers.
+type Hub struct {
+	socket     int
+	queues     map[int]*queue
+	order      []int // partition scan order for fairness
+	scanCursor int
+	outbound   map[int][]*Message // per remote socket
+	pending    int                // local messages waiting
+}
+
+// NewHub creates the hub of one socket with the given homed partitions.
+func NewHub(socket int, partitions []int) *Hub {
+	h := &Hub{
+		socket:   socket,
+		queues:   make(map[int]*queue, len(partitions)),
+		outbound: make(map[int][]*Message),
+	}
+	for _, p := range partitions {
+		h.queues[p] = &queue{partition: p, owner: NoOwner}
+		h.order = append(h.order, p)
+	}
+	return h
+}
+
+// Socket returns the hub's socket index.
+func (h *Hub) Socket() int { return h.socket }
+
+// Partitions returns the partitions homed on this hub.
+func (h *Hub) Partitions() []int { return h.order }
+
+// Pending returns the number of undelivered local messages.
+func (h *Hub) Pending() int { return h.pending }
+
+// EnqueueLocal delivers a message to a partition homed on this hub.
+func (h *Hub) EnqueueLocal(m *Message) error {
+	q, ok := h.queues[m.Partition]
+	if !ok {
+		return fmt.Errorf("msg: partition %d not homed on socket %d", m.Partition, h.socket)
+	}
+	q.push(m)
+	h.pending++
+	return nil
+}
+
+// EnqueueRemote buffers a message for the communication endpoint toward a
+// remote socket.
+func (h *Hub) EnqueueRemote(remoteSocket int, m *Message) {
+	h.outbound[remoteSocket] = append(h.outbound[remoteSocket], m)
+}
+
+// DrainOutbound removes and returns up to max buffered messages for a
+// remote socket (max <= 0 means all).
+func (h *Hub) DrainOutbound(remoteSocket int, max int) []*Message {
+	buf := h.outbound[remoteSocket]
+	if len(buf) == 0 {
+		return nil
+	}
+	n := len(buf)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := buf[:n:n]
+	rest := buf[n:]
+	if len(rest) == 0 {
+		delete(h.outbound, remoteSocket)
+	} else {
+		h.outbound[remoteSocket] = append([]*Message(nil), rest...)
+	}
+	return out
+}
+
+// OutboundLen returns the number of messages buffered toward a remote
+// socket.
+func (h *Hub) OutboundLen(remoteSocket int) int { return len(h.outbound[remoteSocket]) }
+
+// Acquire finds the next partition with pending messages that is not
+// owned, takes ownership for the worker token, and returns the partition.
+// It returns (-1, false) if no partition is available. Scanning rotates so
+// partitions are served fairly.
+func (h *Hub) Acquire(worker int) (partition int, ok bool) {
+	n := len(h.order)
+	for i := 0; i < n; i++ {
+		p := h.order[(h.scanCursor+i)%n]
+		q := h.queues[p]
+		if q.owner == NoOwner && q.len() > 0 {
+			q.owner = worker
+			h.scanCursor = (h.scanCursor + i + 1) % n
+			return p, true
+		}
+	}
+	return -1, false
+}
+
+// AcquireSpecific takes ownership of one specific partition if it is
+// unowned and has pending messages. Used by the static-binding ablation
+// mode, where workers may only serve their own partitions.
+func (h *Hub) AcquireSpecific(worker, partition int) bool {
+	q, ok := h.queues[partition]
+	if !ok || q.owner != NoOwner || q.len() == 0 {
+		return false
+	}
+	q.owner = worker
+	return true
+}
+
+// Owner returns the worker token owning a partition, or NoOwner.
+func (h *Hub) Owner(partition int) int {
+	if q, ok := h.queues[partition]; ok {
+		return q.owner
+	}
+	return NoOwner
+}
+
+// Release gives up ownership of a partition. Releasing an unowned or
+// foreign partition is an error.
+func (h *Hub) Release(worker, partition int) error {
+	q, ok := h.queues[partition]
+	if !ok {
+		return fmt.Errorf("msg: partition %d not homed on socket %d", partition, h.socket)
+	}
+	if q.owner != worker {
+		return fmt.Errorf("msg: worker %d releasing partition %d owned by %d", worker, partition, q.owner)
+	}
+	q.owner = NoOwner
+	return nil
+}
+
+// Dequeue pops up to max messages from an owned partition. The caller
+// must hold ownership.
+func (h *Hub) Dequeue(worker, partition int, max int) ([]*Message, error) {
+	q, ok := h.queues[partition]
+	if !ok {
+		return nil, fmt.Errorf("msg: partition %d not homed on socket %d", partition, h.socket)
+	}
+	if q.owner != worker {
+		return nil, fmt.Errorf("msg: worker %d dequeuing partition %d owned by %d", worker, partition, q.owner)
+	}
+	var out []*Message
+	for len(out) < max {
+		m := q.pop()
+		if m == nil {
+			break
+		}
+		out = append(out, m)
+	}
+	h.pending -= len(out)
+	return out, nil
+}
+
+// QueueLen returns the number of pending messages of one partition.
+func (h *Hub) QueueLen(partition int) int {
+	if q, ok := h.queues[partition]; ok {
+		return q.len()
+	}
+	return 0
+}

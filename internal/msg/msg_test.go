@@ -1,0 +1,334 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkMsg(p int) *Message { return &Message{Partition: p, Instr: 100} }
+
+func TestHubEnqueueDequeueFIFO(t *testing.T) {
+	h := NewHub(0, []int{1, 2})
+	for i := 0; i < 5; i++ {
+		m := mkMsg(1)
+		m.Instr = float64(i)
+		if err := h.EnqueueLocal(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Pending() != 5 || h.QueueLen(1) != 5 {
+		t.Fatalf("pending=%d queuelen=%d, want 5/5", h.Pending(), h.QueueLen(1))
+	}
+	p, ok := h.Acquire(7)
+	if !ok || p != 1 {
+		t.Fatalf("Acquire = %d,%v, want 1,true", p, ok)
+	}
+	batch, err := h.Dequeue(7, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch = %d messages, want 3", len(batch))
+	}
+	for i, m := range batch {
+		if m.Instr != float64(i) {
+			t.Fatalf("message %d has cost %v, want FIFO order", i, m.Instr)
+		}
+	}
+	if h.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", h.Pending())
+	}
+	if err := h.Release(7, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubEnqueueUnknownPartition(t *testing.T) {
+	h := NewHub(0, []int{1})
+	if err := h.EnqueueLocal(mkMsg(99)); err == nil {
+		t.Fatal("enqueue to foreign partition should fail")
+	}
+}
+
+func TestHubOwnershipExcludes(t *testing.T) {
+	h := NewHub(0, []int{1})
+	if err := h.EnqueueLocal(mkMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Acquire(1); !ok {
+		t.Fatal("first Acquire failed")
+	}
+	if _, ok := h.Acquire(2); ok {
+		t.Fatal("second worker acquired an owned partition")
+	}
+	if _, err := h.Dequeue(2, 1, 1); err == nil {
+		t.Fatal("dequeue without ownership should fail")
+	}
+	if err := h.Release(2, 1); err == nil {
+		t.Fatal("foreign release should fail")
+	}
+	if err := h.Release(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Acquire(2); !ok {
+		t.Fatal("acquire after release failed")
+	}
+}
+
+func TestHubAcquireSkipsEmptyPartitions(t *testing.T) {
+	h := NewHub(0, []int{1, 2, 3})
+	if err := h.EnqueueLocal(mkMsg(2)); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := h.Acquire(1)
+	if !ok || p != 2 {
+		t.Fatalf("Acquire = %d,%v, want 2,true", p, ok)
+	}
+	if _, ok := h.Acquire(2); ok {
+		t.Fatal("no other partition has work")
+	}
+}
+
+func TestHubAcquireFairRotation(t *testing.T) {
+	h := NewHub(0, []int{1, 2, 3})
+	for _, p := range []int{1, 2, 3} {
+		if err := h.EnqueueLocal(mkMsg(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int
+	for i := 0; i < 3; i++ {
+		p, ok := h.Acquire(i)
+		if !ok {
+			t.Fatal("acquire failed")
+		}
+		got = append(got, p)
+	}
+	seen := map[int]bool{}
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("rotation served partition %d twice: %v", p, got)
+		}
+		seen[p] = true
+	}
+}
+
+// The elasticity property: any worker can serve any partition of the
+// socket — ownership is taken per batch, not statically assigned.
+func TestHubElasticWorkerAssignment(t *testing.T) {
+	h := NewHub(0, []int{1})
+	for round := 0; round < 4; round++ {
+		if err := h.EnqueueLocal(mkMsg(1)); err != nil {
+			t.Fatal(err)
+		}
+		worker := round % 3 // shrinking/growing worker pool
+		p, ok := h.Acquire(worker)
+		if !ok {
+			t.Fatalf("round %d: acquire failed", round)
+		}
+		if _, err := h.Dequeue(worker, p, 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Release(worker, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Pending() != 0 {
+		t.Fatalf("pending = %d after draining", h.Pending())
+	}
+}
+
+func TestRouterLocalAndRemoteRouting(t *testing.T) {
+	r, err := NewRouter([][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local send goes straight to the home hub.
+	if err := r.Send(0, mkMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Hub(0).QueueLen(1) != 1 {
+		t.Fatal("local message not enqueued")
+	}
+	// Remote send is buffered at the origin's endpoint.
+	if err := r.Send(0, mkMsg(2)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Hub(1).QueueLen(2) != 0 {
+		t.Fatal("remote message delivered without a transfer round")
+	}
+	if r.Hub(0).OutboundLen(1) != 1 {
+		t.Fatal("remote message not buffered")
+	}
+	rep, err := r.RunCommEndpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != 1 || rep.Instr != TransferInstr || rep.Bytes != TransferBytes {
+		t.Fatalf("transfer report = %+v", rep)
+	}
+	if r.Hub(1).QueueLen(2) != 1 {
+		t.Fatal("remote message not delivered after transfer")
+	}
+}
+
+func TestRouterRejectsBadInput(t *testing.T) {
+	if _, err := NewRouter([][]int{{0}, {0}}); err == nil {
+		t.Error("duplicate partition home should fail")
+	}
+	r, err := NewRouter([][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Send(0, mkMsg(42)); err == nil {
+		t.Error("unknown partition should fail")
+	}
+	if err := r.Send(9, mkMsg(0)); err == nil {
+		t.Error("invalid origin socket should fail")
+	}
+}
+
+func TestRouterHome(t *testing.T) {
+	r, err := NewRouter([][]int{{0, 1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := r.Home(2); !ok || s != 1 {
+		t.Fatalf("Home(2) = %d,%v", s, ok)
+	}
+	if _, ok := r.Home(7); ok {
+		t.Fatal("Home of unknown partition should fail")
+	}
+	if r.Sockets() != 2 {
+		t.Fatalf("Sockets = %d", r.Sockets())
+	}
+}
+
+func TestTransferBatchLimit(t *testing.T) {
+	r, err := NewRouter([][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := TransferBatch + 50
+	for i := 0; i < total; i++ {
+		if err := r.Send(0, mkMsg(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := r.RunCommEndpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != TransferBatch {
+		t.Fatalf("first round moved %d, want %d", rep.Messages, TransferBatch)
+	}
+	rep, err = r.RunCommEndpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != 50 {
+		t.Fatalf("second round moved %d, want 50", rep.Messages)
+	}
+	if r.PendingTotal() != total {
+		t.Fatalf("PendingTotal = %d, want %d delivered-but-unprocessed", r.PendingTotal(), total)
+	}
+}
+
+// Property: no message is ever lost or duplicated through arbitrary
+// send/transfer/drain interleavings.
+func TestConservationOfMessages(t *testing.T) {
+	f := func(seedRaw uint64) bool {
+		seed := seedRaw
+		next := func(mod uint64) int {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return int((seed >> 33) % mod)
+		}
+		r, err := NewRouter([][]int{{0, 1}, {2, 3}})
+		if err != nil {
+			return false
+		}
+		sent, processed := 0, 0
+		for op := 0; op < 400; op++ {
+			switch next(3) {
+			case 0: // send from random socket to random partition
+				if r.Send(next(2), mkMsg(next(4))) == nil {
+					sent++
+				}
+			case 1: // run a comm endpoint
+				if _, err := r.RunCommEndpoint(next(2)); err != nil {
+					return false
+				}
+			case 2: // worker drains something
+				s := next(2)
+				h := r.Hub(s)
+				if p, ok := h.Acquire(1); ok {
+					batch, err := h.Dequeue(1, p, 1+next(5))
+					if err != nil {
+						return false
+					}
+					processed += len(batch)
+					if h.Release(1, p) != nil {
+						return false
+					}
+				}
+			}
+		}
+		return sent == processed+r.PendingTotal()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHubAccessors(t *testing.T) {
+	h := NewHub(1, []int{4, 5, 6})
+	if h.Socket() != 1 {
+		t.Errorf("Socket = %d", h.Socket())
+	}
+	if got := h.Partitions(); len(got) != 3 || got[0] != 4 || got[2] != 6 {
+		t.Errorf("Partitions = %v", got)
+	}
+	if h.QueueLen(4) != 0 || h.QueueLen(99) != 0 {
+		t.Error("empty/unknown partitions must report zero queue length")
+	}
+	if err := h.EnqueueLocal(&Message{Partition: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if h.QueueLen(5) != 1 {
+		t.Errorf("QueueLen(5) = %d, want 1", h.QueueLen(5))
+	}
+}
+
+func TestHubAcquireSpecific(t *testing.T) {
+	h := NewHub(0, []int{1, 2})
+	// Empty partition: not acquirable (nothing to do).
+	if h.AcquireSpecific(7, 1) {
+		t.Error("acquired an empty partition")
+	}
+	if err := h.EnqueueLocal(&Message{Partition: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !h.AcquireSpecific(7, 1) {
+		t.Fatal("failed to acquire a pending partition")
+	}
+	if h.Owner(1) != 7 {
+		t.Errorf("Owner = %d, want 7", h.Owner(1))
+	}
+	// Owned: a second worker is excluded.
+	if h.AcquireSpecific(8, 1) {
+		t.Error("double acquisition")
+	}
+	// Unknown partition.
+	if h.AcquireSpecific(7, 42) {
+		t.Error("acquired a partition not homed here")
+	}
+	if h.Owner(42) != NoOwner {
+		t.Error("unknown partition must report NoOwner")
+	}
+	if err := h.Release(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Owner(1) != NoOwner {
+		t.Error("release did not clear ownership")
+	}
+}

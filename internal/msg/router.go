@@ -1,0 +1,116 @@
+package msg
+
+import "fmt"
+
+// Per-message modeled costs of the communication endpoints. Transfers are
+// batched, so the per-message cost is small; it still makes inter-socket
+// work (joins shipping tuples between partitions) measurably more
+// expensive than local work, which is why the paper's SSB workload favors
+// a higher uncore clock than TATP.
+const (
+	// TransferInstr is the instruction cost charged to the communication
+	// endpoint per transferred message.
+	TransferInstr = 400
+	// TransferBytes is the interconnect/DRAM traffic per transferred
+	// message.
+	TransferBytes = 128
+	// TransferBatch is the maximum number of messages a communication
+	// endpoint moves per transfer round.
+	TransferBatch = 1024
+)
+
+// Router connects the per-socket hubs: it routes messages to the home
+// socket of their partition and operates the per-socket communication
+// endpoints that move buffered remote messages.
+type Router struct {
+	hubs []*Hub
+	home map[int]int // partition -> socket
+}
+
+// NewRouter builds a router over per-socket partition assignments:
+// homes[s] lists the partitions homed on socket s.
+func NewRouter(homes [][]int) (*Router, error) {
+	r := &Router{home: make(map[int]int)}
+	for s, parts := range homes {
+		for _, p := range parts {
+			if owner, dup := r.home[p]; dup {
+				return nil, fmt.Errorf("msg: partition %d homed on sockets %d and %d", p, owner, s)
+			}
+			r.home[p] = s
+		}
+		r.hubs = append(r.hubs, NewHub(s, parts))
+	}
+	return r, nil
+}
+
+// Hub returns the hub of a socket.
+func (r *Router) Hub(socket int) *Hub { return r.hubs[socket] }
+
+// Sockets returns the number of sockets.
+func (r *Router) Sockets() int { return len(r.hubs) }
+
+// Home returns the home socket of a partition.
+func (r *Router) Home(partition int) (int, bool) {
+	s, ok := r.home[partition]
+	return s, ok
+}
+
+// Send routes a message: if it originates on the partition's home socket
+// it is enqueued locally, otherwise it is buffered at the origin socket's
+// communication endpoint for transfer.
+func (r *Router) Send(originSocket int, m *Message) error {
+	home, ok := r.home[m.Partition]
+	if !ok {
+		return fmt.Errorf("msg: unknown partition %d", m.Partition)
+	}
+	if originSocket < 0 || originSocket >= len(r.hubs) {
+		return fmt.Errorf("msg: invalid origin socket %d", originSocket)
+	}
+	if home == originSocket {
+		return r.hubs[home].EnqueueLocal(m)
+	}
+	r.hubs[originSocket].EnqueueRemote(home, m)
+	return nil
+}
+
+// TransferReport describes one communication round of a socket endpoint.
+type TransferReport struct {
+	Messages int
+	Instr    float64
+	Bytes    float64
+}
+
+// RunCommEndpoint executes one communication round for a socket: it moves
+// up to TransferBatch buffered messages per remote socket into the remote
+// hubs and reports the modeled cost incurred on the local endpoint.
+func (r *Router) RunCommEndpoint(socket int) (TransferReport, error) {
+	var rep TransferReport
+	h := r.hubs[socket]
+	for remote := range r.hubs {
+		if remote == socket {
+			continue
+		}
+		for _, m := range h.DrainOutbound(remote, TransferBatch) {
+			if err := r.hubs[remote].EnqueueLocal(m); err != nil {
+				return rep, err
+			}
+			rep.Messages++
+			rep.Instr += TransferInstr
+			rep.Bytes += TransferBytes
+		}
+	}
+	return rep, nil
+}
+
+// PendingTotal returns the number of undelivered messages across all hubs
+// (local queues plus outbound buffers).
+func (r *Router) PendingTotal() int {
+	total := 0
+	for _, h := range r.hubs {
+		total += h.Pending()
+		for remote := range r.hubs {
+			total += h.OutboundLen(remote)
+		}
+	}
+	return total
+}

@@ -1,0 +1,316 @@
+// Package perfmodel maps a workload's execution characteristics and a
+// hardware configuration onto the instruction throughput the simulated
+// machine delivers. It is the performance half of the response surface the
+// energy profiles (Section 4 of the paper) capture:
+//
+//   - compute-bound work scales linearly with the core clock and gains
+//     ~25 % from HyperThread siblings,
+//   - bandwidth-bound work (column scans) saturates the socket's memory
+//     bandwidth, which is governed by the uncore clock; raising core
+//     clocks past the issue rate buys nothing (Figure 10a),
+//   - memory-latency-bound work (index lookups) gains little from higher
+//     core clocks because stall time dominates, making medium clocks the
+//     most energy-efficient (Figures 17/19),
+//   - cacheline-contended work (shared atomics) is fastest with just two
+//     HyperThread siblings of one core and degrades as more cores join
+//     the ping-pong (Figure 10b).
+//
+// The model is deliberately expressed only in terms the paper grounds:
+// instructions retired, DRAM traffic, stall cycles, and a contended
+// cacheline transfer budget.
+package perfmodel
+
+import (
+	"fmt"
+
+	"ecldb/internal/hw"
+)
+
+// SpinIPC is the instruction rate (per cycle) of a busy-polling worker
+// loop. Polling retires instructions slowly but keeps the core in C0.
+const SpinIPC = 0.4
+
+// Contention model constants.
+const (
+	// localAtomicCycles is the cost of an uncontended (core-local)
+	// atomic on a cacheline owned by the executing core.
+	localAtomicCycles = 38.0
+	// xferBaseNs is the cross-core cacheline transfer time at the
+	// maximum uncore clock.
+	xferBaseNs = 18.0
+	// xferSpreadNs is the additional transfer time at the minimum
+	// uncore clock.
+	xferSpreadNs = 18.0
+	// crowdPenalty is the per-extra-thread degradation of the contended
+	// line's total throughput beyond two threads.
+	crowdPenalty = 0.05
+	// bwOversubPenalty degrades effective bandwidth when the cores
+	// demand more traffic than the controllers sustain: queueing and
+	// row-buffer interference make over-saturation counterproductive.
+	// This is why the ECL's bandwidth-matched configuration *outruns*
+	// the all-cores-at-turbo baseline during the paper's overload phase
+	// (Section 6.1: the baseline stays in overload ~50 s, the ECL ~20 s).
+	bwOversubPenalty = 0.05
+)
+
+// Characteristics describes how a workload exercises the hardware. The
+// zero value is not valid; use one of the canonical constructors or fill
+// every field.
+type Characteristics struct {
+	// Name identifies the workload in traces and profiles.
+	Name string
+	// BaseIPC is the ideal instructions-per-cycle of one thread with no
+	// memory stalls or contention.
+	BaseIPC float64
+	// BytesPerInstr is the DRAM traffic generated per instruction.
+	// Large values make the workload bandwidth-bound.
+	BytesPerInstr float64
+	// MissesPerKiloInstr is the rate of DRAM-latency stalls. Large
+	// values make the workload memory-latency-bound.
+	MissesPerKiloInstr float64
+	// ContendedFrac is the fraction of instructions that are atomic
+	// operations on a single shared cacheline.
+	ContendedFrac float64
+	// HTYield is the combined throughput of two sibling hardware
+	// threads relative to one (1..2). Latency-bound workloads hide
+	// stalls and get more out of SMT.
+	HTYield float64
+	// DynScale scales dynamic core power (AVX-heavy code runs hotter).
+	DynScale float64
+}
+
+// Validate reports whether the characteristics are internally consistent.
+func (c Characteristics) Validate() error {
+	switch {
+	case c.BaseIPC <= 0:
+		return fmt.Errorf("perfmodel: %s: BaseIPC must be positive", c.Name)
+	case c.BytesPerInstr < 0:
+		return fmt.Errorf("perfmodel: %s: negative BytesPerInstr", c.Name)
+	case c.MissesPerKiloInstr < 0:
+		return fmt.Errorf("perfmodel: %s: negative MissesPerKiloInstr", c.Name)
+	case c.ContendedFrac < 0 || c.ContendedFrac > 1:
+		return fmt.Errorf("perfmodel: %s: ContendedFrac outside [0,1]", c.Name)
+	case c.HTYield < 1 || c.HTYield > 2:
+		return fmt.Errorf("perfmodel: %s: HTYield outside [1,2]", c.Name)
+	case c.DynScale <= 0:
+		return fmt.Errorf("perfmodel: %s: DynScale must be positive", c.Name)
+	}
+	return nil
+}
+
+// Canonical micro-workload characteristics from the paper's Sections 2
+// and 4.
+
+// ComputeBound models the "incrementing a thread-local counter" workload.
+func ComputeBound() Characteristics {
+	return Characteristics{Name: "compute-bound", BaseIPC: 2.0, HTYield: 1.25, DynScale: 1.0}
+}
+
+// MemoryScan models the "scan over an array" / column-scan workload.
+func MemoryScan() Characteristics {
+	return Characteristics{Name: "memory-scan", BaseIPC: 2.0, BytesPerInstr: 4.0, HTYield: 1.1, DynScale: 0.85}
+}
+
+// PointerChase models dependent index lookups missing the caches
+// (memory-latency-bound).
+func PointerChase() Characteristics {
+	return Characteristics{Name: "pointer-chase", BaseIPC: 2.0, BytesPerInstr: 1.0,
+		MissesPerKiloInstr: 15, HTYield: 1.7, DynScale: 0.8}
+}
+
+// AtomicContention models "all threads atomically increment a single
+// variable" (Figure 10b).
+func AtomicContention() Characteristics {
+	return Characteristics{Name: "atomic-contention", BaseIPC: 1.5, ContendedFrac: 1.0 / 6.0,
+		HTYield: 1.6, DynScale: 0.9}
+}
+
+// HashTableInsert models concurrent inserts into a shared hash table
+// (Figure 10c): mild contention plus some latency misses.
+func HashTableInsert() Characteristics {
+	return Characteristics{Name: "hashtable-insert", BaseIPC: 1.8, BytesPerInstr: 1.5,
+		MissesPerKiloInstr: 4, ContendedFrac: 0.0015, HTYield: 1.3, DynScale: 0.95}
+}
+
+// FullLoad models the FIRESTARTER stress tool: the optimal mix of compute,
+// AVX, and memory-controller requests (Figure 3).
+func FullLoad() Characteristics {
+	return Characteristics{Name: "full-load", BaseIPC: 2.2, BytesPerInstr: 2.0,
+		HTYield: 1.3, DynScale: 1.3}
+}
+
+// Blend combines two characteristics with the given weights (which need
+// not sum to one; they are normalized). Blending models a socket running a
+// mix of query types.
+func Blend(a, b Characteristics, wa, wb float64) Characteristics {
+	if wa <= 0 && wb <= 0 {
+		wa, wb = 1, 1
+	}
+	t := wa + wb
+	wa, wb = wa/t, wb/t
+	lerp := func(x, y float64) float64 { return wa*x + wb*y }
+	return Characteristics{
+		Name:               a.Name + "+" + b.Name,
+		BaseIPC:            lerp(a.BaseIPC, b.BaseIPC),
+		BytesPerInstr:      lerp(a.BytesPerInstr, b.BytesPerInstr),
+		MissesPerKiloInstr: lerp(a.MissesPerKiloInstr, b.MissesPerKiloInstr),
+		ContendedFrac:      lerp(a.ContendedFrac, b.ContendedFrac),
+		HTYield:            lerp(a.HTYield, b.HTYield),
+		DynScale:           lerp(a.DynScale, b.DynScale),
+	}
+}
+
+// stallPowerSave is the fraction of dynamic core power saved during a
+// memory-stall cycle: a core waiting on DRAM clock-gates most of its
+// pipeline. This is what makes medium clocks energy-efficient for
+// memory-latency-bound (indexed) workloads — the cycles bought by a higher
+// clock are partly stall cycles, which are cheap.
+const stallPowerSave = 0.5
+
+// Capacity is the instruction-throughput capacity of one socket under a
+// configuration and workload.
+type Capacity struct {
+	// PerThread is the sustainable instruction rate (instr/s) of each
+	// socket-local hardware thread; zero for inactive threads.
+	PerThread []float64
+	// Aggregate is the socket-wide sustainable instruction rate.
+	Aggregate float64
+	// MemGBsAtFull is the DRAM traffic the socket generates when every
+	// active thread runs at capacity.
+	MemGBsAtFull float64
+	// DynScale is the effective dynamic-power intensity of busy threads
+	// under this configuration: the workload's DynScale reduced by the
+	// power saved during memory-stall cycles.
+	DynScale float64
+}
+
+// SocketCapacity computes the throughput capacity of one socket for a
+// workload under an effective hardware configuration. throttle is the
+// machine's current TDP throttle factor (1 = unthrottled).
+func SocketCapacity(topo hw.Topology, cfg hw.Configuration, ch Characteristics, throttle float64) Capacity {
+	n := topo.ThreadsPerSocket()
+	cap_ := Capacity{PerThread: make([]float64, n)}
+	if throttle <= 0 || throttle > 1 {
+		throttle = 1
+	}
+	latNs := hw.MemLatencyNs(cfg.UncoreMHz)
+
+	// Unconstrained per-thread rates from core clock, stalls, and SMT.
+	activeCores := 0
+	stallFracSum, stallFracN := 0.0, 0
+	for core := 0; core < topo.CoresPerSocket; core++ {
+		sibs := activeSiblings(cfg, core, topo.ThreadsPerCore)
+		if len(sibs) == 0 {
+			continue
+		}
+		activeCores++
+		fGHz := float64(cfg.CoreMHz[core]) / 1000.0 * throttle
+		baseCPI := 1.0 / ch.BaseIPC
+		stallCPI := ch.MissesPerKiloInstr / 1000.0 * latNs * fGHz
+		cpi := baseCPI + stallCPI
+		stallFracSum += stallCPI / cpi
+		stallFracN++
+		oneThread := fGHz * 1e9 / cpi
+		coreTotal := oneThread
+		if len(sibs) > 1 {
+			coreTotal = oneThread * ch.HTYield
+		}
+		per := coreTotal / float64(len(sibs))
+		// Per-core memory issue limit: a core cannot generate more
+		// traffic than its clock allows.
+		if ch.BytesPerInstr > 0 {
+			issueCap := hw.CoreIssueGBs(cfg.CoreMHz[core]) * 1e9 / ch.BytesPerInstr
+			if coreTotal > issueCap {
+				per = issueCap / float64(len(sibs))
+			}
+		}
+		for _, s := range sibs {
+			cap_.PerThread[s] = per
+		}
+	}
+
+	// Socket-wide bandwidth ceiling from the uncore clock. Demanding
+	// more than the ceiling degrades it (memory-controller contention),
+	// so heavily over-subscribed configurations deliver *less* than
+	// bandwidth-matched ones.
+	if ch.BytesPerInstr > 0 {
+		total := sum(cap_.PerThread)
+		bwInstrCap := hw.BandwidthCapGBs(cfg.UncoreMHz) * 1e9 / ch.BytesPerInstr
+		if total > bwInstrCap {
+			oversub := total / bwInstrCap
+			eff := bwInstrCap / (1 + bwOversubPenalty*(oversub-1))
+			scale(cap_.PerThread, eff/total)
+		}
+	}
+
+	// Contended-cacheline ceiling.
+	if ch.ContendedFrac > 0 {
+		nThreads := cfg.ActiveThreads()
+		if nThreads > 0 {
+			supply := contendedSupply(cfg, topo, activeCores, nThreads, throttle)
+			demand := sum(cap_.PerThread) * ch.ContendedFrac
+			if demand > supply {
+				scale(cap_.PerThread, supply/demand)
+			}
+		}
+	}
+
+	cap_.Aggregate = sum(cap_.PerThread)
+	cap_.MemGBsAtFull = cap_.Aggregate * ch.BytesPerInstr / 1e9
+	cap_.DynScale = ch.DynScale
+	if stallFracN > 0 {
+		avgStall := stallFracSum / float64(stallFracN)
+		cap_.DynScale = ch.DynScale * (1 - stallPowerSave*avgStall)
+	}
+	return cap_
+}
+
+// contendedSupply returns the maximum rate (ops/s) the single shared
+// cacheline sustains. When all active threads are siblings of one core the
+// line never leaves the core and the supply is clock-bound; otherwise it
+// ping-pongs between cores at an uncore-dependent transfer time that
+// degrades as more threads crowd the line.
+func contendedSupply(cfg hw.Configuration, topo hw.Topology, activeCores, nThreads int, throttle float64) float64 {
+	if activeCores <= 1 {
+		// Fastest clocked active core serves the line locally.
+		best := 0.0
+		for core := 0; core < topo.CoresPerSocket; core++ {
+			if cfg.CoreActive(core, topo.ThreadsPerCore) {
+				f := float64(cfg.CoreMHz[core]) / 1000.0 * throttle
+				if r := f * 1e9 / localAtomicCycles; r > best {
+					best = r
+				}
+			}
+		}
+		return best
+	}
+	norm := float64(cfg.UncoreMHz-hw.MinUncoreMHz) / float64(hw.MaxUncoreMHz-hw.MinUncoreMHz)
+	xfer := xferBaseNs + xferSpreadNs*(1-norm)
+	crowd := 1 + crowdPenalty*float64(nThreads-2)
+	return 1e9 / (xfer * crowd)
+}
+
+func activeSiblings(cfg hw.Configuration, core, tpc int) []int {
+	var out []int
+	for i := 0; i < tpc; i++ {
+		lt := core*tpc + i
+		if cfg.Threads[lt] {
+			out = append(out, lt)
+		}
+	}
+	return out
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func scale(xs []float64, f float64) {
+	for i := range xs {
+		xs[i] *= f
+	}
+}

@@ -1,0 +1,282 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ecldb/internal/hw"
+)
+
+var topo = hw.HaswellEP()
+
+// cfgN returns a configuration with the first n hardware threads active at
+// the given core/uncore clocks.
+func cfgN(n, coreMHz, uncoreMHz int) hw.Configuration {
+	c := hw.NewConfiguration(topo)
+	for i := 0; i < n; i++ {
+		c.Threads[i] = true
+	}
+	for i := range c.CoreMHz {
+		c.CoreMHz[i] = coreMHz
+	}
+	c.UncoreMHz = uncoreMHz
+	return c
+}
+
+// cfgSpread activates one thread on each of n distinct physical cores.
+func cfgSpread(n, coreMHz, uncoreMHz int) hw.Configuration {
+	c := hw.NewConfiguration(topo)
+	for i := 0; i < n; i++ {
+		c.Threads[i*topo.ThreadsPerCore] = true
+	}
+	for i := range c.CoreMHz {
+		c.CoreMHz[i] = coreMHz
+	}
+	c.UncoreMHz = uncoreMHz
+	return c
+}
+
+func TestCanonicalCharacteristicsValidate(t *testing.T) {
+	for _, ch := range []Characteristics{
+		ComputeBound(), MemoryScan(), PointerChase(),
+		AtomicContention(), HashTableInsert(), FullLoad(),
+	} {
+		if err := ch.Validate(); err != nil {
+			t.Errorf("%s: %v", ch.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	bad := []Characteristics{
+		{Name: "x", BaseIPC: 0, HTYield: 1.2, DynScale: 1},
+		{Name: "x", BaseIPC: 2, HTYield: 0.5, DynScale: 1},
+		{Name: "x", BaseIPC: 2, HTYield: 1.2, DynScale: 0},
+		{Name: "x", BaseIPC: 2, HTYield: 1.2, DynScale: 1, ContendedFrac: 1.5},
+		{Name: "x", BaseIPC: 2, HTYield: 1.2, DynScale: 1, BytesPerInstr: -1},
+	}
+	for i, ch := range bad {
+		if err := ch.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+// Compute-bound throughput scales with the core clock.
+func TestComputeBoundScalesWithClock(t *testing.T) {
+	ch := ComputeBound()
+	slow := SocketCapacity(topo, cfgSpread(4, 1200, hw.MinUncoreMHz), ch, 1)
+	fast := SocketCapacity(topo, cfgSpread(4, 2400, hw.MinUncoreMHz), ch, 1)
+	ratio := fast.Aggregate / slow.Aggregate
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("2x clock gave %.2fx throughput, want ~2x", ratio)
+	}
+}
+
+// Compute-bound throughput is insensitive to the uncore clock — the basis
+// of Figure 8's "bad decision" finding.
+func TestComputeBoundIgnoresUncore(t *testing.T) {
+	ch := ComputeBound()
+	low := SocketCapacity(topo, cfgN(24, hw.MaxCoreMHz, hw.MinUncoreMHz), ch, 1)
+	high := SocketCapacity(topo, cfgN(24, hw.MaxCoreMHz, hw.MaxUncoreMHz), ch, 1)
+	if low.Aggregate != high.Aggregate {
+		t.Errorf("uncore changed compute-bound throughput: %.3g vs %.3g", low.Aggregate, high.Aggregate)
+	}
+}
+
+// HyperThread siblings add ~25 % for compute-bound work.
+func TestHTYieldComputeBound(t *testing.T) {
+	ch := ComputeBound()
+	one := SocketCapacity(topo, cfgSpread(1, 2600, hw.MinUncoreMHz), ch, 1)
+	two := SocketCapacity(topo, cfgN(2, 2600, hw.MinUncoreMHz), ch, 1) // both siblings of core 0
+	ratio := two.Aggregate / one.Aggregate
+	if ratio < 1.2 || ratio > 1.3 {
+		t.Errorf("sibling yield = %.3f, want ~1.25", ratio)
+	}
+}
+
+// Figure 6: the memory-scan workload saturates at the uncore-governed
+// bandwidth cap; all cores at the lowest clock with maximum uncore reach
+// nearly the full bandwidth.
+func TestScanBandwidthSaturation(t *testing.T) {
+	ch := MemoryScan()
+	c := cfgN(24, hw.MinCoreMHz, hw.MaxUncoreMHz)
+	got := SocketCapacity(topo, c, ch, 1)
+	wantGBs := hw.PeakBandwidthGBs
+	if got.MemGBsAtFull < 0.95*wantGBs || got.MemGBsAtFull > wantGBs*1.001 {
+		t.Errorf("traffic at min clocks/max uncore = %.1f GB/s, want ~%.0f", got.MemGBsAtFull, wantGBs)
+	}
+	// Raising core clocks to turbo must not increase throughput.
+	turbo := SocketCapacity(topo, cfgN(24, hw.TurboMHz, hw.MaxUncoreMHz), ch, 1)
+	if turbo.Aggregate > got.Aggregate*1.001 {
+		t.Errorf("turbo clocks increased bandwidth-bound throughput: %.3g vs %.3g", turbo.Aggregate, got.Aggregate)
+	}
+}
+
+func TestScanThroughputGrowsWithUncore(t *testing.T) {
+	ch := MemoryScan()
+	low := SocketCapacity(topo, cfgN(24, hw.MaxCoreMHz, hw.MinUncoreMHz), ch, 1)
+	high := SocketCapacity(topo, cfgN(24, hw.MaxCoreMHz, hw.MaxUncoreMHz), ch, 1)
+	if high.Aggregate <= low.Aggregate*1.5 {
+		t.Errorf("uncore should strongly affect scan throughput: %.3g vs %.3g", low.Aggregate, high.Aggregate)
+	}
+}
+
+// A single core cannot saturate the socket bandwidth: its issue rate is
+// clock-limited.
+func TestPerCoreIssueLimit(t *testing.T) {
+	ch := MemoryScan()
+	one := SocketCapacity(topo, cfgSpread(1, hw.MinCoreMHz, hw.MaxUncoreMHz), ch, 1)
+	if one.MemGBsAtFull > hw.CoreIssueGBs(hw.MinCoreMHz)+0.001 {
+		t.Errorf("single 1.2 GHz core issues %.1f GB/s, cap is %.1f", one.MemGBsAtFull, hw.CoreIssueGBs(hw.MinCoreMHz))
+	}
+}
+
+// Latency-bound work gains little from core clock (stalls dominate) but
+// hides latency with SMT.
+func TestPointerChaseClockInsensitive(t *testing.T) {
+	ch := PointerChase()
+	slow := SocketCapacity(topo, cfgSpread(4, 1200, 2400), ch, 1)
+	fast := SocketCapacity(topo, cfgSpread(4, 2600, 2400), ch, 1)
+	ratio := fast.Aggregate / slow.Aggregate
+	if ratio > 1.35 {
+		t.Errorf("2.2x clock gave %.2fx on latency-bound work, want < 1.35x", ratio)
+	}
+	one := SocketCapacity(topo, cfgSpread(1, 2600, 2400), ch, 1)
+	two := SocketCapacity(topo, cfgN(2, 2600, 2400), ch, 1)
+	if y := two.Aggregate / one.Aggregate; y < 1.5 {
+		t.Errorf("SMT yield on latency-bound work = %.2f, want > 1.5", y)
+	}
+}
+
+// Figure 10(b): for the atomic-contention workload, two HyperThread
+// siblings of one core at turbo beat the whole socket at turbo, by
+// roughly the paper's 200 % response-time advantage (about 3x).
+func TestAtomicContentionTwoSiblingsWin(t *testing.T) {
+	ch := AtomicContention()
+	local := SocketCapacity(topo, cfgN(2, hw.TurboMHz, hw.MinUncoreMHz), ch, 1)
+	full := SocketCapacity(topo, cfgN(24, hw.TurboMHz, hw.MaxUncoreMHz), ch, 1)
+	ratio := local.Aggregate / full.Aggregate
+	if ratio < 2 || ratio > 6 {
+		t.Errorf("2-sibling/full-socket throughput ratio = %.2f, want ~3 (2..6)", ratio)
+	}
+	// And the two-sibling configuration is uncore-insensitive, so the
+	// lowest uncore clock dominates on efficiency.
+	localHighUnc := SocketCapacity(topo, cfgN(2, hw.TurboMHz, hw.MaxUncoreMHz), ch, 1)
+	if local.Aggregate != localHighUnc.Aggregate {
+		t.Error("core-local contention should not depend on the uncore clock")
+	}
+}
+
+// Adding cores to a contended line reduces total throughput.
+func TestContentionDegradesWithThreads(t *testing.T) {
+	ch := AtomicContention()
+	prev := SocketCapacity(topo, cfgSpread(2, hw.TurboMHz, hw.MaxUncoreMHz), ch, 1).Aggregate
+	for _, n := range []int{4, 8, 12} {
+		cur := SocketCapacity(topo, cfgSpread(n, hw.TurboMHz, hw.MaxUncoreMHz), ch, 1).Aggregate
+		if cur > prev {
+			t.Errorf("throughput grew from %d to %d cross-core threads: %.3g -> %.3g", n/2, n, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// Section 6.1 overload finding: for bandwidth-bound work, all cores at
+// turbo generate memory-controller contention and deliver *less* than a
+// bandwidth-matched configuration — which is why the ECL exits the
+// overload phase faster than the baseline.
+func TestOversubscriptionPenalty(t *testing.T) {
+	ch := MemoryScan()
+	matched := SocketCapacity(topo, cfgN(24, hw.MinCoreMHz, hw.MaxUncoreMHz), ch, 1)
+	oversub := SocketCapacity(topo, cfgN(24, hw.TurboMHz, hw.MaxUncoreMHz), ch, 1)
+	adv := matched.Aggregate/oversub.Aggregate - 1
+	if adv < 0.03 || adv > 0.25 {
+		t.Errorf("bandwidth-matched advantage = %.1f%%, want ~5-15%% (3..25)", adv*100)
+	}
+}
+
+func TestThrottleScalesCapacity(t *testing.T) {
+	ch := ComputeBound()
+	full := SocketCapacity(topo, cfgN(24, hw.TurboMHz, hw.MaxUncoreMHz), ch, 1)
+	half := SocketCapacity(topo, cfgN(24, hw.TurboMHz, hw.MaxUncoreMHz), ch, 0.5)
+	if r := half.Aggregate / full.Aggregate; r < 0.45 || r > 0.55 {
+		t.Errorf("throttle 0.5 gave ratio %.3f, want ~0.5", r)
+	}
+	// Out-of-range throttle values are treated as 1.
+	odd := SocketCapacity(topo, cfgN(24, hw.TurboMHz, hw.MaxUncoreMHz), ch, -3)
+	if odd.Aggregate != full.Aggregate {
+		t.Error("invalid throttle should behave as unthrottled")
+	}
+}
+
+func TestIdleConfigurationHasZeroCapacity(t *testing.T) {
+	got := SocketCapacity(topo, hw.NewConfiguration(topo), ComputeBound(), 1)
+	if got.Aggregate != 0 || got.MemGBsAtFull != 0 {
+		t.Errorf("idle capacity = %+v, want zero", got)
+	}
+}
+
+func TestBlendWeightsAndNormalization(t *testing.T) {
+	a, b := ComputeBound(), MemoryScan()
+	half := Blend(a, b, 1, 1)
+	if half.BytesPerInstr != (a.BytesPerInstr+b.BytesPerInstr)/2 {
+		t.Errorf("Blend 50/50 BytesPerInstr = %v", half.BytesPerInstr)
+	}
+	allA := Blend(a, b, 1, 0)
+	if allA.BytesPerInstr != a.BytesPerInstr || allA.BaseIPC != a.BaseIPC {
+		t.Error("Blend with zero weight should return the other side")
+	}
+	if err := half.Validate(); err != nil {
+		t.Errorf("blend of valid characteristics should validate: %v", err)
+	}
+	zero := Blend(a, b, 0, 0)
+	if err := zero.Validate(); err != nil {
+		t.Errorf("zero-weight blend should fall back to 50/50: %v", err)
+	}
+}
+
+// Property: capacity is non-negative, monotone in thread count for
+// uncontended workloads, and per-thread entries sum to the aggregate.
+func TestCapacityProperties(t *testing.T) {
+	f := func(seedRaw uint64) bool {
+		seed := seedRaw
+		next := func(mod uint64) uint64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return (seed >> 33) % mod
+		}
+		n := 1 + int(next(24))
+		coreMHz := hw.MinCoreMHz + int(next(15))*hw.FreqStepMHz
+		uncMHz := hw.MinUncoreMHz + int(next(19))*hw.FreqStepMHz
+		for _, ch := range []Characteristics{ComputeBound(), MemoryScan(), PointerChase()} {
+			small := SocketCapacity(topo, cfgN(n, coreMHz, uncMHz), ch, 1)
+			if small.Aggregate < 0 {
+				return false
+			}
+			total := 0.0
+			for _, r := range small.PerThread {
+				if r < 0 {
+					return false
+				}
+				total += r
+			}
+			if diff := total - small.Aggregate; diff > 1 || diff < -1 {
+				return false
+			}
+		}
+		// Uncontended compute throughput is monotone in thread count;
+		// memory-bound workloads may lose throughput past saturation
+		// (over-subscription penalty), so monotonicity only holds for
+		// compute-bound work.
+		if n < 24 {
+			small := SocketCapacity(topo, cfgN(n, coreMHz, uncMHz), ComputeBound(), 1)
+			bigger := SocketCapacity(topo, cfgN(n+1, coreMHz, uncMHz), ComputeBound(), 1)
+			if bigger.Aggregate < small.Aggregate*(1-1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

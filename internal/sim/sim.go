@@ -1,0 +1,604 @@
+// Package sim wires the full reproduction stack — the simulated
+// Haswell-EP machine, the elastic data-oriented DBMS, a governor (the ECL
+// hierarchy or the race-to-idle baseline), and a load profile — and runs
+// experiments on the virtual clock. A "three minute" experiment replays in
+// a fraction of a wall second, deterministically.
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"ecldb/internal/dodb"
+	"ecldb/internal/ecl"
+	"ecldb/internal/energy"
+	"ecldb/internal/hw"
+	"ecldb/internal/loadprofile"
+	"ecldb/internal/perfmodel"
+	"ecldb/internal/trace"
+	"ecldb/internal/vtime"
+	"ecldb/internal/workload"
+)
+
+// Governor selects the energy policy of a run.
+type Governor int
+
+const (
+	// GovernorBaseline is the paper's comparison point: all hardware
+	// threads always on, CPU/OS frequency control (Section 6.1).
+	GovernorBaseline Governor = iota
+	// GovernorECL runs the full Energy-Control Loop hierarchy.
+	GovernorECL
+)
+
+// String names the governor.
+func (g Governor) String() string {
+	if g == GovernorBaseline {
+		return "baseline"
+	}
+	return "ecl"
+}
+
+// Options configures one simulation run.
+type Options struct {
+	// Workload is the benchmark to run.
+	Workload workload.Workload
+	// Load is the offered load profile. Its QPS values are absolute;
+	// use MeasureCapacity to scale profiles relative to the system's
+	// saturation throughput.
+	Load loadprofile.Profile
+	// Governor selects the energy policy.
+	Governor Governor
+	// ECL parameterizes the control loop for GovernorECL.
+	ECL ecl.Options
+	// Prewarm measures every profile entry before the run starts (the
+	// steady-state experiments assume an established profile; the
+	// adaptation experiments of Section 6.3 disable this for the new
+	// workload instead).
+	Prewarm bool
+	// SwitchAt, if non-zero, switches to SwitchTo at that instant
+	// (Section 6.3's workload change).
+	SwitchAt time.Duration
+	SwitchTo workload.Workload
+	// StaticBinding disables the elasticity extension (ablation).
+	StaticBinding bool
+	// NUMARouting admits queries at their first target partition's home
+	// socket (a NUMA-aware connection router).
+	NUMARouting bool
+	// Quantum is the simulation step (default 1 ms).
+	Quantum time.Duration
+	// SampleEvery is the trace sampling period (default 500 ms).
+	SampleEvery time.Duration
+	// Seed drives all randomness.
+	Seed int64
+	// Power overrides the machine power calibration (zero value =
+	// DefaultPowerParams).
+	Power *hw.PowerParams
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Rec holds the recorded time series: "load_qps", "power_rapl_w",
+	// "power_psu_w", "latency_avg_ms", "latency_p99_ms",
+	// "active_threads", "util0", "perf0", "inflight".
+	Rec *trace.Recorder
+	// EnergyJ is the total RAPL-visible energy of the run (all sockets,
+	// package + DRAM).
+	EnergyJ float64
+	// PSUEnergyJ is the wall energy of the run.
+	PSUEnergyJ float64
+	// Completed and Submitted count queries.
+	Completed, Submitted int64
+	// AvgLatency and P99Latency summarize all windowed observations at
+	// the end of the run.
+	AvgLatency, P99Latency time.Duration
+	// Violations counts completed queries over the latency limit.
+	Violations int64
+	// ViolationFrac is Violations / Completed.
+	ViolationFrac float64
+	// Duration is the simulated time.
+	Duration time.Duration
+	// MostApplied is the configuration the ECL ran most (by time),
+	// excluding idle — the "most energy-efficient configuration" column
+	// of Table 1. Empty for baseline runs.
+	MostApplied string
+}
+
+// Sim is a fully wired simulation.
+type Sim struct {
+	opts    Options
+	clock   *vtime.Clock
+	machine *hw.Machine
+	engine  *dodb.Engine
+	topo    hw.Topology
+
+	controller *ecl.Controller
+	baseline   *ecl.Baseline
+
+	rec     *trace.Recorder
+	started time.Duration
+
+	// configTime accumulates time per applied configuration key.
+	configTime map[string]time.Duration
+	configName map[string]string
+
+	// Reused per-step buffers (the step loop runs ~10^5 times per
+	// experiment).
+	bufActive [][]bool
+	bufBudget [][]float64
+	bufCaps   []perfmodel.Capacity
+	bufEffs   []hw.Configuration
+	bufActs   []hw.SocketActivity
+
+	// Sampling state: power samples are averages over the sampling
+	// window (instantaneous samples alias with RTI switching).
+	lastSampleAt   time.Duration
+	lastSampleJ    float64
+	lastSamplePSUJ float64
+}
+
+// New builds a simulation.
+func New(opts Options) (*Sim, error) {
+	if opts.Workload == nil || opts.Load == nil {
+		return nil, fmt.Errorf("sim: workload and load profile required")
+	}
+	if opts.Quantum <= 0 {
+		opts.Quantum = time.Millisecond
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 500 * time.Millisecond
+	}
+	pp := hw.DefaultPowerParams()
+	if opts.Power != nil {
+		pp = *opts.Power
+	}
+	topo := hw.HaswellEP()
+	s := &Sim{
+		opts:       opts,
+		clock:      vtime.NewClock(),
+		machine:    hw.NewMachine(topo, pp, opts.Seed),
+		topo:       topo,
+		rec:        trace.NewRecorder(),
+		configTime: make(map[string]time.Duration),
+		configName: make(map[string]string),
+	}
+	eng, err := dodb.New(dodb.Config{
+		Topo:          topo,
+		Workload:      opts.Workload,
+		StaticBinding: opts.StaticBinding,
+		NUMARouting:   opts.NUMARouting,
+		Seed:          opts.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.engine = eng
+
+	switch opts.Governor {
+	case GovernorBaseline:
+		s.baseline = ecl.NewBaseline(s.machine)
+	case GovernorECL:
+		if opts.ECL.Interval == 0 {
+			opts.ECL = ecl.DefaultOptions()
+		}
+		ctl, err := ecl.NewController(s.machine, s.clock, eng.Latency(), eng, opts.ECL)
+		if err != nil {
+			return nil, err
+		}
+		s.controller = ctl
+	default:
+		return nil, fmt.Errorf("sim: unknown governor %d", opts.Governor)
+	}
+	eng.Latency().SetThreshold(latencyLimit(opts))
+	return s, nil
+}
+
+func latencyLimit(opts Options) time.Duration {
+	if opts.ECL.LatencyLimit > 0 {
+		return opts.ECL.LatencyLimit
+	}
+	return 100 * time.Millisecond
+}
+
+// Machine exposes the simulated hardware (for examples and tests).
+func (s *Sim) Machine() *hw.Machine { return s.machine }
+
+// Engine exposes the database runtime.
+func (s *Sim) Engine() *dodb.Engine { return s.engine }
+
+// Controller exposes the ECL hierarchy (nil for baseline runs).
+func (s *Sim) Controller() *ecl.Controller { return s.controller }
+
+// Prewarm measures every profile entry of every socket under synthetic
+// full load: apply, settle, measure one window, record. It mirrors what
+// the multiplexed adaptation does at runtime, compressed to before t=0.
+func (s *Sim) Prewarm() {
+	if s.controller == nil {
+		return
+	}
+	settle := 5 * time.Millisecond
+	window := 100 * time.Millisecond
+	// All sockets share the generator, so entry i is the same hardware
+	// state everywhere; measuring them simultaneously halves the sweep.
+	n := s.controller.Socket(0).Profile().Size()
+	for i := 0; i < n; i++ {
+		for sock := 0; sock < s.topo.Sockets; sock++ {
+			e := s.controller.Socket(sock).Profile().Entries()[i]
+			if err := s.machine.Apply(sock, e.Config); err != nil {
+				panic(err)
+			}
+		}
+		s.advanceSynthetic(settle)
+		type snap struct{ e0, i0 float64 }
+		snaps := make([]snap, s.topo.Sockets)
+		for sock := range snaps {
+			snaps[sock] = snap{
+				e0: s.machine.ReadEnergy(sock, hw.DomainPackage) + s.machine.ReadEnergy(sock, hw.DomainDRAM),
+				i0: s.machine.SocketInstructions(sock),
+			}
+		}
+		s.advanceSynthetic(window)
+		for sock := 0; sock < s.topo.Sockets; sock++ {
+			prof := s.controller.Socket(sock).Profile()
+			e := prof.Entries()[i]
+			e1 := s.machine.ReadEnergy(sock, hw.DomainPackage) + s.machine.ReadEnergy(sock, hw.DomainDRAM)
+			i1 := s.machine.SocketInstructions(sock)
+			sec := window.Seconds()
+			if _, err := prof.Update(e.Config, (e1-snaps[sock].e0)/sec, (i1-snaps[sock].i0)/sec, s.clock.Now()); err != nil {
+				panic(err)
+			}
+		}
+	}
+	// The profiles are fresh: drop the bootstrap adaptation queues and
+	// return to idle so the run starts clean.
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		s.controller.Socket(sock).ResetAdaptation()
+		if err := s.machine.Apply(sock, hw.NewConfiguration(s.topo)); err != nil {
+			panic(err)
+		}
+	}
+	s.advanceSynthetic(10 * time.Millisecond)
+}
+
+// SaveProfiles writes every socket's energy profile as JSON (socket index
+// prefixes each document). Reloading with LoadProfiles skips the prewarm
+// sweep on a later run of the same workload.
+func (s *Sim) SaveProfiles(w io.Writer) error {
+	if s.controller == nil {
+		return fmt.Errorf("sim: baseline runs have no profiles")
+	}
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		if err := s.controller.Socket(sock).Profile().Save(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadProfiles restores profiles previously written by SaveProfiles into
+// the controller's sockets (in socket order) and clears the bootstrap
+// adaptation queues.
+func (s *Sim) LoadProfiles(r io.Reader) error {
+	if s.controller == nil {
+		return fmt.Errorf("sim: baseline runs have no profiles")
+	}
+	dec := json.NewDecoder(r)
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return fmt.Errorf("sim: loading profile for socket %d: %w", sock, err)
+		}
+		p, err := energy.LoadProfile(bytes.NewReader(raw), s.topo)
+		if err != nil {
+			return err
+		}
+		s.controller.Socket(sock).ReplaceProfile(p)
+	}
+	return nil
+}
+
+// advanceSynthetic steps machine and clock under synthetic full-capacity
+// load (no queries involved), using each socket's own workload
+// characteristics.
+func (s *Sim) advanceSynthetic(dt time.Duration) {
+	for dt > 0 {
+		q := s.opts.Quantum
+		if q > dt {
+			q = dt
+		}
+		acts := make([]hw.SocketActivity, s.topo.Sockets)
+		for sock := 0; sock < s.topo.Sockets; sock++ {
+			eff := s.machine.Effective(sock)
+			cap_ := perfmodel.SocketCapacity(s.topo, eff, s.engine.SocketCharacteristics(sock), s.machine.ThrottleFactor(sock))
+			n := s.topo.ThreadsPerSocket()
+			acts[sock] = hw.SocketActivity{
+				Busy:     make([]float64, n),
+				Spin:     make([]float64, n),
+				Instr:    make([]float64, n),
+				MemGBs:   cap_.MemGBsAtFull,
+				DynScale: cap_.DynScale,
+			}
+			for i, r := range cap_.PerThread {
+				if r > 0 {
+					acts[sock].Busy[i] = 1
+					acts[sock].Instr[i] = r * q.Seconds()
+				}
+			}
+		}
+		s.machine.Step(q, acts)
+		s.clock.Advance(q)
+		dt -= q
+	}
+}
+
+// Run executes the load profile and returns the result.
+func (s *Sim) Run() (*Result, error) {
+	if s.opts.Prewarm {
+		s.Prewarm()
+	}
+	if s.baseline != nil {
+		s.baseline.Start()
+	}
+	if s.controller != nil {
+		s.controller.Start()
+	}
+	s.started = s.clock.Now()
+	e0 := s.totalEnergy()
+	psu0 := s.machine.PSUEnergy()
+	s.lastSampleAt, s.lastSampleJ, s.lastSamplePSUJ = s.started, e0, psu0
+
+	dur := s.opts.Load.Duration()
+	q := s.opts.Quantum
+	nextSample := time.Duration(0)
+	switched := false
+
+	for t := time.Duration(0); t < dur; t += q {
+		now := s.clock.Now()
+		if !switched && s.opts.SwitchAt > 0 && t >= s.opts.SwitchAt && s.opts.SwitchTo != nil {
+			if err := s.engine.SwitchWorkload(s.opts.SwitchTo); err != nil {
+				return nil, err
+			}
+			switched = true
+		}
+		if err := s.engine.OfferLoad(s.opts.Load.QPS(t), q, now); err != nil {
+			return nil, err
+		}
+		s.step(q)
+		if t >= nextSample {
+			s.sample(t)
+			nextSample += s.opts.SampleEvery
+		}
+	}
+	s.sample(dur)
+
+	if s.controller != nil {
+		s.controller.Stop()
+	}
+
+	res := &Result{
+		Rec:        s.rec,
+		EnergyJ:    s.totalEnergy() - e0,
+		PSUEnergyJ: s.machine.PSUEnergy() - psu0,
+		Completed:  s.engine.CompletedQueries(),
+		Submitted:  s.engine.SubmittedQueries(),
+		Duration:   dur,
+	}
+	lt := s.engine.Latency()
+	res.Violations = lt.OverThreshold()
+	if res.Completed > 0 {
+		res.ViolationFrac = float64(res.Violations) / float64(res.Completed)
+	}
+	res.AvgLatency = time.Duration(int64(s.rec.Series("latency_avg_ms").Mean() * float64(time.Millisecond)))
+	res.P99Latency = time.Duration(int64(s.rec.Series("latency_p99_ms").Max() * float64(time.Millisecond)))
+	res.MostApplied = s.mostApplied()
+	return res, nil
+}
+
+// step advances the whole stack by one quantum.
+func (s *Sim) step(q time.Duration) {
+	if s.bufActive == nil {
+		n := s.topo.ThreadsPerSocket()
+		s.bufActive = make([][]bool, s.topo.Sockets)
+		s.bufBudget = make([][]float64, s.topo.Sockets)
+		s.bufCaps = make([]perfmodel.Capacity, s.topo.Sockets)
+		s.bufEffs = make([]hw.Configuration, s.topo.Sockets)
+		s.bufActs = make([]hw.SocketActivity, s.topo.Sockets)
+		for sock := range s.bufActive {
+			s.bufActive[sock] = make([]bool, n)
+			s.bufBudget[sock] = make([]float64, n)
+			s.bufActs[sock] = hw.SocketActivity{
+				Spin:  make([]float64, n),
+				Instr: make([]float64, n),
+			}
+		}
+	}
+	active, budget, caps, effs := s.bufActive, s.bufBudget, s.bufCaps, s.bufEffs
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		ch := s.engine.SocketCharacteristics(sock)
+		eff := s.machine.Effective(sock)
+		effs[sock] = eff
+		caps[sock] = perfmodel.SocketCapacity(s.topo, eff, ch, s.machine.ThrottleFactor(sock))
+		n := s.topo.ThreadsPerSocket()
+		for lt := 0; lt < n; lt++ {
+			active[sock][lt] = eff.Threads[lt]
+			budget[sock][lt] = caps[sock].PerThread[lt] * q.Seconds()
+		}
+		// Track applied-configuration time for Table 1's "best
+		// configuration" column.
+		if s.controller != nil && !eff.Idle() {
+			key := eff.Key(s.topo.ThreadsPerCore)
+			s.configTime[key] += q
+			s.configName[key] = eff.String()
+		}
+	}
+
+	now := s.clock.Now()
+	stats := s.engine.Step(now+q, q, active, budget)
+
+	acts := s.bufActs
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		n := s.topo.ThreadsPerSocket()
+		acts[sock].Busy = stats[sock].BusyFrac
+		acts[sock].MemGBs = stats[sock].MemBytes / 1e9 / q.Seconds()
+		acts[sock].DynScale = caps[sock].DynScale
+		firstActive := -1
+		for lt := 0; lt < n; lt++ {
+			acts[sock].Spin[lt] = 0
+			acts[sock].Instr[lt] = 0
+			if !active[sock][lt] {
+				continue
+			}
+			if firstActive < 0 {
+				firstActive = lt
+			}
+			// Active workers without work busy-poll the message hubs
+			// (the always-on property of the data-oriented runtime).
+			spin := 1 - stats[sock].BusyFrac[lt]
+			if spin < 0 {
+				spin = 0
+			}
+			acts[sock].Spin[lt] = spin
+			core := s.topo.CoreOfLocal(lt)
+			fGHz := float64(effs[sock].CoreMHz[core]) / 1000
+			acts[sock].Instr[lt] = stats[sock].UsedInstr[lt] + spin*perfmodel.SpinIPC*fGHz*1e9*q.Seconds()
+		}
+		// The ECL itself costs ~2 % of one hardware thread per socket.
+		if s.controller != nil && firstActive >= 0 {
+			b := acts[sock].Busy[firstActive] + s.controller.Overhead()
+			if b > 1 {
+				b = 1
+			}
+			acts[sock].Busy[firstActive] = b
+		}
+	}
+	s.machine.Step(q, acts)
+	s.clock.Advance(q)
+}
+
+// sample records the trace series at profile time t. Power values are
+// averaged over the window since the previous sample, mirroring how the
+// paper derives power from RAPL energy counters.
+func (s *Sim) sample(t time.Duration) {
+	now := s.clock.Now()
+	totalJ := s.totalEnergy()
+	psuJ := s.machine.PSUEnergy()
+	var raplW, psuW float64
+	if window := (now - s.lastSampleAt).Seconds(); window > 0 {
+		raplW = (totalJ - s.lastSampleJ) / window
+		psuW = (psuJ - s.lastSamplePSUJ) / window
+	} else {
+		pkg, dram, psu := s.machine.LastPower()
+		for i := range pkg {
+			raplW += pkg[i] + dram[i]
+		}
+		psuW = psu
+	}
+	s.lastSampleAt, s.lastSampleJ, s.lastSamplePSUJ = now, totalJ, psuJ
+	s.rec.Add("load_qps", t, s.opts.Load.QPS(t))
+	s.rec.Add("power_rapl_w", t, raplW)
+	s.rec.Add("power_psu_w", t, psuW)
+	lt := s.engine.Latency()
+	s.rec.Add("latency_avg_ms", t, float64(lt.Average(now))/float64(time.Millisecond))
+	s.rec.Add("latency_p99_ms", t, float64(lt.Percentile(now, 0.99))/float64(time.Millisecond))
+	activeThreads := 0
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		activeThreads += s.machine.Effective(sock).ActiveThreads()
+	}
+	s.rec.Add("active_threads", t, float64(activeThreads))
+	s.rec.Add("util0", t, s.engine.Utilization(0))
+	s.rec.Add("inflight", t, float64(s.engine.InFlight()))
+	if s.controller != nil {
+		max := s.controller.Socket(0).Profile().MaxScore()
+		perf := 0.0
+		if max > 0 {
+			perf = s.controller.Socket(0).Demand() / max
+		}
+		s.rec.Add("perf0", t, perf)
+	}
+}
+
+// totalEnergy sums true RAPL energy over all sockets and domains.
+func (s *Sim) totalEnergy() float64 {
+	total := 0.0
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		total += s.machine.TrueEnergy(sock, hw.DomainPackage)
+		total += s.machine.TrueEnergy(sock, hw.DomainDRAM)
+	}
+	return total
+}
+
+// mostApplied returns the configuration with the most accumulated time.
+func (s *Sim) mostApplied() string {
+	var bestKey string
+	var bestT time.Duration
+	for k, t := range s.configTime {
+		if t > bestT {
+			bestKey, bestT = k, t
+		}
+	}
+	return s.configName[bestKey]
+}
+
+// Run is a convenience wrapper: build and run in one call.
+func Run(opts Options) (*Result, error) {
+	s, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// MeasureCapacity returns the system's saturation throughput (queries/s)
+// for a workload under the baseline governor: the anchor for scaling load
+// profiles ("50 % load" etc., as the paper's spike profile needs a peak
+// ~25 % above capacity).
+func MeasureCapacity(wl workload.Workload, seed int64) (float64, error) {
+	const warm = 2 * time.Second
+	const window = 3 * time.Second
+	s, err := New(Options{
+		Workload: wl,
+		Load:     loadprofile.Constant{Qps: 1e9, Len: warm + window},
+		Governor: GovernorBaseline,
+		Seed:     seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.baseline.Start()
+	// Saturating load without queue explosion: offer load in controlled
+	// bursts keyed to backlog.
+	q := s.opts.Quantum
+	var doneAtWarm int64
+	for t := time.Duration(0); t < warm+window; t += q {
+		if s.engine.InFlight() < 50000 {
+			burst := 2000.0 / q.Seconds() // refill quickly
+			if err := s.engine.OfferLoad(burst, q, s.clock.Now()); err != nil {
+				return 0, err
+			}
+		}
+		s.step(q)
+		if t < warm {
+			doneAtWarm = s.engine.CompletedQueries()
+		}
+	}
+	completed := s.engine.CompletedQueries() - doneAtWarm
+	return float64(completed) / window.Seconds(), nil
+}
+
+// EvaluateProfile is a helper for profile figures: generate and evaluate a
+// profile for a workload from the calibrated models.
+func EvaluateProfile(wl workload.Workload, gp energy.GeneratorParams) (*energy.Profile, error) {
+	topo := hw.HaswellEP()
+	cfgs, err := energy.Generate(topo, gp)
+	if err != nil {
+		return nil, err
+	}
+	p := energy.NewProfile(topo, cfgs)
+	if err := energy.EvaluateModel(p, topo, hw.DefaultPowerParams(), wl.Characteristics(), 0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

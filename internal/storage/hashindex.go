@@ -1,0 +1,170 @@
+// Package storage provides the in-memory data structures of the
+// data-oriented DBMS: an open-addressing hash index, append-only typed
+// columns, partitioned tables, and a key-value store. Each partition of
+// the database owns private instances of these structures; the
+// data-oriented architecture guarantees single-writer access per
+// partition, so none of them carries internal locking.
+package storage
+
+import "fmt"
+
+const (
+	// minBuckets is the smallest bucket count of a hash index.
+	minBuckets = 16
+	// maxLoadNum/maxLoadDen is the load factor (7/8 triggers growth at
+	// 87.5 % occupancy including tombstones).
+	maxLoadNum = 7
+	maxLoadDen = 8
+)
+
+// slot states are encoded in a separate byte array so zero keys and zero
+// values stay legal.
+const (
+	slotEmpty byte = iota
+	slotFull
+	slotTombstone
+)
+
+// HashIndex is an open-addressing (linear probing) hash table mapping
+// uint64 keys to uint64 values (typically row identifiers). The zero
+// value is not usable; call NewHashIndex.
+type HashIndex struct {
+	keys  []uint64
+	vals  []uint64
+	state []byte
+	live  int // full slots
+	used  int // full + tombstone slots
+}
+
+// NewHashIndex returns an index pre-sized for the given number of entries.
+func NewHashIndex(capacity int) *HashIndex {
+	n := minBuckets
+	for n*maxLoadDen < capacity*maxLoadDen*maxLoadDen/maxLoadNum && n < 1<<62 {
+		n *= 2
+	}
+	return &HashIndex{
+		keys:  make([]uint64, n),
+		vals:  make([]uint64, n),
+		state: make([]byte, n),
+	}
+}
+
+// Len returns the number of live entries.
+func (h *HashIndex) Len() int { return h.live }
+
+// hash mixes the key (fibonacci hashing over a splitmix round).
+func hashKey(k uint64) uint64 {
+	k += 0x9e3779b97f4a7c15
+	k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9
+	k = (k ^ (k >> 27)) * 0x94d049bb133111eb
+	return k ^ (k >> 31)
+}
+
+// Put inserts or overwrites a key. It reports whether the key was new.
+func (h *HashIndex) Put(key, val uint64) bool {
+	if (h.used+1)*maxLoadDen > len(h.keys)*maxLoadNum {
+		h.grow()
+	}
+	mask := uint64(len(h.keys) - 1)
+	i := hashKey(key) & mask
+	firstTomb := -1
+	for {
+		switch h.state[i] {
+		case slotEmpty:
+			if firstTomb >= 0 {
+				i = uint64(firstTomb)
+			} else {
+				h.used++
+			}
+			h.keys[i], h.vals[i], h.state[i] = key, val, slotFull
+			h.live++
+			return true
+		case slotTombstone:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case slotFull:
+			if h.keys[i] == key {
+				h.vals[i] = val
+				return false
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Get looks up a key.
+func (h *HashIndex) Get(key uint64) (uint64, bool) {
+	mask := uint64(len(h.keys) - 1)
+	i := hashKey(key) & mask
+	for {
+		switch h.state[i] {
+		case slotEmpty:
+			return 0, false
+		case slotFull:
+			if h.keys[i] == key {
+				return h.vals[i], true
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Delete removes a key, reporting whether it was present.
+func (h *HashIndex) Delete(key uint64) bool {
+	mask := uint64(len(h.keys) - 1)
+	i := hashKey(key) & mask
+	for {
+		switch h.state[i] {
+		case slotEmpty:
+			return false
+		case slotFull:
+			if h.keys[i] == key {
+				h.state[i] = slotTombstone
+				h.live--
+				return true
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Range calls fn for every live entry until fn returns false. Iteration
+// order is unspecified. The index must not be mutated during Range.
+func (h *HashIndex) Range(fn func(key, val uint64) bool) {
+	for i, s := range h.state {
+		if s == slotFull {
+			if !fn(h.keys[i], h.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// grow doubles the bucket array (also discarding tombstones).
+func (h *HashIndex) grow() {
+	old := *h
+	n := len(h.keys) * 2
+	if h.live*maxLoadDen < len(h.keys)*maxLoadNum/2 {
+		n = len(h.keys) // tombstone-heavy: rehash in place size
+	}
+	h.keys = make([]uint64, n)
+	h.vals = make([]uint64, n)
+	h.state = make([]byte, n)
+	h.live, h.used = 0, 0
+	for i, s := range old.state {
+		if s == slotFull {
+			h.Put(old.keys[i], old.vals[i])
+		}
+	}
+}
+
+// MemBytes estimates the index's memory footprint.
+func (h *HashIndex) MemBytes() int {
+	return len(h.keys)*16 + len(h.state)
+}
+
+// String summarizes the index for debugging.
+func (h *HashIndex) String() string {
+	return fmt.Sprintf("HashIndex{live=%d, buckets=%d}", h.live, len(h.keys))
+}

@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashIndexPutGet(t *testing.T) {
+	h := NewHashIndex(0)
+	if _, ok := h.Get(1); ok {
+		t.Fatal("empty index returned a value")
+	}
+	if !h.Put(1, 100) {
+		t.Fatal("first Put should report new key")
+	}
+	if v, ok := h.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = %d,%v, want 100,true", v, ok)
+	}
+	if h.Put(1, 200) {
+		t.Fatal("overwrite should not report new key")
+	}
+	if v, _ := h.Get(1); v != 200 {
+		t.Fatalf("after overwrite Get(1) = %d, want 200", v)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", h.Len())
+	}
+}
+
+func TestHashIndexZeroKeyAndValue(t *testing.T) {
+	h := NewHashIndex(4)
+	h.Put(0, 0)
+	if v, ok := h.Get(0); !ok || v != 0 {
+		t.Fatalf("Get(0) = %d,%v, want 0,true", v, ok)
+	}
+	if !h.Delete(0) {
+		t.Fatal("Delete(0) failed")
+	}
+	if _, ok := h.Get(0); ok {
+		t.Fatal("deleted zero key still present")
+	}
+}
+
+func TestHashIndexDelete(t *testing.T) {
+	h := NewHashIndex(0)
+	h.Put(7, 70)
+	if !h.Delete(7) {
+		t.Fatal("Delete of present key returned false")
+	}
+	if h.Delete(7) {
+		t.Fatal("double Delete returned true")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", h.Len())
+	}
+	// Reinsert after delete (tombstone reuse).
+	h.Put(7, 71)
+	if v, ok := h.Get(7); !ok || v != 71 {
+		t.Fatalf("reinserted Get(7) = %d,%v", v, ok)
+	}
+}
+
+func TestHashIndexGrowthKeepsEntries(t *testing.T) {
+	h := NewHashIndex(0)
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		h.Put(i*2654435761, i)
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d, want %d", h.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := h.Get(i * 2654435761); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v, want %d", i*2654435761, v, ok, i)
+		}
+	}
+}
+
+func TestHashIndexTombstoneChurn(t *testing.T) {
+	// Insert/delete cycles must not degrade into an unusable table.
+	h := NewHashIndex(16)
+	for round := 0; round < 200; round++ {
+		for i := uint64(0); i < 64; i++ {
+			h.Put(i, i+uint64(round))
+		}
+		for i := uint64(0); i < 64; i++ {
+			if !h.Delete(i) {
+				t.Fatalf("round %d: Delete(%d) failed", round, i)
+			}
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after churn, want 0", h.Len())
+	}
+}
+
+func TestHashIndexRange(t *testing.T) {
+	h := NewHashIndex(0)
+	want := map[uint64]uint64{}
+	for i := uint64(0); i < 100; i++ {
+		h.Put(i, i*i)
+		want[i] = i * i
+	}
+	h.Delete(50)
+	delete(want, 50)
+	got := map[uint64]uint64{}
+	h.Range(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early termination.
+	visits := 0
+	h.Range(func(k, v uint64) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("Range after false = %d visits, want 1", visits)
+	}
+}
+
+// Property: the index behaves like a map under a random operation
+// sequence.
+func TestHashIndexMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHashIndex(0)
+		ref := map[uint64]uint64{}
+		for op := 0; op < 2000; op++ {
+			k := uint64(rng.Intn(300))
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Uint64()
+				h.Put(k, v)
+				ref[k] = v
+			case 1:
+				_, wantOK := ref[k]
+				if gotOK := h.Delete(k); gotOK != wantOK {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				wantV, wantOK := ref[k]
+				gotV, gotOK := h.Get(k)
+				if gotOK != wantOK || (wantOK && gotV != wantV) {
+					return false
+				}
+			}
+		}
+		return h.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashIndexMemBytesAndString(t *testing.T) {
+	h := NewHashIndex(100)
+	if h.MemBytes() <= 0 {
+		t.Error("MemBytes should be positive")
+	}
+	if h.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}

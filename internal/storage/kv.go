@@ -1,0 +1,107 @@
+package storage
+
+import "fmt"
+
+// KVStore is one partition's share of the paper's custom key-value store
+// benchmark: 4-byte keys and values, uniformly distributed. In the indexed
+// variant lookups go through the hash index (memory-latency-bound); in the
+// non-indexed variant every lookup scans the key column (memory-
+// bandwidth-bound), which is exactly the workload pair the paper uses to
+// produce opposite energy profiles.
+type KVStore struct {
+	keys    *Column
+	values  *Column
+	index   *HashIndex
+	indexed bool
+}
+
+// NewKVStore creates a store. indexed selects the access path.
+func NewKVStore(capacity int, indexed bool) *KVStore {
+	kv := &KVStore{
+		keys:    NewColumn("key", capacity),
+		values:  NewColumn("value", capacity),
+		indexed: indexed,
+	}
+	if indexed {
+		kv.index = NewHashIndex(capacity)
+	}
+	return kv
+}
+
+// Indexed reports the access path variant.
+func (kv *KVStore) Indexed() bool { return kv.indexed }
+
+// Len returns the number of live keys.
+func (kv *KVStore) Len() int {
+	if kv.indexed {
+		return kv.index.Len()
+	}
+	return kv.keys.Len()
+}
+
+// Put stores a key-value pair. Existing keys are overwritten.
+func (kv *KVStore) Put(key, value uint32) {
+	if kv.indexed {
+		if row, ok := kv.index.Get(uint64(key)); ok {
+			kv.values.Set(int(row), int64(value))
+			return
+		}
+		kv.keys.Append(int64(key))
+		row := kv.values.Append(int64(value))
+		kv.index.Put(uint64(key), uint64(row))
+		return
+	}
+	// Non-indexed: scan for the key, overwrite or append.
+	if row, ok := kv.scanFind(key); ok {
+		kv.values.Set(row, int64(value))
+		return
+	}
+	kv.keys.Append(int64(key))
+	kv.values.Append(int64(value))
+}
+
+// Get retrieves the value for a key.
+func (kv *KVStore) Get(key uint32) (uint32, bool) {
+	if kv.indexed {
+		row, ok := kv.index.Get(uint64(key))
+		if !ok {
+			return 0, false
+		}
+		return uint32(kv.values.Get(int(row))), true
+	}
+	row, ok := kv.scanFind(key)
+	if !ok {
+		return 0, false
+	}
+	return uint32(kv.values.Get(row)), true
+}
+
+// scanFind locates a key by scanning the key column (returning the last
+// occurrence, the visible version).
+func (kv *KVStore) scanFind(key uint32) (int, bool) {
+	found, ok := -1, false
+	for row := 0; row < kv.keys.Len(); row++ {
+		if uint32(kv.keys.Get(row)) == key {
+			found, ok = row, true
+		}
+	}
+	return found, ok
+}
+
+// MemBytes estimates the store's footprint.
+func (kv *KVStore) MemBytes() int {
+	total := kv.keys.MemBytes() + kv.values.MemBytes()
+	if kv.index != nil {
+		total += kv.index.MemBytes()
+	}
+	return total
+}
+
+// String summarizes the store.
+func (kv *KVStore) String() string {
+	mode := "non-indexed"
+	if kv.indexed {
+		mode = "indexed"
+	}
+	return fmt.Sprintf("KVStore{%s, keys=%d}", mode, kv.Len())
+}

@@ -1,0 +1,63 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVStoreBothVariantsBehaveAlike(t *testing.T) {
+	for _, indexed := range []bool{true, false} {
+		kv := NewKVStore(16, indexed)
+		if kv.Indexed() != indexed {
+			t.Fatalf("Indexed = %v", kv.Indexed())
+		}
+		if _, ok := kv.Get(1); ok {
+			t.Fatal("empty store returned a value")
+		}
+		kv.Put(1, 100)
+		kv.Put(2, 200)
+		if v, ok := kv.Get(1); !ok || v != 100 {
+			t.Fatalf("indexed=%v Get(1) = %d,%v", indexed, v, ok)
+		}
+		kv.Put(1, 111) // overwrite
+		if v, _ := kv.Get(1); v != 111 {
+			t.Fatalf("indexed=%v overwrite Get(1) = %d", indexed, v)
+		}
+		if kv.Len() != 2 {
+			t.Fatalf("indexed=%v Len = %d, want 2", indexed, kv.Len())
+		}
+		if kv.MemBytes() <= 0 || kv.String() == "" {
+			t.Error("MemBytes/String degenerate")
+		}
+	}
+}
+
+// Property: indexed and non-indexed stores stay observationally identical
+// under random operations (they only differ in access path energy
+// characteristics).
+func TestKVVariantsEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewKVStore(0, true)
+		b := NewKVStore(0, false)
+		for op := 0; op < 300; op++ {
+			k := uint32(rng.Intn(64))
+			if rng.Intn(2) == 0 {
+				v := uint32(rng.Uint64())
+				a.Put(k, v)
+				b.Put(k, v)
+			} else {
+				av, aok := a.Get(k)
+				bv, bok := b.Get(k)
+				if av != bv || aok != bok {
+					return false
+				}
+			}
+		}
+		return a.Len() == b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

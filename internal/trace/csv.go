@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteCSV exports all recorded series as one CSV table: a time column
+// followed by one column per series, rows aligned on the union of sample
+// times (missing samples carry the previous value forward). Intended for
+// plotting experiment traces externally.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	names := r.Names()
+	// Union of timestamps.
+	stamps := map[time.Duration]bool{}
+	for _, n := range names {
+		for _, t := range r.Series(n).Times {
+			stamps[t] = true
+		}
+	}
+	times := make([]time.Duration, 0, len(stamps))
+	for t := range stamps {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"t_seconds"}, names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	idx := make([]int, len(names))
+	last := make([]float64, len(names))
+	for _, t := range times {
+		row := make([]string, 0, len(names)+1)
+		row = append(row, fmt.Sprintf("%.3f", t.Seconds()))
+		for i, n := range names {
+			s := r.Series(n)
+			for idx[i] < len(s.Times) && s.Times[idx[i]] <= t {
+				last[i] = s.Values[idx[i]]
+				idx[i]++
+			}
+			row = append(row, fmt.Sprintf("%g", last[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

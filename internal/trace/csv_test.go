@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+	"time"
+)
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Add("power", 0, 100)
+	r.Add("power", time.Second, 110)
+	r.Add("latency", 500*time.Millisecond, 5)
+	r.Add("latency", time.Second, 6)
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 3 distinct timestamps
+		t.Fatalf("rows = %d, want 4: %v", len(rows), rows)
+	}
+	if rows[0][0] != "t_seconds" || rows[0][1] != "power" || rows[0][2] != "latency" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	// t=0: power 100, latency carries 0 (no sample yet).
+	if rows[1][1] != "100" || rows[1][2] != "0" {
+		t.Fatalf("row t=0: %v", rows[1])
+	}
+	// t=0.5: power carried forward.
+	if rows[2][1] != "100" || rows[2][2] != "5" {
+		t.Fatalf("row t=0.5: %v", rows[2])
+	}
+	// t=1: both updated.
+	if rows[3][1] != "110" || rows[3][2] != "6" {
+		t.Fatalf("row t=1: %v", rows[3])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("even an empty recorder writes a header")
+	}
+}

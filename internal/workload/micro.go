@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"ecldb/internal/perfmodel"
+	"ecldb/internal/storage"
+)
+
+// Micro is a micro-workload: every query is a single fixed-cost operation
+// on one uniformly chosen partition. The micro-workloads reproduce the
+// paper's Section 2 and Section 4 experiments (energy-control knob
+// analysis and energy profile shapes).
+type Micro struct {
+	name  string
+	chars perfmodel.Characteristics
+	// instrPerOp is the modeled cost of one operation.
+	instrPerOp float64
+	// exec produces the sampled real work for one operation.
+	exec func(rng *rand.Rand, st PartitionState)
+	// newPartition builds partition state.
+	newPartition func(partition int, rng *rand.Rand) PartitionState
+}
+
+// Name implements Workload.
+func (m *Micro) Name() string { return m.name }
+
+// Indexed implements Workload; micro-workloads have no index variants.
+func (m *Micro) Indexed() bool { return false }
+
+// Characteristics implements Workload.
+func (m *Micro) Characteristics() perfmodel.Characteristics { return m.chars }
+
+// NewPartition implements Workload.
+func (m *Micro) NewPartition(partition int, rng *rand.Rand) PartitionState {
+	if m.newPartition == nil {
+		return nil
+	}
+	return m.newPartition(partition, rng)
+}
+
+// NewQuery implements Workload.
+func (m *Micro) NewQuery(rng *rand.Rand, parts int) []Op {
+	p := rng.Intn(parts)
+	var exec func(PartitionState)
+	if m.exec != nil {
+		ex := m.exec
+		exec = func(st PartitionState) { ex(rng, st) }
+	}
+	return []Op{{Partition: p, Instr: m.instrPerOp, Exec: exec}}
+}
+
+// computePartition is the state of the compute-bound micro-workload: a
+// thread-local counter.
+type computePartition struct{ counter uint64 }
+
+// scanPartition holds an array column for the memory-bound scan workload.
+type scanPartition struct{ col *storage.Column }
+
+// sharedCounter is the single contended variable of the atomic-contention
+// workload (package-global: the paper's workload shares one cacheline
+// across all threads).
+var sharedCounter atomic.Uint64
+
+// hashPartition holds the shared hash table of the hash-insert workload.
+type hashPartition struct {
+	idx  *storage.HashIndex
+	next uint64
+}
+
+// NewComputeBound returns the "incrementing thread-local counters"
+// workload.
+func NewComputeBound() *Micro {
+	return &Micro{
+		name:       "compute-bound",
+		chars:      perfmodel.ComputeBound(),
+		instrPerOp: 200_000,
+		newPartition: func(int, *rand.Rand) PartitionState {
+			return &computePartition{}
+		},
+		exec: func(_ *rand.Rand, st PartitionState) {
+			cp := st.(*computePartition)
+			for i := 0; i < 64; i++ {
+				cp.counter++
+			}
+		},
+	}
+}
+
+// NewMemoryScan returns the "scan over an array" workload.
+func NewMemoryScan() *Micro {
+	return &Micro{
+		name:       "memory-scan",
+		chars:      perfmodel.MemoryScan(),
+		instrPerOp: 400_000,
+		newPartition: func(p int, rng *rand.Rand) PartitionState {
+			col := storage.NewColumn("v", 4096)
+			for i := 0; i < 4096; i++ {
+				col.Append(int64(rng.Intn(1000)))
+			}
+			return &scanPartition{col: col}
+		},
+		exec: func(rng *rand.Rand, st PartitionState) {
+			sp := st.(*scanPartition)
+			// Sampled slice of the full modeled scan.
+			sp.col.ScanAggregate(storage.Between(0, int64(rng.Intn(1000))))
+		},
+	}
+}
+
+// NewAtomicContention returns the "all threads atomically increment a
+// single variable" workload (Figure 10b).
+func NewAtomicContention() *Micro {
+	return &Micro{
+		name:       "atomic-contention",
+		chars:      perfmodel.AtomicContention(),
+		instrPerOp: 60_000,
+		exec: func(*rand.Rand, PartitionState) {
+			for i := 0; i < 16; i++ {
+				sharedCounter.Add(1)
+			}
+		},
+	}
+}
+
+// NewHashTableInsert returns the "multiple threads insert values into a
+// shared hash table" workload (Figure 10c).
+func NewHashTableInsert() *Micro {
+	return &Micro{
+		name:       "hashtable-insert",
+		chars:      perfmodel.HashTableInsert(),
+		instrPerOp: 150_000,
+		newPartition: func(int, *rand.Rand) PartitionState {
+			return &hashPartition{idx: storage.NewHashIndex(1024)}
+		},
+		exec: func(rng *rand.Rand, st PartitionState) {
+			hp := st.(*hashPartition)
+			for i := 0; i < 8; i++ {
+				hp.next++
+				hp.idx.Put(hp.next&0xffff, rng.Uint64())
+			}
+		},
+	}
+}
+
+// NewFullLoad returns the FIRESTARTER-style stress workload used to reach
+// peak power in Figure 3.
+func NewFullLoad() *Micro {
+	return &Micro{
+		name:       "full-load",
+		chars:      perfmodel.FullLoad(),
+		instrPerOp: 500_000,
+		newPartition: func(p int, rng *rand.Rand) PartitionState {
+			col := storage.NewColumn("v", 2048)
+			for i := 0; i < 2048; i++ {
+				col.Append(rng.Int63())
+			}
+			return &scanPartition{col: col}
+		},
+		exec: func(_ *rand.Rand, st PartitionState) {
+			sp := st.(*scanPartition)
+			sp.col.ScanAggregate(nil)
+		},
+	}
+}
+
+// Micros returns all micro-workloads.
+func Micros() []Workload {
+	return []Workload{
+		NewComputeBound(), NewMemoryScan(),
+		NewAtomicContention(), NewHashTableInsert(), NewFullLoad(),
+	}
+}

@@ -1,0 +1,75 @@
+// Package workload defines the benchmark workloads of the paper's
+// evaluation (Section 6, Table 1): the micro-workloads used for energy
+// profiles (compute-bound, memory-bound, atomic contention, hash-table
+// insert, FIRESTARTER full load), the custom key-value store benchmark,
+// TATP (OLTP), and SSB (OLAP) — each database benchmark in a fully indexed
+// and a non-indexed variant, since the two access patterns (memory-latency
+// vs. memory-bandwidth bound) produce opposite energy profiles.
+//
+// A workload provides (1) execution characteristics for the performance
+// model, (2) per-partition data built on the real storage structures, and
+// (3) a query generator emitting operations with modeled instruction costs
+// plus sampled real work against the partition data.
+package workload
+
+import (
+	"math/rand"
+
+	"ecldb/internal/perfmodel"
+)
+
+// PartitionState is the opaque partition-local data of a workload.
+type PartitionState interface{}
+
+// Op is one operation of a query, addressed to a data partition.
+type Op struct {
+	// Partition is the target partition.
+	Partition int
+	// Instr is the modeled instruction cost of the operation at full
+	// scale.
+	Instr float64
+	// Exec optionally performs a bounded sample of real work against
+	// the partition's data structures.
+	Exec func(PartitionState)
+}
+
+// Workload is a benchmark workload.
+type Workload interface {
+	// Name identifies the workload (e.g. "tatp-indexed").
+	Name() string
+	// Indexed reports the access-path variant.
+	Indexed() bool
+	// Characteristics returns the workload's hardware interaction
+	// profile for the performance model.
+	Characteristics() perfmodel.Characteristics
+	// NewPartition builds the partition-local data of one partition.
+	NewPartition(partition int, rng *rand.Rand) PartitionState
+	// NewQuery emits the operations of the next query over a database
+	// with parts partitions.
+	NewQuery(rng *rand.Rand, parts int) []Op
+}
+
+// All returns every workload of the evaluation in Table 1 order: the three
+// benchmarks, each indexed then non-indexed.
+func All() []Workload {
+	return []Workload{
+		NewKV(true), NewKV(false),
+		NewTATP(true), NewTATP(false),
+		NewSSB(true), NewSSB(false),
+	}
+}
+
+// ByName returns the workload with the given name, or nil.
+func ByName(name string) Workload {
+	for _, w := range append(All(), Micros()...) {
+		if w.Name() == name {
+			return w
+		}
+	}
+	for _, mix := range []byte{'A', 'B', 'C'} {
+		if y, err := NewYCSB(mix); err == nil && y.Name() == name {
+			return y
+		}
+	}
+	return nil
+}
