@@ -1,0 +1,55 @@
+// Command ecllint runs the project's determinism and layering checks
+// (internal/lint) over the given package patterns and exits non-zero on
+// any finding:
+//
+//	go run ./cmd/ecllint ./...
+//
+// The analyzers and their rationale are documented in internal/lint and
+// in DESIGN.md's "Determinism contract" section. Findings are suppressed
+// inline with //ecllint:allow <analyzer> <reason> or, for map iteration,
+// //ecllint:order-independent <reason> — a reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecldb/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", ".", "module root to run in")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ecllint [-C dir] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Default()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	units, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecllint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(units, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ecllint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

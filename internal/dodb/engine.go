@@ -222,6 +222,10 @@ func (e *Engine) BusySeconds(socket int) (busy, active float64) {
 // workload-change experiment). Partition data is rebuilt; in-flight
 // queries of the old workload are dropped (counted in DroppedQueries).
 func (e *Engine) SwitchWorkload(wl workload.Workload) error {
+	// The drain commutes: every in-flight query gets the same two writes
+	// (dropped flag, counter increment) and the map ends empty, so no
+	// observable state depends on which query is visited first.
+	//ecllint:order-independent marking dropped and counting are per-query and commutative; the map is fully drained
 	for q := range e.inFlight {
 		q.dropped = true
 		delete(e.inFlight, q)

@@ -1,0 +1,77 @@
+package lint
+
+// modulePath is the import path of this module; ecllint is project-native
+// and encodes the repository's own contract.
+const modulePath = "ecldb"
+
+// CorePackages lists the deterministic core: every package that runs
+// inside a simulation. internal/bench drives simulations (it may use
+// testing helpers), internal/lint is tooling, and cmd/ and examples/ are
+// CLIs at the edge of the virtual world — none of those are core.
+func CorePackages() []string {
+	names := []string{
+		"vtime", "hw", "dodb", "msg", "ecl", "energy",
+		"perfmodel", "sim", "storage", "workload", "loadprofile", "trace",
+	}
+	core := make([]string, 0, len(names))
+	for _, n := range names {
+		core = append(core, modulePath+"/internal/"+n)
+	}
+	return core
+}
+
+// WalltimeAllowed lists where wall-clock use is legal: the virtual clock
+// itself and the CLIs, which report real elapsed time to humans.
+func WalltimeAllowed() []string {
+	return []string{
+		modulePath + "/internal/vtime",
+		modulePath + "/cmd/",
+		modulePath + "/examples/",
+	}
+}
+
+// DefaultLayering encodes DESIGN.md's dependency direction. Relax a rule
+// here — with a review — rather than suppressing findings inline.
+func DefaultLayering() LayeringConfig {
+	in := func(n string) string { return modulePath + "/internal/" + n }
+	return LayeringConfig{
+		Rules: []LayerRule{
+			{
+				Pkg:    in("vtime"),
+				Forbid: []string{modulePath + "/internal/"},
+				Reason: "the virtual clock is the bottom layer and imports no internal package",
+			},
+			{
+				Pkg:    in("hw"),
+				Forbid: []string{in("ecl"), in("dodb"), in("sim"), in("bench")},
+				Reason: "the hardware model is observed and actuated by upper layers, never the reverse",
+			},
+			{
+				Pkg:    in("storage"),
+				Forbid: []string{in("dodb"), in("ecl"), in("sim"), in("bench")},
+				Reason: "data structures sit below the DBMS runtime",
+			},
+		},
+		Restricted: []RestrictedImport{
+			{
+				Target:  in("sim"),
+				Within:  modulePath + "/internal/",
+				Allowed: []string{in("bench")},
+				Reason:  "bench is the only internal consumer of sim; other core packages must not depend on the full wiring",
+			},
+		},
+	}
+}
+
+// Default returns the analyzer suite with the repository's configuration
+// — what cmd/ecllint runs.
+func Default() []*Analyzer {
+	core := CorePackages()
+	return []*Analyzer{
+		NewWalltime(WalltimeAllowed()),
+		NewGlobalrand(),
+		NewNoconc(core),
+		NewMapiter(core),
+		NewLayering(DefaultLayering()),
+	}
+}

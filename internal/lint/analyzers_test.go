@@ -1,0 +1,95 @@
+package lint
+
+import "testing"
+
+// Each analyzer gets a positive fixture (findings expected, matched
+// against // want comments) and a negative one (identical construct in a
+// context the analyzer must accept).
+
+func TestWalltimeFixture(t *testing.T) {
+	// The bad package is not on the allow-list: wall-clock calls are
+	// findings, durations and the suppressed call are not.
+	runFixture(t, []*Analyzer{NewWalltime(WalltimeAllowed())}, "walltime/bad")
+}
+
+func TestWalltimeAllowedPackage(t *testing.T) {
+	// The same construct is legal inside an allow-listed package (the
+	// fixture stands in for internal/vtime). No want comments: any
+	// finding fails the test.
+	allowed := append(WalltimeAllowed(), fixtureBase+"/walltime/clockpkg")
+	runFixture(t, []*Analyzer{NewWalltime(allowed)}, "walltime/clockpkg")
+}
+
+func TestGlobalrandFixture(t *testing.T) {
+	// globalrand applies everywhere; no configuration needed.
+	runFixture(t, []*Analyzer{NewGlobalrand()}, "globalrand/bad")
+}
+
+func TestNoconcFixture(t *testing.T) {
+	// Configured as core, every concurrency construct is a finding —
+	// except in the fixture's test file, which must stay exempt.
+	runFixture(t, []*Analyzer{NewNoconc(coreFixture("noconc/bad"))}, "noconc/bad")
+}
+
+func TestNoconcOutsideCore(t *testing.T) {
+	// The same package analyzed as non-core produces nothing: wants in
+	// the fixture must all go unmatched, so run with an empty core list
+	// and assert directly.
+	units, err := Load(repoRoot(t), []string{fixtureBase + "/noconc/bad"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(units, []*Analyzer{NewNoconc(nil)})
+	if len(diags) != 0 {
+		t.Fatalf("noconc outside core reported findings: %v", diags)
+	}
+}
+
+func TestMapiterFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{NewMapiter(coreFixture("mapiter/core"))}, "mapiter/core")
+}
+
+func TestMapiterOutsideCore(t *testing.T) {
+	units, err := Load(repoRoot(t), []string{fixtureBase + "/mapiter/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(units, []*Analyzer{NewMapiter(nil)})
+	if len(diags) != 0 {
+		t.Fatalf("mapiter outside core reported findings: %v", diags)
+	}
+}
+
+func TestLayeringFixture(t *testing.T) {
+	base := fixtureBase + "/layering/"
+	cfg := LayeringConfig{
+		Rules: []LayerRule{{
+			Pkg:    base + "hwlike",
+			Forbid: []string{base + "ecllike"},
+			Reason: "fixture: hw-like must not import ecl-like",
+		}},
+		Restricted: []RestrictedImport{{
+			Target:  base + "simlike",
+			Within:  base,
+			Allowed: []string{base + "benchlike"},
+			Reason:  "fixture: benchlike is the only consumer of simlike",
+		}},
+	}
+	runFixture(t, []*Analyzer{NewLayering(cfg)},
+		"layering/ecllike", "layering/hwlike", "layering/simlike",
+		"layering/benchlike", "layering/otherlike")
+}
+
+// TestSuiteCleanOnRepo is the contract itself: the default suite must
+// stay clean on the whole tree. A red run here means a change broke the
+// determinism or layering contract (or needs an inline justification).
+func TestSuiteCleanOnRepo(t *testing.T) {
+	units, err := Load(repoRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(units, Default())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //ecllint: suppression comment.
+type directive struct {
+	file     string
+	line     int    // line the comment starts on
+	analyzer string // analyzer it suppresses
+	reason   string
+}
+
+// directivePrefix introduces every ecllint comment. Two verbs exist:
+//
+//	//ecllint:allow <analyzer> <reason>
+//	//ecllint:order-independent <reason>
+//
+// The second is shorthand for `allow mapiter` and is the canonical way to
+// justify a loop whose per-element effects commute. A directive covers
+// findings on its own line and on the line directly below, so both
+// trailing comments and a comment-above style work.
+const directivePrefix = "ecllint:"
+
+// parseDirectives scans all comments of a unit. It returns the valid
+// suppressions plus a Diagnostic for every malformed directive: a reason
+// is mandatory, and the analyzer named in an allow must exist.
+func parseDirectives(u *Unit, known map[string]bool) ([]directive, []Diagnostic) {
+	var sups []directive
+	var problems []Diagnostic
+	report := func(pos token.Position, msg string) {
+		problems = append(problems, Diagnostic{Pos: pos, Analyzer: "directive", Message: msg})
+	}
+	for _, f := range u.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				d := directive{file: f.Name, line: pos.Line}
+				verb, rest := splitWord(text)
+				switch verb {
+				case "allow":
+					var analyzer string
+					analyzer, rest = splitWord(rest)
+					if analyzer == "" {
+						report(pos, "ecllint:allow needs an analyzer name and a reason")
+						continue
+					}
+					if !known[analyzer] {
+						report(pos, "ecllint:allow names unknown analyzer "+quote(analyzer))
+						continue
+					}
+					d.analyzer = analyzer
+				case "order-independent":
+					d.analyzer = "mapiter"
+				default:
+					report(pos, "unknown ecllint directive "+quote(verb)+" (want allow or order-independent)")
+					continue
+				}
+				d.reason = strings.TrimSpace(rest)
+				if d.reason == "" {
+					report(pos, "ecllint:"+verb+" requires a reason: say why the determinism contract still holds")
+					continue
+				}
+				sups = append(sups, d)
+			}
+		}
+	}
+	return sups, problems
+}
+
+// directiveText extracts the directive body from a comment: `//ecllint:x`
+// yields ("x", true). Only line comments with no space before the marker
+// count, matching the //go: convention.
+func directiveText(comment string) (string, bool) {
+	if !strings.HasPrefix(comment, "//"+directivePrefix) {
+		return "", false
+	}
+	return strings.TrimPrefix(comment, "//"+directivePrefix), true
+}
+
+// splitWord returns the first whitespace-delimited word and the rest.
+func splitWord(s string) (word, rest string) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i], s[i:]
+	}
+	return s, ""
+}
+
+// quote wraps a word for an error message.
+func quote(s string) string { return "\"" + s + "\"" }

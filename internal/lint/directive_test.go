@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSource builds a Unit with parsed (not type-checked) files — all
+// parseDirectives needs.
+func parseSource(t *testing.T, src string) *Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Unit{Path: "d", Fset: fset, Files: []*File{{AST: f, Name: "d.go"}}}
+}
+
+var knownTest = map[string]bool{"walltime": true, "mapiter": true}
+
+func TestParseDirectivesValid(t *testing.T) {
+	u := parseSource(t, `package d
+
+//ecllint:allow walltime calibration intentionally reads the host clock
+var a int
+
+//ecllint:order-independent the loop body only sums, which commutes
+var b int
+`)
+	sups, problems := parseDirectives(u, knownTest)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2", len(sups))
+	}
+	if sups[0].analyzer != "walltime" || !strings.Contains(sups[0].reason, "host clock") {
+		t.Errorf("first directive parsed wrong: %+v", sups[0])
+	}
+	if sups[1].analyzer != "mapiter" || sups[1].reason == "" {
+		t.Errorf("order-independent must desugar to mapiter with a reason: %+v", sups[1])
+	}
+}
+
+func TestParseDirectivesMalformed(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"//ecllint:allow walltime", "requires a reason"},
+		{"//ecllint:order-independent", "requires a reason"},
+		{"//ecllint:allow", "needs an analyzer name"},
+		{"//ecllint:allow nosuch because reasons", "unknown analyzer"},
+		{"//ecllint:nonsense stuff", "unknown ecllint directive"},
+	}
+	for _, c := range cases {
+		u := parseSource(t, "package d\n\n"+c.src+"\nvar x int\n")
+		sups, problems := parseDirectives(u, knownTest)
+		if len(sups) != 0 {
+			t.Errorf("%q: malformed directive produced a suppression", c.src)
+		}
+		if len(problems) != 1 || !strings.Contains(problems[0].Message, c.want) {
+			t.Errorf("%q: problems = %v, want one containing %q", c.src, problems, c.want)
+		}
+	}
+}
+
+func TestOrdinaryCommentsIgnored(t *testing.T) {
+	u := parseSource(t, `package d
+
+// ecllint:allow walltime a space before the marker means plain prose
+// This mentions ecllint:allow mid-sentence and must not parse either.
+var x int
+`)
+	sups, problems := parseDirectives(u, knownTest)
+	if len(sups) != 0 || len(problems) != 0 {
+		t.Fatalf("prose comments were treated as directives: sups=%v problems=%v", sups, problems)
+	}
+}
+
+func TestSuppressedCoverage(t *testing.T) {
+	d := Diagnostic{Pos: token.Position{Filename: "d.go", Line: 10}, Analyzer: "mapiter"}
+	cover := func(line int, analyzer, file string) bool {
+		return suppressed(d, []directive{{file: file, line: line, analyzer: analyzer, reason: "r"}})
+	}
+	if !cover(10, "mapiter", "d.go") {
+		t.Error("same-line directive must suppress")
+	}
+	if !cover(9, "mapiter", "d.go") {
+		t.Error("directive on the line above must suppress")
+	}
+	if cover(8, "mapiter", "d.go") {
+		t.Error("directive two lines up must not suppress")
+	}
+	if cover(11, "mapiter", "d.go") {
+		t.Error("directive below the finding must not suppress")
+	}
+	if cover(10, "walltime", "d.go") {
+		t.Error("directive for another analyzer must not suppress")
+	}
+	if cover(10, "mapiter", "other.go") {
+		t.Error("directive in another file must not suppress")
+	}
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureBase is the import-path prefix of the fixture packages. The
+// testdata directory is invisible to ./... wildcards, so fixtures never
+// leak into builds, vet, or the default ecllint run; tests list them
+// explicitly.
+const fixtureBase = modulePath + "/internal/lint/testdata/src"
+
+// repoRoot locates the module root from the test's working directory
+// (the package directory internal/lint).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// wantRx matches expectation comments in fixtures: `// want "substring"`.
+var wantRx = regexp.MustCompile(`// want "([^"]+)"`)
+
+// runFixture loads the given fixture packages (import paths relative to
+// fixtureBase), runs the analyzers with suppression handling, and checks
+// the findings against the fixtures' `// want "substring"` comments: one
+// expected finding per want, matched by file, line, and message
+// substring. Extra or missing findings fail the test.
+func runFixture(t *testing.T, analyzers []*Analyzer, pkgs ...string) {
+	t.Helper()
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = fixtureBase + "/" + p
+	}
+	units, err := Load(repoRoot(t), patterns)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", pkgs, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("no units loaded for %v", pkgs)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					m := wantRx.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					k := key{f.Name, pos.Line}
+					wants[k] = append(wants[k], m[1])
+				}
+			}
+		}
+	}
+
+	diags := Run(units, analyzers)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ws := wants[k]
+		matched := -1
+		for i, w := range ws {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", d)
+			continue
+		}
+		wants[k] = append(ws[:matched], ws[matched+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", k.file, k.line, w)
+		}
+	}
+}
+
+// coreFixture builds the core-package list for analyzers whose scope is
+// configured per test.
+func coreFixture(pkgs ...string) []string {
+	out := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = fixtureBase + "/" + p
+	}
+	return out
+}
+
+// TestFixturesStayHidden guards the assumption the fixture design rests
+// on: `./...` expansion must never pick up testdata packages, or the
+// deliberately broken fixtures would fail the repo-wide ecllint run.
+func TestFixturesStayHidden(t *testing.T) {
+	units, err := Load(repoRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range units {
+		if strings.Contains(u.Path, "testdata") {
+			t.Errorf("wildcard load picked up fixture package %s", u.Path)
+		}
+	}
+	if len(units) < 10 {
+		t.Fatalf("suspiciously few units for ./...: %d", len(units))
+	}
+}

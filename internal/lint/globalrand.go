@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalrandConstructors are the math/rand functions that build an
+// explicitly seeded generator instead of touching the package-global
+// source; they are the approved way to obtain randomness.
+var globalrandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// NewGlobalrand builds the globalrand analyzer: calling package-level
+// math/rand functions (rand.Intn, rand.Float64, rand.Seed, ...) is
+// forbidden everywhere, tests included — they draw from a process-global
+// source whose state depends on everything that ran before, so a seeded
+// experiment stops being reproducible. Randomness must flow from a seeded
+// *rand.Rand carried in a Config, as internal/dodb and internal/workload
+// do. Type references (rand.Rand, rand.Source) and the constructors
+// rand.New/NewSource/NewZipf stay legal.
+func NewGlobalrand() *Analyzer {
+	a := &Analyzer{
+		Name: "globalrand",
+		Doc:  "forbid package-global math/rand state; randomness must come from a seeded *rand.Rand",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Unit.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn := pass.Unit.pkgName(id)
+				if pn == nil {
+					return true
+				}
+				if p := pn.Imported().Path(); p != "math/rand" && p != "math/rand/v2" {
+					return true
+				}
+				// Only package-level functions touch the global source;
+				// types and constructors are the sanctioned API.
+				if _, isFunc := pass.Unit.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true
+				}
+				if globalrandConstructors[sel.Sel.Name] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "global rand.%s uses process-wide state and breaks seeded reproducibility; draw from a seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead", sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// A LayerRule forbids a package from importing given subtrees: the
+// importer named by Pkg (exact path, or a subtree for entries ending in
+// "/") must not import anything matching Forbid (same matching rules).
+type LayerRule struct {
+	Pkg    string
+	Forbid []string
+	Reason string
+}
+
+// A RestrictedImport inverts the direction: Target may only be imported —
+// among importers under the Within prefix — by the packages listed in
+// Allowed. Importers outside Within (the public facade, cmd/, examples/)
+// are not constrained.
+type RestrictedImport struct {
+	Target  string
+	Within  string
+	Allowed []string
+	Reason  string
+}
+
+// LayeringConfig is the import-graph contract the layering analyzer
+// enforces.
+type LayeringConfig struct {
+	Rules      []LayerRule
+	Restricted []RestrictedImport
+}
+
+// NewLayering builds the layering analyzer: DESIGN.md's dependency
+// direction, checked on every import declaration of non-test files.
+// Test files may reach across layers (a sim test importing bench
+// helpers does not move runtime dependencies).
+func NewLayering(cfg LayeringConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "layering",
+		Doc:  "enforce DESIGN.md's dependency direction on the import graph",
+	}
+	a.Run = func(pass *Pass) {
+		upath := strings.TrimSuffix(pass.Unit.Path, "_test")
+		for _, f := range pass.Unit.Files {
+			if f.Test {
+				continue
+			}
+			for _, imp := range f.AST.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				for _, r := range cfg.Rules {
+					if !pathAllowed(upath, []string{r.Pkg}) {
+						continue
+					}
+					if pathAllowed(p, r.Forbid) {
+						pass.Reportf(imp.Pos(), "layering: %s must not import %s (%s)", upath, p, r.Reason)
+					}
+				}
+				for _, r := range cfg.Restricted {
+					if p != r.Target || !strings.HasPrefix(upath, r.Within) {
+						continue
+					}
+					if !pathAllowed(upath, r.Allowed) {
+						pass.Reportf(imp.Pos(), "layering: %s is not an allowed importer of %s (%s)", upath, p, r.Reason)
+					}
+				}
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,145 @@
+// Package lint implements ecllint, the project-native static-analysis
+// suite that machine-checks the determinism and layering contract of
+// DESIGN.md: the whole stack (vtime clock, dodb engine, ECL controllers,
+// hardware model) is single-threaded and deterministic, so a seeded run
+// reproduces the paper's figures bit-for-bit. Nothing else enforces that
+// contract — one stray time.Now, global rand.Intn, goroutine, or
+// order-dependent map iteration silently breaks reproducibility.
+//
+// Five analyzers enforce the contract:
+//
+//   - walltime: wall-clock time functions (time.Now, time.Sleep, ...) are
+//     forbidden outside internal/vtime, cmd/, and examples/.
+//   - globalrand: package-level math/rand functions (rand.Intn,
+//     rand.Seed, ...) are forbidden everywhere; randomness must flow from
+//     a seeded *rand.Rand carried in a Config.
+//   - noconc: go statements, channel syntax, select, close, and
+//     sync/sync-atomic imports are forbidden in the deterministic core
+//     packages.
+//   - mapiter: ranging over a map in a core package is flagged unless the
+//     keys are sorted into a slice first or the loop carries an explicit
+//     //ecllint:order-independent justification.
+//   - layering: the dependency direction of DESIGN.md is enforced as an
+//     import-graph check (vtime imports no internal package, hw must not
+//     import ecl/dodb, storage must not import dodb, bench is the only
+//     internal consumer of sim).
+//
+// Findings can be suppressed with a justification directive placed on the
+// offending line or the line above it:
+//
+//	//ecllint:allow <analyzer> <reason>
+//	//ecllint:order-independent <reason>   (shorthand for allow mapiter)
+//
+// A directive without a reason is itself a finding: every suppression
+// must say why the contract still holds.
+//
+// The suite is built on the standard library only (go/parser + go/types,
+// driven by `go list -json`), because the build environment pins the
+// dependency set; with golang.org/x/tools available it could be ported to
+// the go/analysis framework and run under `go vet -vettool`. The
+// standalone runner is cmd/ecllint.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one named check over a loaded Unit. The design mirrors
+// golang.org/x/tools/go/analysis so a future port is mechanical.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //ecllint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects pass.Unit and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one analyzer's execution over one Unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Unit     *Unit
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Unit.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats a diagnostic the way compilers do, with the analyzer
+// name appended so suppressions can be written without guessing.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Run executes the analyzers over the units, applies suppression
+// directives, and returns the surviving findings sorted by position.
+// Malformed directives (unknown analyzer, missing reason) are returned as
+// findings of the pseudo-analyzer "directive".
+func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, u := range units {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Unit: u, diags: &diags})
+		}
+		sups, problems := parseDirectives(u, known)
+		for _, d := range diags {
+			if !suppressed(d, sups) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, problems...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// suppressed reports whether a directive covers the diagnostic: same
+// file, matching analyzer, and the directive sits on the finding's line
+// or the line above it.
+func suppressed(d Diagnostic, sups []directive) bool {
+	for _, s := range sups {
+		if s.analyzer != d.Analyzer {
+			continue
+		}
+		if s.file != d.Pos.Filename {
+			continue
+		}
+		if s.line == d.Pos.Line || s.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

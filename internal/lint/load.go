@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A File is one parsed source file of a Unit.
+type File struct {
+	AST  *ast.File
+	Name string // absolute path
+	Test bool   // listed in TestGoFiles or XTestGoFiles
+}
+
+// A Unit is one type-checked package: the library files plus in-package
+// test files type-checked together (exactly the package the test binary
+// compiles), or an external _test package on its own.
+type Unit struct {
+	// Path is the import path ("ecldb/internal/dodb"; an external test
+	// package keeps its declared suffix: "ecldb_test").
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	ForTest      string
+	DepOnly      bool
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load enumerates the packages matching patterns (relative to dir, the
+// module root), compiles export data for every dependency with
+// `go list -export`, and type-checks each matched package from source
+// with go/types. Test files are included: in-package tests are merged
+// into their package's unit, external _test packages get their own.
+func Load(dir string, patterns []string) ([]*Unit, error) {
+	args := append([]string{
+		"list", "-deps", "-test", "-export",
+		"-json=ImportPath,Dir,Name,Export,ForTest,DepOnly,Standard,GoFiles,TestGoFiles,XTestGoFiles",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	// exports maps import path -> export data file. Test variants of a
+	// package ("p [p.test]") are recorded under both the variant key and,
+	// in testExports, under the plain path so an external test unit can
+	// resolve its import of the package-under-test to the variant that
+	// includes in-package test declarations.
+	exports := map[string]string{}
+	testExports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+			if p.ForTest != "" && p.ImportPath == p.ForTest+" ["+p.ForTest+".test]" {
+				testExports[p.ForTest] = p.Export
+			}
+		}
+		if !p.DepOnly && !p.Standard && p.ForTest == "" && !strings.HasSuffix(p.ImportPath, ".test") {
+			targets = append(targets, p)
+		}
+	}
+
+	var units []*Unit
+	for _, p := range targets {
+		u, err := buildUnit(p, p.GoFiles, p.TestGoFiles, p.ImportPath, exports, nil)
+		if err != nil {
+			return nil, err
+		}
+		if u != nil {
+			units = append(units, u)
+		}
+		if len(p.XTestGoFiles) > 0 {
+			// The external test package imports the package under test;
+			// resolve that import to the in-package-test variant when one
+			// was compiled, since _test files may use test-only symbols.
+			override := map[string]string{}
+			if e, ok := testExports[p.ImportPath]; ok {
+				override[p.ImportPath] = e
+			}
+			xu, err := buildUnit(p, nil, p.XTestGoFiles, p.ImportPath+"_test", exports, override)
+			if err != nil {
+				return nil, err
+			}
+			if xu != nil {
+				units = append(units, xu)
+			}
+		}
+	}
+	return units, nil
+}
+
+// buildUnit parses and type-checks one compilation unit.
+func buildUnit(p listPackage, goFiles, testFiles []string, path string, exports, override map[string]string) (*Unit, error) {
+	if len(goFiles)+len(testFiles) == 0 {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	u := &Unit{Path: path, Dir: p.Dir, Fset: fset}
+	parse := func(names []string, test bool) error {
+		for _, name := range names {
+			abs := filepath.Join(p.Dir, name)
+			f, err := parser.ParseFile(fset, abs, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("parsing %s: %v", abs, err)
+			}
+			u.Files = append(u.Files, &File{AST: f, Name: abs, Test: test})
+		}
+		return nil
+	}
+	if err := parse(goFiles, false); err != nil {
+		return nil, err
+	}
+	if err := parse(testFiles, true); err != nil {
+		return nil, err
+	}
+
+	lookup := func(ipath string) (io.ReadCloser, error) {
+		if f, ok := override[ipath]; ok {
+			return os.Open(f)
+		}
+		if f, ok := exports[ipath]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", ipath)
+	}
+	u.Info = &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	var files []*ast.File
+	for _, f := range u.Files {
+		files = append(files, f.AST)
+	}
+	pkg, err := conf.Check(path, fset, files, u.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	u.Pkg = pkg
+	return u, nil
+}
+
+// pkgName returns the *types.PkgName an identifier resolves to, or nil.
+func (u *Unit) pkgName(id *ast.Ident) *types.PkgName {
+	if obj, ok := u.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn
+		}
+	}
+	return nil
+}

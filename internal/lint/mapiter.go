@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewMapiter builds the mapiter analyzer: ranging over a map in a core
+// package is flagged, because Go randomizes map iteration order and any
+// order-dependent effect inside the loop (appending to a slice, breaking
+// ties, emitting trace rows) silently varies between runs with the same
+// seed. The fix is to collect and sort the keys first; loops whose body
+// genuinely commutes can instead carry
+//
+//	//ecllint:order-independent <why the effects commute>
+//
+// on the range line or the line above. Test files are exempt.
+func NewMapiter(core []string) *Analyzer {
+	a := &Analyzer{
+		Name: "mapiter",
+		Doc:  "flag range over maps in core packages; sort keys or justify order-independence",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathAllowed(pass.Unit.Path, core) {
+			return
+		}
+		for _, f := range pass.Unit.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Unit.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(rng.Pos(), "range over map: iteration order is randomized; sort the keys first or add //ecllint:order-independent with a reason")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// NewNoconc builds the noconc analyzer: the deterministic core must stay
+// single-threaded, so inside the core packages it forbids go statements,
+// select statements, channel syntax (types, sends, receives, close), and
+// importing sync or sync/atomic. "Concurrency" in the simulator is
+// modeled data (worker states advanced by the step loop), never real
+// goroutines — that is what makes runs bit-for-bit reproducible and lets
+// a 2 h load profile replay in milliseconds. Test files are exempt: the
+// race-detector harness may use real goroutines to probe the core.
+func NewNoconc(core []string) *Analyzer {
+	a := &Analyzer{
+		Name: "noconc",
+		Doc:  "forbid goroutines, channels, select, and sync imports in the deterministic core",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathAllowed(pass.Unit.Path, core) {
+			return
+		}
+		for _, f := range pass.Unit.Files {
+			if f.Test {
+				continue
+			}
+			for _, imp := range f.AST.Imports {
+				if p, err := strconv.Unquote(imp.Path.Value); err == nil && (p == "sync" || p == "sync/atomic") {
+					pass.Reportf(imp.Pos(), "import of %s in the deterministic core: the simulator is single-threaded by contract, use plain values", p)
+				}
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(), "go statement in the deterministic core: model concurrency as stepped state, never real goroutines")
+				case *ast.SelectStmt:
+					pass.Reportf(n.Pos(), "select statement in the deterministic core: channel scheduling is nondeterministic")
+				case *ast.SendStmt:
+					pass.Reportf(n.Pos(), "channel send in the deterministic core")
+				case *ast.ChanType:
+					pass.Reportf(n.Pos(), "channel type in the deterministic core: use internal/msg queues, which are plain slices")
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						pass.Reportf(n.Pos(), "channel receive in the deterministic core")
+					}
+				case *ast.CallExpr:
+					if id, ok := n.Fun.(*ast.Ident); ok {
+						if b, ok := pass.Unit.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+							pass.Reportf(n.Pos(), "close of a channel in the deterministic core")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,23 @@
+// Package bad exercises the globalrand analyzer: package-level math/rand
+// draws are flagged, the seeded-generator API is not.
+package bad
+
+import "math/rand"
+
+// Global draws the process-wide source.
+func Global() int {
+	rand.Seed(1)                       // want "global rand.Seed"
+	v := rand.Intn(10)                 // want "global rand.Intn"
+	_ = rand.Float64()                 // want "global rand.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle"
+	return v
+}
+
+// Seeded is the sanctioned pattern: construct and thread a generator.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Typed references to math/rand types are legal.
+func Typed(r *rand.Rand) rand.Source { return rand.NewSource(r.Int63()) }

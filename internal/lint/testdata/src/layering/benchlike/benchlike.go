@@ -1,0 +1,7 @@
+// Package benchlike is the one allowed importer of simlike.
+package benchlike
+
+import "ecldb/internal/lint/testdata/src/layering/simlike"
+
+// V re-exports to use the import.
+var V = simlike.V

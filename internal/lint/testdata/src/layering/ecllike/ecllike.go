@@ -1,0 +1,5 @@
+// Package ecllike stands in for internal/ecl in the layering fixture.
+package ecllike
+
+// V exists so importers have something to reference.
+var V = 1

@@ -1,0 +1,5 @@
+// Package hwlike stands in for internal/hw: importing ecllike inverts
+// the dependency direction and must be flagged.
+package hwlike
+
+import _ "ecldb/internal/lint/testdata/src/layering/ecllike" // want "must not import"

@@ -1,0 +1,5 @@
+// Package otherlike is not on simlike's allow-list; its import must be
+// flagged.
+package otherlike
+
+import _ "ecldb/internal/lint/testdata/src/layering/simlike" // want "not an allowed importer"

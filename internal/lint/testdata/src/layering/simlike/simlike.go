@@ -1,0 +1,6 @@
+// Package simlike stands in for internal/sim in the layering fixture:
+// only benchlike may import it.
+package simlike
+
+// V exists so importers have something to reference.
+var V = 1

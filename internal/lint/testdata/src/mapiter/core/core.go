@@ -1,0 +1,56 @@
+// Package core exercises the mapiter analyzer: map ranges are flagged,
+// slice ranges and justified loops are not.
+package core
+
+import "sort"
+
+// Flagged iterates a map with an order-dependent body.
+func Flagged(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// NamedType still ranges a map under the hood.
+type counts map[string]int
+
+// FlaggedNamed iterates a named map type.
+func FlaggedNamed(m counts) int {
+	n := 0
+	for range m { // want "range over map"
+		n++
+	}
+	return n
+}
+
+// SortedKeys is the recommended pattern: the collection loop carries a
+// justification and the ordered work happens on the sorted slice.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//ecllint:order-independent keys are collected into a slice and sorted before any ordered use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Slices range deterministically and are never flagged.
+func Slices(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Trailing shows the same-line directive placement.
+func Trailing(m map[int]int) int {
+	sum := 0
+	for _, v := range m { //ecllint:order-independent summing commutes
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,30 @@
+// Package bad exercises the noconc analyzer: every concurrency construct
+// is flagged when the package is configured as deterministic core.
+package bad
+
+import (
+	_ "sync"        // want "import of sync"
+	_ "sync/atomic" // want "import of sync/atomic"
+)
+
+// Chan declares channel syntax in every position noconc watches.
+func Chan() {
+	ch := make(chan int, 1) // want "channel type"
+	go func() {}()          // want "go statement"
+	ch <- 1                 // want "channel send"
+	v := <-ch               // want "channel receive"
+	_ = v
+	select { // want "select statement"
+	default:
+	}
+	close(ch) // want "close of a channel"
+}
+
+// Plain single-threaded code is untouched.
+func Plain(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

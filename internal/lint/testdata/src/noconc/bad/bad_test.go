@@ -1,0 +1,21 @@
+// Test files are exempt from noconc: the race-detector harness may use
+// real goroutines to probe the single-threaded core. Nothing in this
+// file may be reported.
+package bad
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGoroutinesAllowedInTests(t *testing.T) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(done)
+	}()
+	<-done
+	wg.Wait()
+}

@@ -1,0 +1,27 @@
+// Package bad exercises the walltime analyzer: wall-clock calls must be
+// flagged, time.Duration arithmetic must not, and an //ecllint:allow
+// directive with a reason must suppress.
+package bad
+
+import "time"
+
+// Flagged calls read or wait on the wall clock.
+func Flagged() time.Duration {
+	start := time.Now()          // want "wall-clock call time.Now"
+	time.Sleep(time.Millisecond) // want "wall-clock call time.Sleep"
+	c := time.After(time.Second) // want "wall-clock call time.After"
+	_ = c
+	_ = time.NewTicker(time.Second) // want "wall-clock call time.NewTicker"
+	return time.Since(start)        // want "wall-clock call time.Since"
+}
+
+// Durations are the virtual clock's currency and stay legal.
+func Durations(d time.Duration) time.Duration {
+	return 2*d + 500*time.Millisecond
+}
+
+// Suppressed carries a justified directive and must not be reported.
+func Suppressed() time.Time {
+	//ecllint:allow walltime fixture proves the suppression machinery works
+	return time.Now()
+}

@@ -1,0 +1,8 @@
+// Package clockpkg stands in for internal/vtime: a package on the
+// walltime allow-list may use the wall clock freely.
+package clockpkg
+
+import "time"
+
+// Now is legal here: the package is in the analyzer's allowed list.
+func Now() time.Time { return time.Now() }

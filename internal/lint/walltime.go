@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// walltimeForbidden lists the package time functions that read or wait on
+// the wall clock. time.Duration, arithmetic, and formatting stay legal —
+// the virtual clock trades in time.Duration throughout.
+var walltimeForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NewWalltime builds the walltime analyzer: references to wall-clock
+// functions of package time are forbidden except in packages whose import
+// path matches one of allowed (exact path, or any package under a prefix
+// ending in "/"). The simulation must advance only on internal/vtime.
+func NewWalltime(allowed []string) *Analyzer {
+	a := &Analyzer{
+		Name: "walltime",
+		Doc:  "forbid wall-clock time functions outside internal/vtime and the CLIs",
+	}
+	a.Run = func(pass *Pass) {
+		if pathAllowed(pass.Unit.Path, allowed) {
+			return
+		}
+		for _, f := range pass.Unit.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn := pass.Unit.pkgName(id)
+				if pn == nil || pn.Imported().Path() != "time" {
+					return true
+				}
+				if walltimeForbidden[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "wall-clock call time.%s breaks determinism; advance the virtual clock (internal/vtime) instead", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// pathAllowed reports whether path matches an entry of allowed: exact
+// match, or — for entries ending in "/" — any package at or under that
+// prefix.
+func pathAllowed(path string, allowed []string) bool {
+	for _, a := range allowed {
+		if strings.HasSuffix(a, "/") {
+			if strings.HasPrefix(path, a) || path == strings.TrimSuffix(a, "/") {
+				return true
+			}
+		} else if path == a || path == a+"_test" {
+			return true
+		}
+	}
+	return false
+}

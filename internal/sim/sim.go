@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"ecldb/internal/dodb"
@@ -531,11 +532,19 @@ func (s *Sim) totalEnergy() float64 {
 }
 
 // mostApplied returns the configuration with the most accumulated time.
+// Keys are visited in sorted order so ties resolve the same way every
+// run (map order would otherwise leak into the Table 1 output).
 func (s *Sim) mostApplied() string {
+	keys := make([]string, 0, len(s.configTime))
+	//ecllint:order-independent keys are collected into a slice and sorted before the ordered scan below
+	for k := range s.configTime {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var bestKey string
 	var bestT time.Duration
-	for k, t := range s.configTime {
-		if t > bestT {
+	for _, k := range keys {
+		if t := s.configTime[k]; t > bestT {
 			bestKey, bestT = k, t
 		}
 	}

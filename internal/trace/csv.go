@@ -22,6 +22,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		}
 	}
 	times := make([]time.Duration, 0, len(stamps))
+	//ecllint:order-independent keys are collected into a slice and sorted before any ordered use
 	for t := range stamps {
 		times = append(times, t)
 	}

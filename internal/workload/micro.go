@@ -2,7 +2,6 @@ package workload
 
 import (
 	"math/rand"
-	"sync/atomic"
 
 	"ecldb/internal/perfmodel"
 	"ecldb/internal/storage"
@@ -60,8 +59,10 @@ type scanPartition struct{ col *storage.Column }
 
 // sharedCounter is the single contended variable of the atomic-contention
 // workload (package-global: the paper's workload shares one cacheline
-// across all threads).
-var sharedCounter atomic.Uint64
+// across all threads). The contention cost itself is modeled by
+// perfmodel; the simulator is single-threaded, so a plain counter stands
+// in for the atomic and keeps the core free of sync/atomic.
+var sharedCounter uint64
 
 // hashPartition holds the shared hash table of the hash-insert workload.
 type hashPartition struct {
@@ -118,7 +119,7 @@ func NewAtomicContention() *Micro {
 		instrPerOp: 60_000,
 		exec: func(*rand.Rand, PartitionState) {
 			for i := 0; i < 16; i++ {
-				sharedCounter.Add(1)
+				sharedCounter++
 			}
 		},
 	}

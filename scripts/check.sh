@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# check.sh — the tier-1 gate. Builder and CI run exactly this script, so
+# a green local run means a green CI run:
+#
+#   gofmt      formatting (testdata fixtures included)
+#   build      everything compiles
+#   vet        standard static checks
+#   ecllint    the project's determinism + layering contract
+#              (internal/lint; see DESIGN.md "Determinism contract")
+#   tests      the short suite (the full figure sweep takes tens of
+#              minutes; heavy regenerators honor -short)
+#   race       the byte-identical determinism test under the race
+#              detector, proving the core is goroutine-free at runtime
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== ecllint"
+go run ./cmd/ecllint ./...
+
+echo "== go test -short"
+go test -short -count=1 ./...
+
+echo "== determinism under -race"
+go test -race -short -count=1 -run 'TestDeterminism' ./internal/sim
+
+echo "check.sh: all green"
