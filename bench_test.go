@@ -15,6 +15,16 @@ import (
 	"ecldb/internal/bench"
 )
 
+// skipInShort exempts the end-to-end simulation benchmarks from -short
+// runs (scripts/bench.sh, CI): a single Table 1 sweep takes tens of
+// minutes. The model-based hardware and profile figures stay in.
+func skipInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("full-simulation benchmark; skipped in -short mode")
+	}
+}
+
 func BenchmarkFigure3PowerBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := bench.Figure3()
@@ -97,6 +107,7 @@ func BenchmarkFigure10WorkloadProfiles(b *testing.B) {
 }
 
 func BenchmarkFigure11GuidingExample(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.Figure11()
 		if err != nil {
@@ -115,6 +126,7 @@ func BenchmarkFigure12MetaCalibration(b *testing.B) {
 }
 
 func BenchmarkFigure13Spike(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.Figure13()
 		if err != nil {
@@ -127,6 +139,7 @@ func BenchmarkFigure13Spike(b *testing.B) {
 }
 
 func BenchmarkFigure14Twitter(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.Figure14()
 		if err != nil {
@@ -139,6 +152,7 @@ func BenchmarkFigure14Twitter(b *testing.B) {
 }
 
 func BenchmarkFigure15And16Adaptation(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.FigureAdaptation()
 		if err != nil {
@@ -152,6 +166,7 @@ func BenchmarkFigure15And16Adaptation(b *testing.B) {
 }
 
 func BenchmarkTable1EnergySavings(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.Table1()
 		if err != nil {
@@ -181,6 +196,7 @@ func BenchmarkAppendixProfiles(b *testing.B) {
 // Run separately from the paper figures; see internal/bench ablation
 // tests for the assertions.
 func BenchmarkAblationElasticity(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.AblationElasticity()
 		if err != nil {
@@ -193,6 +209,7 @@ func BenchmarkAblationElasticity(b *testing.B) {
 
 // BenchmarkAblationNUMA quantifies NUMA-aware query admission.
 func BenchmarkAblationNUMA(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.AblationNUMA()
 		if err != nil {
@@ -206,6 +223,7 @@ func BenchmarkAblationNUMA(b *testing.B) {
 // BenchmarkAblationRTI quantifies the race-to-idle controller's
 // contribution to the savings (design decision 4).
 func BenchmarkAblationRTI(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.AblationRTI()
 		if err != nil {
@@ -220,6 +238,7 @@ func BenchmarkAblationRTI(b *testing.B) {
 // (enforced through the energy profile) and reports the power/latency
 // trade-off at the tightest cap.
 func BenchmarkExtensionPowerCap(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.PowerCap()
 		if err != nil {
@@ -237,6 +256,7 @@ func BenchmarkExtensionPowerCap(b *testing.B) {
 // alignment (design decision 4): aligned grids reach the deepest sleep
 // state, staggered ones forfeit it.
 func BenchmarkAblationRTISync(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.AblationRTISync()
 		if err != nil {
@@ -250,6 +270,7 @@ func BenchmarkAblationRTISync(b *testing.B) {
 // BenchmarkAblationQuantum verifies discretization insensitivity (design
 // decision 1): the same experiment at half/default/double quantum.
 func BenchmarkAblationQuantum(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.AblationQuantum()
 		if err != nil {

@@ -9,6 +9,16 @@
 //	eclsim -fig 15               # adaptation experiment (also figure 16)
 //	eclsim -table 1              # full Table 1 sweep
 //	eclsim -workload tatp-indexed -load spike -duration 2m
+//
+// The observability flags export the ECL control plane of a run:
+//
+//	eclsim -fig 13 -events ev.jsonl -metrics m.prom -explain
+//
+// -events writes the decision-event stream as JSONL, -metrics writes the
+// post-run counters in Prometheus text format, and -explain prints an
+// ASCII report of per-socket zone residency, safety-valve activations,
+// and applied configurations. They apply to -fig 13, -fig 14, and custom
+// runs (where the ECL governor's pass is the one observed).
 package main
 
 import (
@@ -20,9 +30,68 @@ import (
 	"ecldb/internal/bench"
 	"ecldb/internal/ecl"
 	"ecldb/internal/loadprofile"
+	"ecldb/internal/obs"
 	"ecldb/internal/sim"
 	"ecldb/internal/workload"
 )
+
+// obsOut bundles the observability flags: where to export the decision
+// event stream and metrics, and whether to print the explain report.
+type obsOut struct {
+	events  string
+	metrics string
+	explain bool
+}
+
+func (o obsOut) wanted() bool { return o.events != "" || o.metrics != "" || o.explain }
+
+// observer creates the observer when any observability output is wanted.
+func (o obsOut) observer() *obs.Observer {
+	if !o.wanted() {
+		return nil
+	}
+	return obs.New(0)
+}
+
+// flush writes the requested exports after the observed run.
+func (o obsOut) flush(ob *obs.Observer) error {
+	if ob == nil {
+		return nil
+	}
+	if o.events != "" {
+		f, err := os.Create(o.events)
+		if err != nil {
+			return err
+		}
+		if err := ob.Log.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("decision events written to %s (%d events)\n", o.events, ob.Log.Len())
+	}
+	if o.metrics != "" {
+		f, err := os.Create(o.metrics)
+		if err != nil {
+			return err
+		}
+		if err := ob.Metrics.WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics exposition written to %s\n", o.metrics)
+	}
+	if o.explain {
+		fmt.Println()
+		fmt.Print(obs.Report(ob.Log))
+	}
+	return nil
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number (11, 13, 14, 15/16)")
@@ -35,38 +104,49 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	csvPrefix := flag.String("csv", "", "custom run: write per-governor trace CSVs to <prefix>-<governor>.csv")
 	capW := flag.Float64("cap", 0, "custom run: per-socket power cap in W for the ECL (0 = none)")
+	var oo obsOut
+	flag.StringVar(&oo.events, "events", "", "write the ECL decision-event stream as JSONL to this file")
+	flag.StringVar(&oo.metrics, "metrics", "", "write the post-run metrics in Prometheus text format to this file")
+	flag.BoolVar(&oo.explain, "explain", false, "print the post-run control-plane explain report")
 	flag.Parse()
 
 	switch {
 	case *table == 1:
+		warnNoObs(oo)
 		r, err := bench.Table1()
 		exitOn(err)
 		fmt.Println(r.Render())
 	case *fig == 11:
+		warnNoObs(oo)
 		r, err := bench.Figure11()
 		exitOn(err)
 		fmt.Println(r.Render())
 	case *fig == 13:
-		r, err := bench.Figure13()
+		ob := oo.observer()
+		r, err := bench.Figure13Observed(3*time.Minute, ob)
 		exitOn(err)
 		fmt.Println(r.Render())
+		exitOn(oo.flush(ob))
 	case *fig == 14:
-		r, err := bench.Figure14()
+		ob := oo.observer()
+		r, err := bench.Figure14Observed(3*time.Minute, ob)
 		exitOn(err)
 		fmt.Println(r.Render())
+		exitOn(oo.flush(ob))
 	case *fig == 15, *fig == 16:
+		warnNoObs(oo)
 		r, err := bench.FigureAdaptation()
 		exitOn(err)
 		fmt.Println(r.Render())
 	case *wlName != "":
-		exitOn(customRun(*wlName, *loadName, *traceFile, *level, *duration, *seed, *csvPrefix, *capW))
+		exitOn(customRun(*wlName, *loadName, *traceFile, *level, *duration, *seed, *csvPrefix, *capW, oo))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func customRun(wlName, loadName, traceFile string, level float64, duration time.Duration, seed int64, csvPrefix string, capW float64) error {
+func customRun(wlName, loadName, traceFile string, level float64, duration time.Duration, seed int64, csvPrefix string, capW float64, oo obsOut) error {
 	wl := workload.ByName(wlName)
 	if wl == nil {
 		return fmt.Errorf("unknown workload %q", wlName)
@@ -115,6 +195,13 @@ func customRun(wlName, loadName, traceFile string, level float64, duration time.
 			opts.ECL = ecl.DefaultOptions()
 			opts.ECL.PowerCapW = capW
 		}
+		// Observe the ECL run only: the baseline has no control plane
+		// worth explaining, and a single observer must not span runs.
+		var ob *obs.Observer
+		if gov == sim.GovernorECL {
+			ob = oo.observer()
+			opts.Obs = ob
+		}
 		res, err := sim.Run(opts)
 		if err != nil {
 			return err
@@ -141,9 +228,20 @@ func customRun(wlName, loadName, traceFile string, level float64, duration time.
 			fmt.Println()
 		} else {
 			fmt.Printf("  savings %5.1f%%  most applied %s\n", (1-res.EnergyJ/baseJ)*100, res.MostApplied)
+			if err := oo.flush(ob); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// warnNoObs notes that the observability flags only cover the runs that
+// exercise the ECL with its base interval (-fig 13, -fig 14, custom).
+func warnNoObs(oo obsOut) {
+	if oo.wanted() {
+		fmt.Fprintln(os.Stderr, "eclsim: -events/-metrics/-explain apply to -fig 13, -fig 14, and custom runs only; ignoring")
+	}
 }
 
 func exitOn(err error) {

@@ -44,6 +44,7 @@ import (
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
 	"ecldb/internal/loadprofile"
+	"ecldb/internal/obs"
 	"ecldb/internal/sim"
 	"ecldb/internal/workload"
 )
@@ -108,6 +109,11 @@ type RunConfig struct {
 	// profiles are saved to it after the sweep. Only meaningful for
 	// GovernorECL.
 	ProfileCache string
+	// Observe attaches the control-plane observability layer: the run
+	// records every ECL decision event and fills Result.Explain and
+	// Result.Events. Observation is read-only — attaching it never
+	// changes a run's outcome.
+	Observe bool
 	// Seed drives all randomness; runs are fully deterministic.
 	Seed int64
 }
@@ -135,6 +141,14 @@ type Result struct {
 	// "power_psu_w", "latency_avg_ms", "latency_p99_ms",
 	// "active_threads".
 	Series func(name string) (times []time.Duration, values []float64)
+	// Explain is the post-run control-plane report (zone residency,
+	// safety-valve activations, applied configurations). Empty unless
+	// RunConfig.Observe was set.
+	Explain string
+	// Events counts recorded decision events by type name (e.g.
+	// "ZoneTransition", "ConfigApply"). Nil unless RunConfig.Observe
+	// was set.
+	Events map[string]int64
 }
 
 // Workloads lists the available benchmark workload names.
@@ -214,6 +228,11 @@ func Run(cfg RunConfig) (*Result, error) {
 			return nil, fmt.Errorf("ecldb: unknown maintenance %q", cfg.Maintenance)
 		}
 	}
+	var observer *obs.Observer
+	if cfg.Observe {
+		observer = obs.New(0)
+		opts.Obs = observer
+	}
 	simulator, err := sim.New(opts)
 	if err != nil {
 		return nil, err
@@ -227,7 +246,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		EnergyJ:       res.EnergyJ,
 		PSUEnergyJ:    res.PSUEnergyJ,
 		CapacityQps:   capacity,
@@ -241,7 +260,17 @@ func Run(cfg RunConfig) (*Result, error) {
 			s := res.Rec.Series(name)
 			return s.Times, s.Values
 		},
-	}, nil
+	}
+	if observer != nil {
+		out.Explain = obs.Report(observer.Log)
+		out.Events = make(map[string]int64, len(obs.Types()))
+		for _, typ := range obs.Types() {
+			if n := observer.Log.Count(typ); n > 0 {
+				out.Events[typ.String()] = int64(n)
+			}
+		}
+	}
+	return out, nil
 }
 
 // ProfilePoint is one hardware configuration of a workload's energy

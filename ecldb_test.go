@@ -2,6 +2,7 @@ package ecldb_test
 
 import (
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -160,5 +161,42 @@ func TestRunEndToEndViaPublicAPI(t *testing.T) {
 	}
 	if eco.CapacityQps <= 0 {
 		t.Error("capacity missing")
+	}
+}
+
+func TestRunObserveFillsExplainAndEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	load := ecldb.LoadSpec{Kind: "constant", Level: 0.4, Duration: 10 * time.Second}
+	res, err := ecldb.Run(ecldb.RunConfig{
+		Workload: "kv-nonindexed", Load: load, Governor: ecldb.GovernorECL,
+		Observe: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Explain, "residency:") {
+		t.Errorf("Explain missing residency section:\n%s", res.Explain)
+	}
+	if res.Events["ConfigApply"] == 0 || res.Events["DemandUpdate"] == 0 {
+		t.Errorf("Events census incomplete: %v", res.Events)
+	}
+	if res.Events["QueryComplete"] != res.Completed {
+		t.Errorf("QueryComplete %d != completed %d", res.Events["QueryComplete"], res.Completed)
+	}
+
+	// Without Observe the observability fields stay zero.
+	plain, err := ecldb.Run(ecldb.RunConfig{
+		Workload: "kv-nonindexed", Load: load, Governor: ecldb.GovernorECL, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Explain != "" || plain.Events != nil {
+		t.Error("unobserved run carries observability output")
+	}
+	// And observation is invisible to the outcome.
+	if plain.EnergyJ != res.EnergyJ || plain.Completed != res.Completed {
+		t.Errorf("Observe changed the run: energy %g vs %g, completed %d vs %d",
+			plain.EnergyJ, res.EnergyJ, plain.Completed, res.Completed)
 	}
 }

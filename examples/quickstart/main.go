@@ -32,6 +32,7 @@ func main() {
 		Workload: "kv-nonindexed",
 		Load:     load,
 		Governor: ecldb.GovernorECL,
+		Observe:  true, // record the control plane for the explain report
 		Seed:     1,
 	})
 	if err != nil {
@@ -41,4 +42,11 @@ func main() {
 		eclRes.EnergyJ, eclRes.Completed, eclRes.AvgLatency, eclRes.ViolationFrac*100)
 	fmt.Printf("ECL converged to configuration %s\n", eclRes.MostApplied)
 	fmt.Printf("energy savings: %.1f%%\n", (1-eclRes.EnergyJ/base.EnergyJ)*100)
+
+	// The observed run carries a decision-event census and a post-run
+	// explain report reconstructing what the control loops did.
+	fmt.Printf("\ncontrol plane: %d zone transitions, %d safety-valve activations, %d configs applied\n",
+		eclRes.Events["ZoneTransition"], eclRes.Events["SafetyValve"], eclRes.Events["ConfigApply"])
+	fmt.Println()
+	fmt.Print(eclRes.Explain)
 }

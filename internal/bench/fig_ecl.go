@@ -7,6 +7,7 @@ import (
 	"ecldb/internal/ecl"
 	"ecldb/internal/hw"
 	"ecldb/internal/loadprofile"
+	"ecldb/internal/obs"
 	"ecldb/internal/perfmodel"
 	"ecldb/internal/sim"
 	"ecldb/internal/trace"
@@ -201,8 +202,9 @@ type LoadAdaptResult struct {
 	Savings1Hz float64
 }
 
-// loadAdapt runs the three governors against a load profile.
-func loadAdapt(name string, wl func() workload.Workload, mkLoad func(capacity float64) loadprofile.Profile, seed int64) (LoadAdaptResult, error) {
+// loadAdapt runs the three governors against a load profile. When ob is
+// non-nil it observes the ECL-1Hz run (the figure's headline governor).
+func loadAdapt(name string, wl func() workload.Workload, mkLoad func(capacity float64) loadprofile.Profile, seed int64, ob *obs.Observer) (LoadAdaptResult, error) {
 	capacity, err := sim.MeasureCapacity(wl(), seed)
 	if err != nil {
 		return LoadAdaptResult{}, err
@@ -221,6 +223,9 @@ func loadAdapt(name string, wl func() workload.Workload, mkLoad func(capacity fl
 		if gov == sim.GovernorECL {
 			opts.ECL = ecl.DefaultOptions()
 			opts.ECL.Interval = interval
+			if interval == time.Second {
+				opts.Obs = ob
+			}
 		}
 		res, err := sim.Run(opts)
 		if err != nil {
@@ -253,11 +258,18 @@ func Figure13() (LoadAdaptResult, error) { return Figure13Sized(3 * time.Minute)
 // Figure13Sized runs the spike experiment with a custom profile length
 // (tests use shorter runs).
 func Figure13Sized(d time.Duration) (LoadAdaptResult, error) {
+	return Figure13Observed(d, nil)
+}
+
+// Figure13Observed is Figure13Sized with an observer attached to the
+// ECL-1Hz run, so the figure's control decisions can be exported and
+// explained (cmd/eclsim -fig 13 -events/-explain).
+func Figure13Observed(d time.Duration, ob *obs.Observer) (LoadAdaptResult, error) {
 	return loadAdapt("spike",
 		func() workload.Workload { return workload.NewKV(false) },
 		func(capacity float64) loadprofile.Profile {
 			return loadprofile.Spike{PeakQps: capacity * spikeOverloadFactor, Len: d}
-		}, 13)
+		}, 13, ob)
 }
 
 // Figure14 reproduces the twitter-profile experiment (a compressed 2 h
@@ -266,11 +278,17 @@ func Figure14() (LoadAdaptResult, error) { return Figure14Sized(3 * time.Minute)
 
 // Figure14Sized runs the twitter experiment with a custom profile length.
 func Figure14Sized(d time.Duration) (LoadAdaptResult, error) {
+	return Figure14Observed(d, nil)
+}
+
+// Figure14Observed is Figure14Sized with an observer attached to the
+// ECL-1Hz run.
+func Figure14Observed(d time.Duration, ob *obs.Observer) (LoadAdaptResult, error) {
 	return loadAdapt("twitter",
 		func() workload.Workload { return workload.NewKV(false) },
 		func(capacity float64) loadprofile.Profile {
 			return loadprofile.Twitter{BaseQps: capacity * twitterBaseFactor, Len: d}
-		}, 14)
+		}, 14, ob)
 }
 
 // Render formats a load-adaptation comparison.

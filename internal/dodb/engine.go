@@ -15,10 +15,12 @@ package dodb
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"ecldb/internal/hw"
 	"ecldb/internal/msg"
+	"ecldb/internal/obs"
 	"ecldb/internal/perfmodel"
 	"ecldb/internal/workload"
 )
@@ -108,6 +110,18 @@ type Engine struct {
 	activeSec []float64
 	// commMessages counts inter-socket message transfers.
 	commMessages int64
+
+	// Observability (nil/empty when disabled; see internal/obs).
+	obsLog        *obs.Log
+	obsSubmitted  *obs.Counter
+	obsCompleted  *obs.Counter
+	obsDropped    *obs.Counter
+	obsLatency    *obs.Histogram
+	obsWorkerMove []*obs.Counter // per socket
+	// prevActive tracks the per-socket active worker count of the
+	// previous step for sleep/wake transition events.
+	prevActive []int
+	obsOn      bool
 }
 
 // New builds an engine, populating every partition's data.
@@ -218,6 +232,49 @@ func (e *Engine) BusySeconds(socket int) (busy, active float64) {
 	return e.busySec[socket], e.activeSec[socket]
 }
 
+// SocketPending returns the undelivered messages queued at one socket's
+// hub.
+func (e *Engine) SocketPending(socket int) int {
+	return e.router.Hub(socket).Pending()
+}
+
+// BudgetDebt returns the summed instruction debt of one socket's workers
+// (overshoot carried into the next step).
+func (e *Engine) BudgetDebt(socket int) float64 {
+	sum := 0.0
+	for _, d := range e.budgetDebt[socket] {
+		sum += d
+	}
+	return sum
+}
+
+// QueryLatencyBuckets are the histogram bucket upper bounds (in
+// milliseconds) for the query latency distribution. They straddle the
+// paper's 100 ms latency limit so limit violations are visible directly
+// in the exposition.
+var QueryLatencyBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 1000}
+
+// SetObserver attaches the observability sinks. A nil observer (the
+// default) keeps every instrumentation site a no-op.
+func (e *Engine) SetObserver(ob *obs.Observer) {
+	e.obsLog = ob.EventLog()
+	reg := ob.Reg()
+	e.obsSubmitted = reg.Counter("dodb_queries_submitted_total")
+	e.obsCompleted = reg.Counter("dodb_queries_completed_total")
+	e.obsDropped = reg.Counter("dodb_queries_dropped_total")
+	e.obsLatency = nil
+	e.obsWorkerMove = nil
+	if reg != nil {
+		e.obsLatency = reg.Histogram("dodb_query_latency_ms", QueryLatencyBuckets)
+		for s := 0; s < e.topo.Sockets; s++ {
+			e.obsWorkerMove = append(e.obsWorkerMove,
+				reg.Counter(`dodb_worker_transitions_total{socket="`+strconv.Itoa(s)+`"}`))
+		}
+	}
+	e.prevActive = make([]int, e.topo.Sockets)
+	e.obsOn = ob != nil
+}
+
 // SwitchWorkload replaces the workload at runtime (the paper's Section 6.3
 // workload-change experiment). Partition data is rebuilt; in-flight
 // queries of the old workload are dropped (counted in DroppedQueries).
@@ -230,6 +287,7 @@ func (e *Engine) SwitchWorkload(wl workload.Workload) error {
 		q.dropped = true
 		delete(e.inFlight, q)
 		e.dropped++
+		e.obsDropped.Inc()
 	}
 	return e.install(wl)
 }
@@ -265,6 +323,13 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 	if e.cfg.NUMARouting {
 		origin = e.partHome[ops[0].Partition]
 	}
+	e.obsSubmitted.Inc()
+	e.obsLog.Emit(obs.Event{
+		At:     now,
+		Type:   obs.EvQueryAdmit,
+		Socket: origin,
+		A:      float64(len(e.inFlight)),
+	})
 	for _, op := range ops {
 		op := op
 		m := &msg.Message{
@@ -279,7 +344,18 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 				if q.remaining == 0 {
 					delete(e.inFlight, q)
 					e.completed++
-					e.latency.Record(done-q.submitted, done)
+					lat := done - q.submitted
+					e.latency.Record(lat, done)
+					latMS := float64(lat) / float64(time.Millisecond)
+					e.obsCompleted.Inc()
+					e.obsLatency.Observe(latMS)
+					e.obsLog.Emit(obs.Event{
+						At:     done,
+						Type:   obs.EvQueryComplete,
+						Socket: -1,
+						A:      latMS,
+						B:      float64(len(e.inFlight)),
+					})
 				}
 			},
 		}
@@ -307,6 +383,37 @@ func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64
 	for s := 0; s < nSock; s++ {
 		stats[s].BusyFrac = make([]float64, tps)
 		stats[s].UsedInstr = make([]float64, tps)
+	}
+
+	// Worker elasticity events: one per socket whose active worker count
+	// changed since the previous step (not per thread — RTI switching
+	// would otherwise flood the log).
+	if e.obsOn {
+		for s := 0; s < nSock; s++ {
+			n := 0
+			for _, a := range active[s] {
+				if a {
+					n++
+				}
+			}
+			if prev := e.prevActive[s]; n != prev {
+				t := obs.EvWorkerWake
+				if n < prev {
+					t = obs.EvWorkerSleep
+				}
+				e.obsLog.Emit(obs.Event{
+					At:     now,
+					Type:   t,
+					Socket: s,
+					A:      float64(n),
+					B:      float64(prev),
+				})
+				if s < len(e.obsWorkerMove) {
+					e.obsWorkerMove[s].Inc()
+				}
+				e.prevActive[s] = n
+			}
+		}
 	}
 
 	// Communication endpoints first: they run on the first active

@@ -6,6 +6,7 @@ import (
 
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
+	"ecldb/internal/obs"
 	"ecldb/internal/vtime"
 )
 
@@ -63,6 +64,10 @@ type Controller struct {
 	opts    Options
 	tasks   []vtime.Task
 	started bool
+
+	// Observability (nil when disabled; see internal/obs).
+	obsLog        *obs.Log
+	obsBroadcasts *obs.Counter
 }
 
 // NewController builds the ECL hierarchy. Each socket gets its own energy
@@ -109,6 +114,29 @@ func NewController(m *hw.Machine, clock *vtime.Clock, lat LatencySource, stats R
 	return c, nil
 }
 
+// SetObserver attaches the observability sinks to the whole hierarchy:
+// the controller's broadcast instrumentation and every socket-level loop.
+// A nil observer (the default) keeps all sites no-ops.
+func (c *Controller) SetObserver(ob *obs.Observer) {
+	c.obsLog = ob.EventLog()
+	c.obsBroadcasts = ob.Reg().Counter("ecl_ttv_broadcasts_total")
+	for _, s := range c.sockets {
+		s.SetObserver(ob)
+	}
+}
+
+// broadcast records a system-level time-to-violation broadcast.
+func (c *Controller) broadcast(ttv time.Duration) {
+	c.obsBroadcasts.Inc()
+	c.obsLog.Emit(obs.Event{
+		At:     c.clock.Now(),
+		Type:   obs.EvTTVBroadcast,
+		Socket: -1,
+		A:      ttvSeconds(ttv),
+		B:      float64(c.system.LastAverage()) / float64(time.Millisecond),
+	})
+}
+
 // Start pins the hardware into explicitly controlled mode (EPB
 // performance, automatic uncore scaling off — the paper's Section 2.3
 // recommendation) and begins ticking.
@@ -128,6 +156,7 @@ func (c *Controller) Start() {
 			c.tasks = append(c.tasks, c.clock.EveryAt(
 				c.opts.Interval+time.Duration(s)*phase, c.opts.Interval, func() {
 					ttv := c.system.Tick(c.clock.Now())
+					c.broadcast(ttv)
 					sock.Tick(c.stats.Utilization(s), ttv)
 				}))
 		}
@@ -155,6 +184,7 @@ func (c *Controller) Stop() {
 // produces the time-to-violation), then every socket-level ECL.
 func (c *Controller) tick() {
 	ttv := c.system.Tick(c.clock.Now())
+	c.broadcast(ttv)
 	for s, sock := range c.sockets {
 		sock.Tick(c.stats.Utilization(s), ttv)
 	}

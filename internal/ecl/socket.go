@@ -1,10 +1,12 @@
 package ecl
 
 import (
+	"strconv"
 	"time"
 
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
+	"ecldb/internal/obs"
 	"ecldb/internal/vtime"
 )
 
@@ -162,6 +164,17 @@ type SocketECL struct {
 	lastUtil      float64
 	violTicks     int
 	ticks         int64
+
+	// Observability (nil when disabled; see internal/obs).
+	obsLog      *obs.Log
+	lastMode    string
+	obsTicks    *obs.Counter
+	obsSafety   *obs.Counter
+	obsRTI      *obs.Counter
+	obsMeasures *obs.Counter
+	obsRescales *obs.Counter
+	obsDemand   *obs.Gauge
+	obsQueue    *obs.Gauge
 }
 
 // NewSocketECL builds a socket-level loop over an existing profile. The
@@ -201,6 +214,48 @@ func NewSocketECL(p SocketParams, m *hw.Machine, clock *vtime.Clock, profile *en
 // SetRuntimeStats attaches the DBMS feedback used to gate profile
 // measurements on full-load windows.
 func (s *SocketECL) SetRuntimeStats(rs RuntimeStats) { s.stats = rs }
+
+// SetObserver attaches the observability sinks. A nil observer (the
+// default) keeps every instrumentation site a no-op.
+func (s *SocketECL) SetObserver(ob *obs.Observer) {
+	s.obsLog = ob.EventLog()
+	reg := ob.Reg()
+	sock := strconv.Itoa(s.p.Socket)
+	s.obsTicks = reg.Counter(`ecl_ticks_total{socket="` + sock + `"}`)
+	s.obsSafety = reg.Counter(`ecl_safety_valve_total{socket="` + sock + `"}`)
+	s.obsRTI = reg.Counter(`ecl_rti_intervals_total{socket="` + sock + `"}`)
+	s.obsMeasures = reg.Counter(`ecl_profile_measures_total{socket="` + sock + `"}`)
+	s.obsRescales = reg.Counter(`ecl_drift_rescales_total{socket="` + sock + `"}`)
+	s.obsDemand = reg.Gauge(`ecl_demand_instr_s{socket="` + sock + `"}`)
+	s.obsQueue = reg.Gauge(`ecl_adapt_queue_depth{socket="` + sock + `"}`)
+}
+
+// ttvSeconds renders a time-to-violation for event payloads: seconds,
+// with NoViolation mapped to -1 (JSON cannot carry the sentinel).
+func ttvSeconds(ttv time.Duration) float64 {
+	if ttv == NoViolation {
+		return -1
+	}
+	return ttv.Seconds()
+}
+
+// noteMode emits a ZoneTransition when the planning branch changed since
+// the previous tick.
+func (s *SocketECL) noteMode(mode string) {
+	if mode == s.lastMode {
+		return
+	}
+	s.lastMode = mode
+	if s.obsLog.Enabled() {
+		s.obsLog.Emit(obs.Event{
+			At:     s.clock.Now(),
+			Type:   obs.EvZoneTransition,
+			Socket: s.p.Socket,
+			A:      s.demand,
+			S:      mode,
+		})
+	}
+}
 
 // ResetAdaptation clears the multiplexed adaptation queue. Called after an
 // external profile establishment (e.g. the pre-run measurement sweep) so
@@ -276,6 +331,18 @@ func (s *SocketECL) Tick(util float64, ttv time.Duration) {
 		s.violTicks = 0
 	}
 	s.updateDemand(util, ttv)
+
+	s.obsTicks.Inc()
+	s.obsDemand.Set(s.demand)
+	s.obsQueue.Set(float64(len(s.adaptQueue)))
+	s.obsLog.Emit(obs.Event{
+		At:     now,
+		Type:   obs.EvDemandUpdate,
+		Socket: s.p.Socket,
+		A:      s.demand,
+		B:      util,
+		C:      ttvSeconds(ttv),
+	})
 
 	plan := s.plan(ttv)
 	s.execute(now, plan)
@@ -363,6 +430,17 @@ func (s *SocketECL) plan(ttv time.Duration) []segment {
 		s.rtiActive = false
 		s.lastRTIDuty = 1
 		s.lastCapacity = capacity
+		s.obsSafety.Inc()
+		if s.obsLog.Enabled() {
+			s.obsLog.Emit(obs.Event{
+				At:     s.clock.Now(),
+				Type:   obs.EvSafetyValve,
+				Socket: s.p.Socket,
+				A:      float64(s.violTicks),
+				S:      cfg.Key(s.machine.Topology().ThreadsPerCore),
+			})
+		}
+		s.noteMode("safety")
 		var meas *energy.Entry
 		if s.p.Maintenance != MaintainNone {
 			meas = s.profile.Lookup(cfg)
@@ -413,6 +491,7 @@ func (s *SocketECL) plan(ttv time.Duration) []segment {
 		plan = append(plan, segment{cfg: hw.AllMax(s.machine.Topology()), dur: remaining})
 		s.rtiActive = false
 		s.lastCapacity = 0
+		s.noteMode("bootstrap")
 		return plan
 	}
 	opt := s.profile.MostEfficientCapped(s.p.PowerCapW)
@@ -466,6 +545,16 @@ func (s *SocketECL) plan(ttv time.Duration) []segment {
 		s.lastRTIDuty = duty
 		s.lastRTICycles = cycles
 		s.lastCapacity = duty * opt.Score
+		s.obsRTI.Inc()
+		s.obsLog.Emit(obs.Event{
+			At:     s.clock.Now(),
+			Type:   obs.EvRTICycle,
+			Socket: s.p.Socket,
+			A:      duty,
+			B:      float64(cycles),
+			C:      cycleLen.Seconds(),
+		})
+		s.noteMode("rti")
 		return plan
 	}
 
@@ -480,6 +569,16 @@ func (s *SocketECL) plan(ttv time.Duration) []segment {
 	s.lastRTIDuty = 1
 	s.lastRTICycles = 0
 	s.lastCapacity = entry.Score
+	if s.obsLog.Enabled() {
+		switch {
+		case entry == opt:
+			s.noteMode("optimal")
+		case s.profile.ZoneOf(entry) == energy.ZoneOver:
+			s.noteMode("over")
+		default:
+			s.noteMode("under")
+		}
+	}
 	return plan
 }
 
@@ -645,6 +744,18 @@ func (s *SocketECL) record(entry *energy.Entry, dE, dI, sec float64, now time.Du
 	if err != nil {
 		return
 	}
+	s.obsMeasures.Inc()
+	if s.obsLog.Enabled() {
+		s.obsLog.Emit(obs.Event{
+			At:     now,
+			Type:   obs.EvProfileMeasure,
+			Socket: s.p.Socket,
+			A:      power,
+			B:      score,
+			C:      drift,
+			S:      entry.Config.Key(s.machine.Topology().ThreadsPerCore),
+		})
+	}
 	if s.p.Maintenance == MaintainNone {
 		return
 	}
@@ -664,6 +775,14 @@ func (s *SocketECL) record(entry *energy.Entry, dE, dI, sec float64, now time.Du
 	// then (multiplexed only) re-measure everything.
 	if rs, rp := avgRatio(s.driftScore), avgRatio(s.driftPower); rs > 0 {
 		s.profile.RescaleStale(now, 2*s.p.Interval, rs, rp)
+		s.obsRescales.Inc()
+		s.obsLog.Emit(obs.Event{
+			At:     now,
+			Type:   obs.EvDriftRescale,
+			Socket: s.p.Socket,
+			A:      rs,
+			B:      rp,
+		})
 	}
 	s.driftScore, s.driftPower = nil, nil
 	s.driftHits = 0

@@ -3,7 +3,10 @@ package hw
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
+
+	"ecldb/internal/obs"
 )
 
 // Domain selects a RAPL measurement domain of one socket.
@@ -68,6 +71,10 @@ type Machine struct {
 	activeSec    []float64 // per socket: at least one core active
 	idleSec      []float64 // per socket: all cores gated, uncore running
 	deepSleepSec float64   // machine-wide: all uncores halted
+
+	// Observability (nil when disabled; see internal/obs).
+	obsLog     *obs.Log
+	obsApplies []*obs.Counter // per socket
 }
 
 type pendingApply struct {
@@ -126,6 +133,19 @@ func (m *Machine) EPB() EPB { return m.fw.epb }
 // scaling. With it disabled the requested uncore clock is pinned.
 func (m *Machine) SetAutoUFS(on bool) { m.fw.autoUFS = on }
 
+// SetObserver attaches the observability sinks. A nil observer (the
+// default) keeps every instrumentation site a no-op.
+func (m *Machine) SetObserver(ob *obs.Observer) {
+	m.obsLog = ob.EventLog()
+	m.obsApplies = nil
+	if reg := ob.Reg(); reg != nil {
+		for s := 0; s < m.topo.Sockets; s++ {
+			m.obsApplies = append(m.obsApplies,
+				reg.Counter(`hw_config_applies_total{socket="`+strconv.Itoa(s)+`"}`))
+		}
+	}
+}
+
 // Apply requests a new configuration for one socket. The change becomes
 // effective ApplyLatency after the call; a later Apply on the same socket
 // supersedes a pending one.
@@ -138,6 +158,19 @@ func (m *Machine) Apply(socket int, cfg Configuration) error {
 	}
 	m.pending[socket] = pendingApply{cfg: cfg.Clone(), at: m.now + ApplyLatency, valid: true}
 	m.fw.noteRequest(socket, cfg, m.now)
+	if m.obsLog.Enabled() {
+		m.obsLog.Emit(obs.Event{
+			At:     m.now,
+			Type:   obs.EvConfigApply,
+			Socket: socket,
+			A:      ApplyLatency.Seconds(),
+			B:      float64(cfg.ActiveThreads()),
+			S:      cfg.Key(m.topo.ThreadsPerCore),
+		})
+	}
+	if socket < len(m.obsApplies) {
+		m.obsApplies[socket].Inc()
+	}
 	return nil
 }
 

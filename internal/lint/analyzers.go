@@ -10,7 +10,7 @@ const modulePath = "ecldb"
 // CLIs at the edge of the virtual world — none of those are core.
 func CorePackages() []string {
 	names := []string{
-		"vtime", "hw", "dodb", "msg", "ecl", "energy",
+		"vtime", "hw", "dodb", "msg", "ecl", "energy", "obs",
 		"perfmodel", "sim", "storage", "workload", "loadprofile", "trace",
 	}
 	core := make([]string, 0, len(names))
@@ -50,6 +50,16 @@ func DefaultLayering() LayeringConfig {
 				Pkg:    in("storage"),
 				Forbid: []string{in("dodb"), in("ecl"), in("sim"), in("bench")},
 				Reason: "data structures sit below the DBMS runtime",
+			},
+			{
+				Pkg: in("obs"),
+				Forbid: []string{
+					in("bench"), in("dodb"), in("ecl"), in("energy"),
+					in("hw"), in("lint"), in("loadprofile"), in("msg"),
+					in("perfmodel"), in("sim"), in("storage"), in("trace"),
+					in("workload"),
+				},
+				Reason: "the observability layer is imported by every core package and must depend only on vtime timestamps, never on the packages it observes",
 			},
 		},
 		Restricted: []RestrictedImport{

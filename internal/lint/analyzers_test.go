@@ -67,6 +67,12 @@ func TestLayeringFixture(t *testing.T) {
 			Pkg:    base + "hwlike",
 			Forbid: []string{base + "ecllike"},
 			Reason: "fixture: hw-like must not import ecl-like",
+		}, {
+			// Mirrors the internal/obs rule: importable by everything,
+			// importing only the vtime-like bottom layer.
+			Pkg:    base + "obslike",
+			Forbid: []string{base + "ecllike", base + "hwlike", base + "simlike"},
+			Reason: "fixture: obs-like may import only vtime-like",
 		}},
 		Restricted: []RestrictedImport{{
 			Target:  base + "simlike",
@@ -77,7 +83,8 @@ func TestLayeringFixture(t *testing.T) {
 	}
 	runFixture(t, []*Analyzer{NewLayering(cfg)},
 		"layering/ecllike", "layering/hwlike", "layering/simlike",
-		"layering/benchlike", "layering/otherlike")
+		"layering/benchlike", "layering/otherlike",
+		"layering/obslike", "layering/vtimelike")
 }
 
 // TestSuiteCleanOnRepo is the contract itself: the default suite must

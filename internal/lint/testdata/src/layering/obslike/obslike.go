@@ -1,0 +1,8 @@
+// Package obslike stands in for internal/obs: core packages import it,
+// so it must not import them back — only the vtime-like bottom layer.
+package obslike
+
+import (
+	_ "ecldb/internal/lint/testdata/src/layering/ecllike" // want "must not import"
+	_ "ecldb/internal/lint/testdata/src/layering/vtimelike"
+)

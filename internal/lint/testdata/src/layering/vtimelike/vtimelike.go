@@ -1,0 +1,6 @@
+// Package vtimelike stands in for internal/vtime in the layering
+// fixture: the one dependency the obs-like layer is allowed.
+package vtimelike
+
+// V exists so importers have something to reference.
+var V = 1

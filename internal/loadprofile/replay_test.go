@@ -1,9 +1,12 @@
 package loadprofile
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
+
+	"ecldb/internal/trace"
 )
 
 func TestReplayInterpolation(t *testing.T) {
@@ -37,6 +40,45 @@ func TestReplayInterpolation(t *testing.T) {
 	}
 	if !strings.HasPrefix(r.Name(), "replay:") {
 		t.Errorf("Name = %q", r.Name())
+	}
+}
+
+// TestReplayRoundTripsRecordedTrace closes the record/replay loop: a
+// load series recorded by trace.Recorder, exported with WriteCSV, and
+// loaded back through LoadReplayCSV must reproduce the recorded qps at
+// every sample instant. This is the workflow eclsim supports with
+// -csv on one run and -load replay -trace on the next.
+func TestReplayRoundTripsRecordedTrace(t *testing.T) {
+	rec := trace.NewRecorder()
+	times := []time.Duration{0, 250 * time.Millisecond, time.Second,
+		1750 * time.Millisecond, 3 * time.Second, 5 * time.Second}
+	qps := []float64{1000, 1250.5, 4000, 2500, 312.25, 800}
+	for i, at := range times {
+		rec.Add("load_qps", at, qps[i])
+	}
+
+	var csv strings.Builder
+	if err := rec.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Playback over the original trace length: no compression, so
+	// playback instants map 1:1 onto trace instants.
+	rp, err := LoadReplayCSV("roundtrip", strings.NewReader(csv.String()), times[len(times)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rp.Compression(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Compression = %v, want 1", got)
+	}
+	for i, at := range times {
+		got := rp.QPS(at)
+		// WriteCSV prints times with millisecond precision and values
+		// with %g, both exact for these samples; allow only float ulp
+		// wiggle from the playback time remapping.
+		if rel := math.Abs(got-qps[i]) / qps[i]; rel > 1e-6 {
+			t.Errorf("QPS(%v) = %v, want %v (rel err %g)", at, got, qps[i], rel)
+		}
 	}
 }
 

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestDisabledPathsAllocateNothing pins the zero-allocation contract of
+// the disabled path: with no observer attached, every instrumentation
+// site costs a nil check and nothing else.
+func TestDisabledPathsAllocateNothing(t *testing.T) {
+	var l *Log
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	e := Event{At: time.Second, Type: EvDemandUpdate, Socket: 1, A: 1, B: 2, C: 3}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Log.Emit", func() { l.Emit(e) }},
+		{"Log.Enabled", func() { _ = l.Enabled() }},
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(1) }},
+		{"Gauge.Set", func() { g.Set(1) }},
+		{"Gauge.Add", func() { g.Add(1) }},
+		{"Histogram.Observe", func() { h.Observe(1) }},
+		{"Registry.Counter", func() { _ = r.Counter("x") }},
+		{"Registry.Gauge", func() { _ = r.Gauge("x") }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(1000, tc.fn); n != 0 {
+			t.Errorf("%s on nil receiver: %g allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestEnabledEmitStaysCheap pins the enabled steady state: once the ring
+// buffer reaches capacity, emitting a value event allocates nothing.
+func TestEnabledEmitStaysCheap(t *testing.T) {
+	l := NewLog(64)
+	e := Event{At: time.Second, Type: EvQueryAdmit, Socket: 0, A: 1}
+	for i := 0; i < 64; i++ {
+		l.Emit(e)
+	}
+	if n := testing.AllocsPerRun(1000, func() { l.Emit(e) }); n != 0 {
+		t.Errorf("Emit at capacity: %g allocs/op, want 0", n)
+	}
+	h := NewRegistry().Histogram("x", []float64{1, 10, 100})
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(5) }); n != 0 {
+		t.Errorf("Histogram.Observe: %g allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var l *Log
+	e := Event{At: time.Second, Type: EvDemandUpdate, A: 1, B: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Emit(e)
+	}
+}
+
+func BenchmarkEmitEnabledRing(b *testing.B) {
+	l := NewLog(1024)
+	e := Event{At: time.Second, Type: EvDemandUpdate, A: 1, B: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Emit(e)
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("x_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("x_ms", []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 128))
+	}
+}
+
+func BenchmarkWriteJSONL(b *testing.B) {
+	l := NewLog(0)
+	for i := 0; i < 10000; i++ {
+		l.Emit(Event{At: time.Duration(i), Type: Type(i % numTypes), Socket: i % 4,
+			A: float64(i), B: 0.5, S: "c4t2f2.8"})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.WriteJSONL(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import "time"
+
+// Type identifies the kind of a decision event. The set mirrors the
+// control actions of DESIGN.md §5: demand estimation, zone transitions,
+// hardware reconfiguration, race-to-idle cycles, profile maintenance, the
+// safety valve, system-level TTV broadcasts, DBMS worker elasticity, and
+// query admission.
+type Type uint8
+
+const (
+	// EvDemandUpdate fires once per socket-ECL tick after the demand
+	// estimator runs. A = demanded performance (instructions/s),
+	// B = observed utilization, C = time-to-violation in seconds
+	// (-1 when no violation is pending).
+	EvDemandUpdate Type = iota
+	// EvZoneTransition fires when a socket ECL plans under a different
+	// operating mode than the previous tick. S = new mode ("bootstrap",
+	// "rti", "optimal", "over", "under", "safety"), A = demanded
+	// performance at the switch.
+	EvZoneTransition
+	// EvConfigApply fires when the hardware model applies a
+	// configuration. A = apply latency in seconds, B = resulting active
+	// thread count, S = canonical configuration key.
+	EvConfigApply
+	// EvRTICycle fires when a socket ECL plans a race-to-idle interval.
+	// A = duty cycle (busy fraction), B = number of busy/idle cycles in
+	// the interval, C = cycle length in seconds.
+	EvRTICycle
+	// EvProfileMeasure fires when a profile entry absorbs a runtime
+	// measurement. A = measured power (W), B = performance score
+	// (instructions/s), C = efficiency drift vs the previous value,
+	// S = configuration key.
+	EvProfileMeasure
+	// EvDriftRescale fires when the stale portion of a profile is
+	// rescaled after a workload change. A = score ratio, B = power
+	// ratio.
+	EvDriftRescale
+	// EvSafetyValve fires when sustained latency violations force the
+	// socket to maximum performance. A = consecutive violating ticks,
+	// S = applied configuration key.
+	EvSafetyValve
+	// EvTTVBroadcast fires when the system ECL broadcasts the
+	// time-to-violation to the socket loops. Socket = -1,
+	// A = TTV in seconds (-1 when no violation is pending),
+	// B = average latency over the window in milliseconds.
+	EvTTVBroadcast
+	// EvWorkerSleep fires when a socket's active worker count shrinks.
+	// A = new active count, B = previous active count.
+	EvWorkerSleep
+	// EvWorkerWake fires when a socket's active worker count grows.
+	// A = new active count, B = previous active count.
+	EvWorkerWake
+	// EvQueryAdmit fires when the DBMS admits a query. Socket = origin
+	// socket, A = in-flight query count after admission.
+	EvQueryAdmit
+	// EvQueryComplete fires when a query finishes. Socket = -1 (queries
+	// migrate between sockets), A = end-to-end latency in milliseconds,
+	// B = in-flight count after completion.
+	EvQueryComplete
+
+	numTypes = int(EvQueryComplete) + 1
+)
+
+// typeNames is indexed by Type; keep in sync with the constants above.
+var typeNames = [numTypes]string{
+	"DemandUpdate",
+	"ZoneTransition",
+	"ConfigApply",
+	"RTICycle",
+	"ProfileMeasure",
+	"DriftRescale",
+	"SafetyValve",
+	"TTVBroadcast",
+	"WorkerSleep",
+	"WorkerWake",
+	"QueryAdmit",
+	"QueryComplete",
+}
+
+// Types returns every event type in declaration order, for callers that
+// enumerate per-type counters without depending on the constant list.
+func Types() []Type {
+	out := make([]Type, numTypes)
+	for i := range out {
+		out[i] = Type(i)
+	}
+	return out
+}
+
+// String names the event type.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return "Unknown"
+}
+
+// Event is one control-plane decision. It is a fixed-size value struct so
+// that emitting an event performs no allocation: the three float payload
+// slots A, B, C and the string slot S are interpreted per Type (see the
+// Type constants). At is virtual time; Socket is the owning socket or -1
+// for system-scope events.
+type Event struct {
+	At      time.Duration
+	Type    Type
+	Socket  int
+	A, B, C float64
+	S       string
+}

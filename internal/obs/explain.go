@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// modeChar maps a ZoneTransition mode string to its one-character strip
+// symbol. The strip renders one character per socket-ECL tick:
+//
+//	b  bootstrap (profile not yet evaluated, AllMax)
+//	.  race-to-idle cycling in the under-utilization zone
+//	o  steady operation on the optimal configuration
+//	O  over-utilization zone (demand above the optimum's potential)
+//	u  under-utilization steady state (no RTI)
+//	!  safety valve (sustained violations, maximum performance)
+func modeChar(mode string) byte {
+	switch mode {
+	case "bootstrap":
+		return 'b'
+	case "rti":
+		return '.'
+	case "optimal":
+		return 'o'
+	case "over":
+		return 'O'
+	case "under":
+		return 'u'
+	case "safety":
+		return '!'
+	}
+	return '?'
+}
+
+// socketStats accumulates per-socket state while scanning the event log.
+type socketStats struct {
+	id        int
+	strip     []byte
+	lastTick  time.Duration // timestamp of the last DemandUpdate
+	mode      byte
+	residency map[byte]int
+	resOrder  []byte
+	discovery int
+	safety    int
+	rti       int
+	measures  int
+	rescales  int
+	applies   int
+	cfgCount  map[string]int
+	cfgOrder  []string
+}
+
+func (s *socketStats) countMode(c byte) {
+	if _, ok := s.residency[c]; !ok {
+		s.resOrder = append(s.resOrder, c)
+	}
+	s.residency[c]++
+}
+
+func newSocketStats(id int) *socketStats {
+	return &socketStats{
+		id:        id,
+		mode:      'b',
+		residency: make(map[byte]int),
+		cfgCount:  make(map[string]int),
+	}
+}
+
+// Report reconstructs an ASCII explanation of an ECL run from the event
+// log: per socket, the tick-by-tick operating-mode strip, zone residency
+// percentages, discovery triggers, safety-valve activations, race-to-idle
+// intervals, profile maintenance, and the most applied configurations;
+// then system-level broadcast, worker-elasticity, and query totals.
+// Report is a pure function of the buffered events, so its output is
+// byte-identical across same-seed runs. A nil log yields "".
+func Report(l *Log) string {
+	if l == nil {
+		return ""
+	}
+	events := l.Events()
+
+	bySocket := make(map[int]*socketStats)
+	var socketOrder []int
+	sock := func(id int) *socketStats {
+		if s, ok := bySocket[id]; ok {
+			return s
+		}
+		s := newSocketStats(id)
+		bySocket[id] = s
+		socketOrder = append(socketOrder, id)
+		return s
+	}
+
+	var (
+		ttvBroadcasts   uint64
+		ttvViolations   uint64
+		workerSleeps    uint64
+		workerWakes     uint64
+		firstAt, lastAt time.Duration
+	)
+	for i, e := range events {
+		if i == 0 {
+			firstAt = e.At
+		}
+		lastAt = e.At
+		switch e.Type {
+		case EvDemandUpdate:
+			s := sock(e.Socket)
+			s.strip = append(s.strip, s.mode)
+			s.countMode(s.mode)
+			s.lastTick = e.At
+			if e.B >= 0.98 {
+				s.discovery++
+			}
+		case EvZoneTransition:
+			s := sock(e.Socket)
+			c := modeChar(e.S)
+			s.mode = c
+			// The transition is planned in the same tick as the
+			// demand update that triggered it; re-label that tick.
+			if n := len(s.strip); n > 0 && s.lastTick == e.At {
+				old := s.strip[n-1]
+				s.strip[n-1] = c
+				s.residency[old]--
+				s.countMode(c)
+			}
+		case EvSafetyValve:
+			sock(e.Socket).safety++
+		case EvRTICycle:
+			sock(e.Socket).rti++
+		case EvProfileMeasure:
+			sock(e.Socket).measures++
+		case EvDriftRescale:
+			sock(e.Socket).rescales++
+		case EvConfigApply:
+			s := sock(e.Socket)
+			s.applies++
+			if e.S != "" {
+				if _, ok := s.cfgCount[e.S]; !ok {
+					s.cfgOrder = append(s.cfgOrder, e.S)
+				}
+				s.cfgCount[e.S]++
+			}
+		case EvTTVBroadcast:
+			ttvBroadcasts++
+			if e.A >= 0 {
+				ttvViolations++
+			}
+		case EvWorkerSleep:
+			workerSleeps++
+		case EvWorkerWake:
+			workerWakes++
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "ECL explain report\n")
+	fmt.Fprintf(&b, "  events: %d buffered, %d emitted, %d dropped\n",
+		len(events), l.Total(), l.Dropped())
+	if len(events) > 0 {
+		fmt.Fprintf(&b, "  span:   %v .. %v\n", firstAt, lastAt)
+	}
+	fmt.Fprintf(&b, "  legend: b bootstrap · . race-to-idle · o optimal\n")
+	fmt.Fprintf(&b, "          O over-util · u under-util · ! safety valve\n")
+
+	sort.Ints(socketOrder)
+	for _, id := range socketOrder {
+		s := bySocket[id]
+		if len(s.strip) == 0 && s.applies == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nsocket %d — %d ticks\n", id, len(s.strip))
+		for off := 0; off < len(s.strip); off += 72 {
+			end := off + 72
+			if end > len(s.strip) {
+				end = len(s.strip)
+			}
+			fmt.Fprintf(&b, "  %s\n", s.strip[off:end])
+		}
+		if len(s.strip) > 0 {
+			order := make([]byte, len(s.resOrder))
+			copy(order, s.resOrder)
+			sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+			parts := make([]string, 0, len(order))
+			for _, c := range order {
+				n := s.residency[c]
+				if n <= 0 {
+					continue
+				}
+				parts = append(parts, fmt.Sprintf("%c %.1f%%", c,
+					100*float64(n)/float64(len(s.strip))))
+			}
+			fmt.Fprintf(&b, "  residency: %s\n", strings.Join(parts, ", "))
+		}
+		fmt.Fprintf(&b, "  discovery ticks: %d · safety valve: %d · rti intervals: %d\n",
+			s.discovery, s.safety, s.rti)
+		fmt.Fprintf(&b, "  profile: %d measurements, %d drift rescales · %d configs applied\n",
+			s.measures, s.rescales, s.applies)
+		if len(s.cfgOrder) > 0 {
+			top := make([]string, len(s.cfgOrder))
+			copy(top, s.cfgOrder)
+			sort.Slice(top, func(i, j int) bool {
+				if s.cfgCount[top[i]] != s.cfgCount[top[j]] {
+					return s.cfgCount[top[i]] > s.cfgCount[top[j]]
+				}
+				return top[i] < top[j]
+			})
+			if len(top) > 3 {
+				top = top[:3]
+			}
+			parts := make([]string, 0, len(top))
+			for _, k := range top {
+				parts = append(parts, fmt.Sprintf("%s ×%d", k, s.cfgCount[k]))
+			}
+			fmt.Fprintf(&b, "  top configs: %s\n", strings.Join(parts, ", "))
+		}
+	}
+
+	fmt.Fprintf(&b, "\nsystem\n")
+	fmt.Fprintf(&b, "  ttv broadcasts: %d (%d with pending violation)\n",
+		ttvBroadcasts, ttvViolations)
+	fmt.Fprintf(&b, "  worker transitions: %d sleeps, %d wakes\n",
+		workerSleeps, workerWakes)
+	fmt.Fprintf(&b, "  queries: %d admitted, %d completed\n",
+		l.Count(EvQueryAdmit), l.Count(EvQueryComplete))
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// emitTick emulates one socket-ECL tick: a DemandUpdate always, followed
+// by a same-timestamp ZoneTransition when the mode changed.
+func emitTick(l *Log, at time.Duration, socket int, util float64, mode string) {
+	l.Emit(Event{At: at, Type: EvDemandUpdate, Socket: socket, A: 1e9, B: util, C: -1})
+	if mode != "" {
+		l.Emit(Event{At: at, Type: EvZoneTransition, Socket: socket, S: mode})
+	}
+}
+
+func TestReportStripAndResidency(t *testing.T) {
+	l := NewLog(0)
+	// socket 0: bootstrap tick, then transitions to rti, two more rti
+	// ticks, then optimal.
+	emitTick(l, 1*time.Second, 0, 0.2, "")
+	emitTick(l, 2*time.Second, 0, 0.2, "rti")
+	emitTick(l, 3*time.Second, 0, 0.3, "")
+	emitTick(l, 4*time.Second, 0, 0.3, "")
+	emitTick(l, 5*time.Second, 0, 0.6, "optimal")
+	rep := Report(l)
+	if !strings.Contains(rep, "socket 0 — 5 ticks") {
+		t.Fatalf("missing socket header:\n%s", rep)
+	}
+	// Tick 2's demand update is re-labelled by the same-timestamp
+	// transition: b then ...o.
+	if !strings.Contains(rep, "\n  b...o\n") {
+		t.Fatalf("strip wrong:\n%s", rep)
+	}
+	if !strings.Contains(rep, "b 20.0%") || !strings.Contains(rep, ". 60.0%") ||
+		!strings.Contains(rep, "o 20.0%") {
+		t.Fatalf("residency wrong:\n%s", rep)
+	}
+}
+
+func TestReportCountsSections(t *testing.T) {
+	l := NewLog(0)
+	emitTick(l, 1*time.Second, 0, 0.99, "") // discovery tick (util >= 0.98)
+	l.Emit(Event{At: 1 * time.Second, Type: EvSafetyValve, Socket: 0, A: 3, S: "cfg-max"})
+	l.Emit(Event{At: 1 * time.Second, Type: EvZoneTransition, Socket: 0, S: "safety"})
+	l.Emit(Event{At: 1 * time.Second, Type: EvConfigApply, Socket: 0, A: 1e-5, B: 16, S: "cfg-max"})
+	l.Emit(Event{At: 2 * time.Second, Type: EvConfigApply, Socket: 0, A: 1e-5, B: 16, S: "cfg-max"})
+	l.Emit(Event{At: 3 * time.Second, Type: EvConfigApply, Socket: 0, A: 1e-5, B: 8, S: "cfg-opt"})
+	l.Emit(Event{At: 2 * time.Second, Type: EvRTICycle, Socket: 0, A: 0.5, B: 10, C: 0.1})
+	l.Emit(Event{At: 2 * time.Second, Type: EvProfileMeasure, Socket: 0, A: 40, B: 1e9, S: "cfg-opt"})
+	l.Emit(Event{At: 2 * time.Second, Type: EvDriftRescale, Socket: 0, A: 1.2, B: 1.1})
+	l.Emit(Event{At: 2 * time.Second, Type: EvTTVBroadcast, Socket: -1, A: 0.5, B: 12})
+	l.Emit(Event{At: 3 * time.Second, Type: EvTTVBroadcast, Socket: -1, A: -1, B: 3})
+	l.Emit(Event{At: 2 * time.Second, Type: EvWorkerSleep, Socket: 1, A: 3, B: 4})
+	l.Emit(Event{At: 2 * time.Second, Type: EvWorkerWake, Socket: 1, A: 4, B: 3})
+	l.Emit(Event{At: 2 * time.Second, Type: EvQueryAdmit, Socket: 0, A: 1})
+	l.Emit(Event{At: 2 * time.Second, Type: EvQueryComplete, Socket: -1, A: 5, B: 0})
+
+	rep := Report(l)
+	for _, want := range []string{
+		"discovery ticks: 1 · safety valve: 1 · rti intervals: 1",
+		"profile: 1 measurements, 1 drift rescales · 3 configs applied",
+		"top configs: cfg-max ×2, cfg-opt ×1",
+		"ttv broadcasts: 2 (1 with pending violation)",
+		"worker transitions: 1 sleeps, 1 wakes",
+		"queries: 1 admitted, 1 completed",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// The safety-valve tick shows as '!' in the strip.
+	if !strings.Contains(rep, "\n  !\n") {
+		t.Fatalf("safety tick not re-labelled:\n%s", rep)
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	build := func() string {
+		l := NewLog(0)
+		for i := 0; i < 200; i++ {
+			s := i % 4
+			mode := ""
+			if i%17 == 0 {
+				mode = []string{"rti", "optimal", "over", "under"}[i%4]
+			}
+			emitTick(l, time.Duration(i)*time.Second, s, float64(i%100)/100, mode)
+		}
+		return Report(l)
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatal("same event log produced different reports")
+	}
+}
+
+func TestReportStripWraps(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 100; i++ {
+		emitTick(l, time.Duration(i)*time.Second, 0, 0.5, "")
+	}
+	rep := Report(l)
+	for _, line := range strings.Split(rep, "\n") {
+		if len(line) > 80 {
+			t.Fatalf("line exceeds 80 chars: %q", line)
+		}
+	}
+	if !strings.Contains(rep, "socket 0 — 100 ticks") {
+		t.Fatalf("missing tick count:\n%s", rep)
+	}
+}

@@ -1,0 +1,62 @@
+// Package obs is the deterministic control-plane observability layer: a
+// structured decision event log, a metrics registry, and an "explain"
+// report that reconstructs the Energy-Control Loop's behaviour from the
+// event stream.
+//
+// The paper's whole argument is about *why* the ECL picks a configuration
+// (ruling zones, discovery, race-to-idle cycles, the safety valve, drift
+// rescaling — DESIGN.md §5). The numeric time series in internal/trace
+// show *what* happened to power and latency; this package records *which
+// control decision produced it*, so a drifting figure can be debugged
+// decision by decision instead of by staring at curves.
+//
+// The layer obeys the same determinism contract ecllint enforces on the
+// rest of the core:
+//
+//   - Timestamps are virtual (time.Duration offsets of the vtime clock),
+//     never the wall clock. Emitters stamp events with the clock they
+//     already hold; obs itself never reads time.
+//   - Same seed, same byte stream: the JSONL event export and the
+//     Prometheus text exposition are byte-identical across same-seed runs
+//     (internal/sim's determinism digest covers both).
+//   - No goroutines, no channels, no map iteration: exposition orders are
+//     explicit sorted slices.
+//
+// Everything is nil-safe and allocation-free when disabled: a nil *Log,
+// *Counter, *Gauge, or *Histogram accepts all operations as no-ops, so
+// instrumented hot paths pay a nil check and nothing else when no
+// observer is attached (verified by TestDisabledPathsAllocateNothing).
+package obs
+
+// Observer bundles the two sinks a simulation is wired with: the decision
+// event log and the metrics registry. A nil *Observer disables the layer;
+// the accessors below forward the nil so every downstream handle becomes
+// a no-op too.
+type Observer struct {
+	// Log receives the structured decision events.
+	Log *Log
+	// Metrics is the counter/gauge/histogram registry.
+	Metrics *Registry
+}
+
+// New builds an enabled Observer. capacity bounds the event log's ring
+// buffer; 0 keeps every event (see NewLog).
+func New(capacity int) *Observer {
+	return &Observer{Log: NewLog(capacity), Metrics: NewRegistry()}
+}
+
+// EventLog returns the event log, or nil for a nil Observer.
+func (o *Observer) EventLog() *Log {
+	if o == nil {
+		return nil
+	}
+	return o.Log
+}
+
+// Reg returns the metrics registry, or nil for a nil Observer.
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Registry is a deterministic metrics registry: counters, gauges, and
+// fixed-bucket histograms keyed by full metric name (label set included
+// in the name string, e.g. `ecl_ticks_total{socket="0"}`). A nil
+// *Registry hands out nil instruments, which accept all operations as
+// no-ops — instrumented code never branches on whether metrics are on.
+//
+// Exposition (WriteProm) renders the Prometheus text format with metric
+// names sorted bytewise, so the output is byte-identical for identical
+// metric state. Lookup uses a map internally but iteration is always over
+// a sorted copy of the name index — never over the map.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	// names is the sorted-on-demand index of all registered full names.
+	names []string
+	kinds map[string]byte // 'c', 'g', 'h'
+	help  map[string]string
+}
+
+// NewRegistry returns an enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		kinds:      make(map[string]byte),
+		help:       make(map[string]string),
+	}
+}
+
+// Counter is a monotonically increasing value. The nil counter is a
+// valid no-op instrument.
+type Counter struct{ v float64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds d; negative deltas are ignored (counters are monotonic).
+func (c *Counter) Add(d float64) {
+	if c != nil && d > 0 {
+		c.v += d
+	}
+}
+
+// Value returns the current value, 0 for nil.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a value that can go up and down. The nil gauge is a valid
+// no-op instrument.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d float64) {
+	if g != nil {
+		g.v += d
+	}
+}
+
+// Value returns the current value, 0 for nil.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram counts observations into fixed, ascending bucket upper
+// bounds (an implicit +Inf bucket catches the rest). The nil histogram
+// is a valid no-op instrument.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	total  uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+	h.total++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the total number of observations, 0 for nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Sum returns the sum of all observations, 0 for nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// register indexes a new full name exactly once.
+func (r *Registry) register(name string, kind byte, help string) {
+	if _, dup := r.kinds[name]; dup {
+		return
+	}
+	r.kinds[name] = kind
+	r.names = append(r.names, name)
+	if help != "" {
+		r.help[name] = help
+	}
+}
+
+// Counter returns the counter registered under the full name, creating
+// it on first use. Nil registries return the nil no-op counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.register(name, 'c', "")
+	return c
+}
+
+// Gauge returns the gauge registered under the full name, creating it on
+// first use. Nil registries return the nil no-op gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.register(name, 'g', "")
+	return g
+}
+
+// Histogram returns the histogram registered under the full name with
+// the given ascending bucket bounds, creating it on first use. Bounds
+// are captured on first registration; later calls with the same name
+// return the existing histogram regardless of bounds. Nil registries
+// return the nil no-op histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	h := &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+	r.histograms[name] = h
+	r.register(name, 'h', "")
+	return h
+}
+
+// baseName strips a trailing {label="v",...} block from a full metric
+// name, yielding the metric family name used for TYPE lines.
+func baseName(full string) string {
+	for i := 0; i < len(full); i++ {
+		if full[i] == '{' {
+			return full[:i]
+		}
+	}
+	return full
+}
+
+// labelBlock returns the {...} suffix of a full metric name including
+// braces, or "".
+func labelBlock(full string) string {
+	for i := 0; i < len(full); i++ {
+		if full[i] == '{' {
+			return full[i:]
+		}
+	}
+	return ""
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format, metric full names sorted bytewise. A TYPE line precedes the
+// first sample of each metric family; same-family label variants sort
+// adjacently so the family header appears once.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	sort.Strings(names)
+
+	buf := make([]byte, 0, 256)
+	lastFamily := ""
+	for _, name := range names {
+		base := baseName(name)
+		kind := r.kinds[name]
+		buf = buf[:0]
+		if base != lastFamily {
+			lastFamily = base
+			buf = append(buf, "# TYPE "...)
+			buf = append(buf, base...)
+			switch kind {
+			case 'c':
+				buf = append(buf, " counter\n"...)
+			case 'g':
+				buf = append(buf, " gauge\n"...)
+			case 'h':
+				buf = append(buf, " histogram\n"...)
+			}
+		}
+		switch kind {
+		case 'c':
+			buf = appendSample(buf, name, r.counters[name].Value())
+		case 'g':
+			buf = appendSample(buf, name, r.gauges[name].Value())
+		case 'h':
+			buf = appendHistogram(buf, base, labelBlock(name), r.histograms[name])
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendSample(buf []byte, name string, v float64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	return append(buf, '\n')
+}
+
+// appendHistogram renders the cumulative _bucket series plus _sum and
+// _count. labels is the original {...} block or ""; the le label is
+// merged into it.
+func appendHistogram(buf []byte, base, labels string, h *Histogram) []byte {
+	cum := uint64(0)
+	emit := func(le string, v uint64) {
+		buf = append(buf, base...)
+		buf = append(buf, "_bucket"...)
+		if labels == "" {
+			buf = append(buf, `{le="`...)
+			buf = append(buf, le...)
+			buf = append(buf, `"}`...)
+		} else {
+			// Insert le before the closing brace of the label block.
+			buf = append(buf, labels[:len(labels)-1]...)
+			buf = append(buf, `,le="`...)
+			buf = append(buf, le...)
+			buf = append(buf, `"}`...)
+		}
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, v, 10)
+		buf = append(buf, '\n')
+	}
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		emit(strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	emit("+Inf", cum)
+
+	buf = append(buf, base...)
+	buf = append(buf, "_sum"...)
+	buf = append(buf, labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, h.sum, 'g', -1, 64)
+	buf = append(buf, '\n')
+
+	buf = append(buf, base...)
+	buf = append(buf, "_count"...)
+	buf = append(buf, labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, h.total, 10)
+	buf = append(buf, '\n')
+	return buf
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	g := r.Gauge("x")
+	h := r.Histogram("x_ms", []float64{1, 10})
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments recorded values")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q err %v", buf.String(), err)
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // ignored
+	if c.Value() != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", c.Value())
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", []float64{1, 5, 25})
+	for _, v := range []float64{0.5, 1, 3, 30, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 134.5 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat_ms histogram",
+		`lat_ms_bucket{le="1"} 2`,
+		`lat_ms_bucket{le="5"} 3`,
+		`lat_ms_bucket{le="25"} 3`,
+		`lat_ms_bucket{le="+Inf"} 5`,
+		"lat_ms_sum 134.5",
+		"lat_ms_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`lat_ms{socket="0"}`, []float64{10})
+	h.Observe(3)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_ms_bucket{socket="0",le="10"} 1`,
+		`lat_ms_bucket{socket="0",le="+Inf"} 1`,
+		`lat_ms_sum{socket="0"} 3`,
+		`lat_ms_count{socket="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromSortedAndDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		// Register in deliberately shuffled order.
+		r.Gauge("zz_gauge").Set(1)
+		r.Counter(`aa_total{socket="1"}`).Add(2)
+		r.Counter(`aa_total{socket="0"}`).Inc()
+		r.Gauge("mm").Set(-0.5)
+		var buf bytes.Buffer
+		if err := r.WriteProm(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := build()
+	want := `# TYPE aa_total counter
+aa_total{socket="0"} 1
+aa_total{socket="1"} 2
+# TYPE mm gauge
+mm -0.5
+# TYPE zz_gauge gauge
+zz_gauge 1
+`
+	if out != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", out, want)
+	}
+	if out != build() {
+		t.Fatal("same registry state produced different exposition bytes")
+	}
+}
+
+func TestTypeLineOncePerFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`f_total{socket="0"}`).Inc()
+	r.Counter(`f_total{socket="1"}`).Inc()
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "# TYPE f_total counter"); n != 1 {
+		t.Fatalf("TYPE line appears %d times:\n%s", n, buf.String())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ecldb/internal/loadprofile"
+	"ecldb/internal/obs"
 	"ecldb/internal/workload"
 )
 
@@ -24,12 +25,14 @@ import (
 // entry and flips the digest.
 func runDigest(t *testing.T, seed int64) [sha256.Size]byte {
 	t.Helper()
+	ob := obs.New(0)
 	s, err := New(Options{
 		Workload: workload.NewKV(false),
 		Load:     loadprofile.Constant{Qps: 6000, Len: 15 * time.Second},
 		Governor: GovernorECL,
 		Prewarm:  true,
 		Seed:     seed,
+		Obs:      ob,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -67,6 +70,17 @@ func runDigest(t *testing.T, seed int64) [sha256.Size]byte {
 		writeF64(h, e.Score)
 		writeU64(h, uint64(e.LastEval))
 	}
+
+	// Observability exports: the JSONL decision-event stream, the
+	// Prometheus exposition, and the explain report are all part of the
+	// determinism contract — byte-identical per seed.
+	if err := ob.Log.WriteJSONL(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Metrics.WriteProm(h); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(h, obs.Report(ob.Log))
 
 	var sum [sha256.Size]byte
 	h.Sum(sum[:0])

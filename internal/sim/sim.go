@@ -18,6 +18,7 @@ import (
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
 	"ecldb/internal/loadprofile"
+	"ecldb/internal/obs"
 	"ecldb/internal/perfmodel"
 	"ecldb/internal/trace"
 	"ecldb/internal/vtime"
@@ -78,6 +79,11 @@ type Options struct {
 	// Power overrides the machine power calibration (zero value =
 	// DefaultPowerParams).
 	Power *hw.PowerParams
+	// Obs, when non-nil, attaches the observability layer: machine,
+	// engine, and controller emit decision events and metrics into it.
+	// Instrumentation is read-only — attaching an observer never changes
+	// a run's behavior or its determinism.
+	Obs *obs.Observer
 }
 
 // Result is the outcome of a run.
@@ -106,6 +112,10 @@ type Result struct {
 	// excluding idle — the "most energy-efficient configuration" column
 	// of Table 1. Empty for baseline runs.
 	MostApplied string
+	// Obs is the observer the run was wired with (nil when observability
+	// was disabled). Export its event log with Obs.Log.WriteJSONL, its
+	// metrics with Obs.Metrics.WriteProm, or render obs.Report(Obs.Log).
+	Obs *obs.Observer
 }
 
 // Sim is a fully wired simulation.
@@ -139,6 +149,13 @@ type Sim struct {
 	lastSampleAt   time.Duration
 	lastSampleJ    float64
 	lastSamplePSUJ float64
+
+	// Observability gauges refreshed at each trace sample (nil when
+	// disabled).
+	obsInflight  *obs.Gauge
+	obsThreads   *obs.Gauge
+	obsQueueDep  []*obs.Gauge // per socket
+	obsDebtInstr []*obs.Gauge // per socket
 }
 
 // New builds a simulation.
@@ -194,7 +211,32 @@ func New(opts Options) (*Sim, error) {
 		return nil, fmt.Errorf("sim: unknown governor %d", opts.Governor)
 	}
 	eng.Latency().SetThreshold(latencyLimit(opts))
+	if opts.Obs != nil {
+		s.attachObserver(opts.Obs)
+	}
 	return s, nil
+}
+
+// attachObserver wires the observability layer through the whole stack.
+func (s *Sim) attachObserver(ob *obs.Observer) {
+	s.machine.SetObserver(ob)
+	s.engine.SetObserver(ob)
+	if s.controller != nil {
+		s.controller.SetObserver(ob)
+	}
+	reg := ob.Reg()
+	s.obsInflight = reg.Gauge("dodb_inflight")
+	s.obsThreads = reg.Gauge("hw_active_threads")
+	s.obsQueueDep, s.obsDebtInstr = nil, nil
+	if reg != nil {
+		for sock := 0; sock < s.topo.Sockets; sock++ {
+			id := fmt.Sprintf("%d", sock)
+			s.obsQueueDep = append(s.obsQueueDep,
+				reg.Gauge(`dodb_queue_depth{socket="`+id+`"}`))
+			s.obsDebtInstr = append(s.obsDebtInstr,
+				reg.Gauge(`dodb_budget_debt_instr{socket="`+id+`"}`))
+		}
+	}
 }
 
 func latencyLimit(opts Options) time.Duration {
@@ -395,6 +437,7 @@ func (s *Sim) Run() (*Result, error) {
 	res.AvgLatency = time.Duration(int64(s.rec.Series("latency_avg_ms").Mean() * float64(time.Millisecond)))
 	res.P99Latency = time.Duration(int64(s.rec.Series("latency_p99_ms").Max() * float64(time.Millisecond)))
 	res.MostApplied = s.mostApplied()
+	res.Obs = s.opts.Obs
 	return res, nil
 }
 
@@ -511,6 +554,12 @@ func (s *Sim) sample(t time.Duration) {
 	s.rec.Add("active_threads", t, float64(activeThreads))
 	s.rec.Add("util0", t, s.engine.Utilization(0))
 	s.rec.Add("inflight", t, float64(s.engine.InFlight()))
+	s.obsInflight.Set(float64(s.engine.InFlight()))
+	s.obsThreads.Set(float64(activeThreads))
+	for sock := 0; sock < len(s.obsQueueDep); sock++ {
+		s.obsQueueDep[sock].Set(float64(s.engine.SocketPending(sock)))
+		s.obsDebtInstr[sock].Set(s.engine.BudgetDebt(sock))
+	}
 	if s.controller != nil {
 		max := s.controller.Socket(0).Profile().MaxScore()
 		perf := 0.0

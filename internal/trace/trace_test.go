@@ -69,6 +69,30 @@ func TestIntegratePiecewiseConstant(t *testing.T) {
 	}
 }
 
+// TestIntegrateClipsToEnd is a regression test: an integration horizon
+// falling inside the series must clip the straddling segment to end and
+// ignore samples at or after it. The unclipped version integrated the
+// full segment past end and over-counted.
+func TestIntegrateClipsToEnd(t *testing.T) {
+	var s Series
+	s.Add(0, 10)
+	s.Add(2*time.Second, 20)
+	s.Add(4*time.Second, 40)
+	// 10 W for 2 s + 20 W for 1 s (clipped at 3 s); the 4 s sample is
+	// beyond the horizon entirely.
+	if got := s.Integrate(3 * time.Second); got != 40 {
+		t.Errorf("Integrate(3s) = %v, want 40", got)
+	}
+	// Horizon inside the first segment.
+	if got := s.Integrate(time.Second); got != 10 {
+		t.Errorf("Integrate(1s) = %v, want 10", got)
+	}
+	// Degenerate horizon.
+	if got := s.Integrate(0); got != 0 {
+		t.Errorf("Integrate(0) = %v, want 0", got)
+	}
+}
+
 func TestCountAbove(t *testing.T) {
 	var s Series
 	for i, v := range []float64{50, 150, 99, 101, 100} {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — machine-readable benchmark snapshot. Runs every benchmark
+# once in -short mode (the full-simulation figure regenerators skip
+# themselves; the model-based figures and the micro-benchmarks run) and
+# writes BENCH_<date>.json mapping each benchmark to its ns/op, so
+# successive snapshots can be diffed for performance regressions.
+#
+# CI runs this as a non-blocking step: a slow machine or noisy neighbor
+# must not fail the build, but the numbers are always archived.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+date_tag=$(date -u +%Y-%m-%d)
+out="BENCH_${date_tag}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run=NONE -bench=. -benchtime=1x -short ./... | tee "$raw"
+
+# One JSON object per benchmark line: strip the -<GOMAXPROCS> suffix
+# from the name and keep the ns/op column.
+awk -v date="$date_tag" -v goversion="$(go env GOVERSION)" '
+BEGIN { n = 0 }
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    names[n] = name
+    ns[n] = $3
+    n++
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"benchtime\": \"1x\",\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++)
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n", names[i], ns[i], (i < n - 1 ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+}' "$raw" > "$out"
+
+echo "bench.sh: wrote $out ($(grep -c '"name"' "$out") benchmarks)"
