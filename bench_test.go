@@ -125,8 +125,20 @@ func BenchmarkFigure12MetaCalibration(b *testing.B) {
 	}
 }
 
+// sequentially pins the sweep orchestrator to one worker for the
+// duration of a benchmark, so the pre-existing figure benchmarks keep
+// measuring the sequential baseline and the *Parallel variants below
+// measure the orchestrated fan-out. Successive BENCH_*.json snapshots
+// then carry both points of the sequential-vs-parallel trajectory.
+func sequentially(b *testing.B) {
+	b.Helper()
+	bench.SetParallelism(1)
+	b.Cleanup(func() { bench.SetParallelism(0) })
+}
+
 func BenchmarkFigure13Spike(b *testing.B) {
 	skipInShort(b)
+	sequentially(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.Figure13()
 		if err != nil {
@@ -140,6 +152,7 @@ func BenchmarkFigure13Spike(b *testing.B) {
 
 func BenchmarkFigure14Twitter(b *testing.B) {
 	skipInShort(b)
+	sequentially(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.Figure14()
 		if err != nil {
@@ -167,6 +180,7 @@ func BenchmarkFigure15And16Adaptation(b *testing.B) {
 
 func BenchmarkTable1EnergySavings(b *testing.B) {
 	skipInShort(b)
+	sequentially(b)
 	for i := 0; i < b.N; i++ {
 		r, err := bench.Table1()
 		if err != nil {
@@ -176,6 +190,63 @@ func BenchmarkTable1EnergySavings(b *testing.B) {
 			if row.LoadProfile == "twitter" {
 				b.ReportMetric(row.Savings*100, row.Workload+"_save_%")
 			}
+		}
+	}
+}
+
+// BenchmarkTable1Parallel regenerates Table 1 through the sweep
+// orchestrator at the default pool size (GOMAXPROCS). Compare against
+// BenchmarkTable1EnergySavings (pinned sequential) to read the fan-out
+// speedup off a BENCH_*.json snapshot.
+func BenchmarkTable1Parallel(b *testing.B) {
+	skipInShort(b)
+	bench.SetParallelism(0)
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Rows)), "rows")
+	}
+}
+
+// BenchmarkFigure13And14Parallel regenerates the spike/twitter pair with
+// the orchestrator at the default pool size: the two figures fan out as
+// jobs, and each figure's three governor runs fan out beneath them.
+func BenchmarkFigure13And14Parallel(b *testing.B) {
+	skipInShort(b)
+	bench.SetParallelism(0)
+	for i := 0; i < b.N; i++ {
+		results, err := bench.Sweep([]bench.Job[bench.LoadAdaptResult]{
+			bench.Figure13,
+			bench.Figure14,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].Savings1Hz*100, "spike_save_%")
+		b.ReportMetric(results[1].Savings1Hz*100, "twitter_save_%")
+	}
+}
+
+// The profile-sweep pair runs in -short mode (model-based, no full
+// simulation), so every BENCH_*.json snapshot records orchestrated sweep
+// timing: the same four appendix profiles, pinned sequential versus the
+// default pool.
+func BenchmarkProfileSweepSequential(b *testing.B) {
+	sequentially(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AppendixProfiles(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProfileSweepParallel(b *testing.B) {
+	bench.SetParallelism(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AppendixProfiles(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -5,11 +5,18 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"ecldb/internal/bench"
 )
 
 func main() {
+	// Calibration itself probes one machine sequentially; the flag is
+	// accepted for symmetry with eclsim/profilegen so scripts can pass a
+	// uniform -parallel to every binary.
+	parallel := flag.Int("parallel", 0, "worker goroutines for multi-run sweeps (<1 = GOMAXPROCS); results are identical at any setting")
+	flag.Parse()
+	bench.SetParallelism(*parallel)
 	fmt.Println(bench.Figure12().Render())
 }

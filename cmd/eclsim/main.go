@@ -104,11 +104,13 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	csvPrefix := flag.String("csv", "", "custom run: write per-governor trace CSVs to <prefix>-<governor>.csv")
 	capW := flag.Float64("cap", 0, "custom run: per-socket power cap in W for the ECL (0 = none)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for multi-run sweeps (<1 = GOMAXPROCS); results are identical at any setting")
 	var oo obsOut
 	flag.StringVar(&oo.events, "events", "", "write the ECL decision-event stream as JSONL to this file")
 	flag.StringVar(&oo.metrics, "metrics", "", "write the post-run metrics in Prometheus text format to this file")
 	flag.BoolVar(&oo.explain, "explain", false, "print the post-run control-plane explain report")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
 	switch {
 	case *table == 1:
@@ -151,7 +153,7 @@ func customRun(wlName, loadName, traceFile string, level float64, duration time.
 	if wl == nil {
 		return fmt.Errorf("unknown workload %q", wlName)
 	}
-	capacity, err := sim.MeasureCapacity(wl, seed)
+	capacity, err := bench.MeasureCapacity(wl, seed)
 	if err != nil {
 		return err
 	}

@@ -25,7 +25,9 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "figure number (9, 10, or 17-20); 0 runs all")
 	wlName := flag.String("workload", "", "render the profile of one workload by name")
+	parallel := flag.Int("parallel", 0, "worker goroutines for multi-profile sweeps (<1 = GOMAXPROCS); results are identical at any setting")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
 	if *wlName != "" {
 		if err := renderWorkload(*wlName); err != nil {

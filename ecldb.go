@@ -40,6 +40,7 @@ import (
 	"os"
 	"time"
 
+	"ecldb/internal/bench"
 	"ecldb/internal/ecl"
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
@@ -161,13 +162,14 @@ func Workloads() []string {
 }
 
 // Capacity measures the saturation throughput (queries/s) of a workload
-// under the baseline governor.
+// under the baseline governor. Measurements are memoized per
+// (workload, seed) for the life of the process (see bench.MeasureCapacity).
 func Capacity(workloadName string, seed int64) (float64, error) {
 	wl := workload.ByName(workloadName)
 	if wl == nil {
 		return 0, fmt.Errorf("ecldb: unknown workload %q", workloadName)
 	}
-	return sim.MeasureCapacity(wl, seed)
+	return bench.MeasureCapacity(wl, seed)
 }
 
 // Run executes one end-to-end experiment.
@@ -179,7 +181,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Load.Duration <= 0 {
 		return nil, fmt.Errorf("ecldb: load duration required")
 	}
-	capacity, err := sim.MeasureCapacity(wl, cfg.Seed)
+	capacity, err := bench.MeasureCapacity(wl, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -33,33 +33,39 @@ type AblationElasticityResult struct {
 // layer exists to solve.
 func AblationElasticity() (AblationElasticityResult, error) {
 	var out AblationElasticityResult
-	capacity, err := sim.MeasureCapacity(workload.NewKV(false), 31)
+	capacity, err := MeasureCapacity(workload.NewKV(false), 31)
 	if err != nil {
 		return out, err
 	}
-	run := func(static bool) (done, viol float64, err error) {
-		res, err := sim.Run(sim.Options{
-			Workload:      workload.NewKV(false),
-			Load:          loadprofile.Constant{Qps: capacity * 0.3, Len: 45 * time.Second},
-			Governor:      sim.GovernorECL,
-			Prewarm:       true,
-			StaticBinding: static,
-			Seed:          31,
-		})
-		if err != nil {
-			return 0, 0, err
+	type outcome struct{ done, viol float64 }
+	run := func(static bool) Job[outcome] {
+		return func() (outcome, error) {
+			res, err := sim.Run(sim.Options{
+				Workload:      workload.NewKV(false),
+				Load:          loadprofile.Constant{Qps: capacity * 0.3, Len: 45 * time.Second},
+				Governor:      sim.GovernorECL,
+				Prewarm:       true,
+				StaticBinding: static,
+				Seed:          31,
+			})
+			if err != nil {
+				return outcome{}, err
+			}
+			if res.Submitted == 0 {
+				return outcome{}, nil
+			}
+			return outcome{
+				done: float64(res.Completed) / float64(res.Submitted),
+				viol: res.ViolationFrac,
+			}, nil
 		}
-		if res.Submitted == 0 {
-			return 0, 0, nil
-		}
-		return float64(res.Completed) / float64(res.Submitted), res.ViolationFrac, nil
 	}
-	if out.ElasticCompleted, out.ElasticViolations, err = run(false); err != nil {
+	runs, err := Sweep([]Job[outcome]{run(false), run(true)})
+	if err != nil {
 		return out, err
 	}
-	if out.StaticCompleted, out.StaticViolations, err = run(true); err != nil {
-		return out, err
-	}
+	out.ElasticCompleted, out.ElasticViolations = runs[0].done, runs[0].viol
+	out.StaticCompleted, out.StaticViolations = runs[1].done, runs[1].viol
 	return out, nil
 }
 
@@ -93,34 +99,41 @@ type AblationNUMAResult struct {
 // a point-access workload at moderate load.
 func AblationNUMA() (AblationNUMAResult, error) {
 	var out AblationNUMAResult
-	capacity, err := sim.MeasureCapacity(workload.NewKV(true), 33)
+	capacity, err := MeasureCapacity(workload.NewKV(true), 33)
 	if err != nil {
 		return out, err
 	}
-	run := func(numa bool) (int64, float64, time.Duration, error) {
-		s, err := sim.New(sim.Options{
-			Workload:    workload.NewKV(true),
-			Load:        loadprofile.Constant{Qps: capacity * 0.4, Len: 30 * time.Second},
-			Governor:    sim.GovernorECL,
-			Prewarm:     true,
-			NUMARouting: numa,
-			Seed:        33,
-		})
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		res, err := s.Run()
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		return s.Engine().CommMessages(), res.EnergyJ, res.AvgLatency, nil
+	type outcome struct {
+		comm int64
+		j    float64
+		lat  time.Duration
 	}
-	if out.RandomComm, out.RandomJ, out.RandomAvgLat, err = run(false); err != nil {
+	run := func(numa bool) Job[outcome] {
+		return func() (outcome, error) {
+			s, err := sim.New(sim.Options{
+				Workload:    workload.NewKV(true),
+				Load:        loadprofile.Constant{Qps: capacity * 0.4, Len: 30 * time.Second},
+				Governor:    sim.GovernorECL,
+				Prewarm:     true,
+				NUMARouting: numa,
+				Seed:        33,
+			})
+			if err != nil {
+				return outcome{}, err
+			}
+			res, err := s.Run()
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{comm: s.Engine().CommMessages(), j: res.EnergyJ, lat: res.AvgLatency}, nil
+		}
+	}
+	runs, err := Sweep([]Job[outcome]{run(false), run(true)})
+	if err != nil {
 		return out, err
 	}
-	if out.NUMAComm, out.NUMAJ, out.NUMAAvgLat, err = run(true); err != nil {
-		return out, err
-	}
+	out.RandomComm, out.RandomJ, out.RandomAvgLat = runs[0].comm, runs[0].j, runs[0].lat
+	out.NUMAComm, out.NUMAJ, out.NUMAAvgLat = runs[1].comm, runs[1].j, runs[1].lat
 	return out, nil
 }
 
@@ -155,38 +168,40 @@ type AblationRTIResult struct {
 // cost the whole time.
 func AblationRTI() (AblationRTIResult, error) {
 	var out AblationRTIResult
-	capacity, err := sim.MeasureCapacity(workload.NewKV(false), 32)
+	capacity, err := MeasureCapacity(workload.NewKV(false), 32)
 	if err != nil {
 		return out, err
 	}
 	load := loadprofile.Constant{Qps: capacity * 0.15, Len: 45 * time.Second}
-	run := func(gov sim.Governor, disableRTI bool) (float64, error) {
-		opts := sim.Options{
-			Workload: workload.NewKV(false),
-			Load:     load,
-			Governor: gov,
-			Prewarm:  gov == sim.GovernorECL,
-			Seed:     32,
+	run := func(gov sim.Governor, disableRTI bool) Job[float64] {
+		return func() (float64, error) {
+			opts := sim.Options{
+				Workload: workload.NewKV(false),
+				Load:     load,
+				Governor: gov,
+				Prewarm:  gov == sim.GovernorECL,
+				Seed:     32,
+			}
+			if gov == sim.GovernorECL {
+				opts.ECL = ecl.DefaultOptions()
+				opts.ECL.DisableRTI = disableRTI
+			}
+			res, err := sim.Run(opts)
+			if err != nil {
+				return 0, err
+			}
+			return res.EnergyJ, nil
 		}
-		if gov == sim.GovernorECL {
-			opts.ECL = ecl.DefaultOptions()
-			opts.ECL.DisableRTI = disableRTI
-		}
-		res, err := sim.Run(opts)
-		if err != nil {
-			return 0, err
-		}
-		return res.EnergyJ, nil
 	}
-	if out.BaselineJ, err = run(sim.GovernorBaseline, false); err != nil {
+	energies, err := Sweep([]Job[float64]{
+		run(sim.GovernorBaseline, false),
+		run(sim.GovernorECL, false),
+		run(sim.GovernorECL, true),
+	})
+	if err != nil {
 		return out, err
 	}
-	if out.WithRTIJ, err = run(sim.GovernorECL, false); err != nil {
-		return out, err
-	}
-	if out.WithoutRTIJ, err = run(sim.GovernorECL, true); err != nil {
-		return out, err
-	}
+	out.BaselineJ, out.WithRTIJ, out.WithoutRTIJ = energies[0], energies[1], energies[2]
 	out.WithRTISavings = 1 - out.WithRTIJ/out.BaselineJ
 	out.WithoutRTISavings = 1 - out.WithoutRTIJ/out.BaselineJ
 	return out, nil
@@ -230,37 +245,40 @@ type AblationRTISyncResult struct {
 // holds.
 func AblationRTISync() (AblationRTISyncResult, error) {
 	var out AblationRTISyncResult
-	capacity, err := sim.MeasureCapacity(workload.NewKV(false), 34)
+	capacity, err := MeasureCapacity(workload.NewKV(false), 34)
 	if err != nil {
 		return out, err
 	}
-	run := func(desync bool) (deepSec, energyJ float64, err error) {
-		opts := sim.Options{
-			Workload: workload.NewKV(false),
-			Load:     loadprofile.Constant{Qps: capacity * 0.1, Len: 30 * time.Second},
-			Governor: sim.GovernorECL,
-			Prewarm:  true,
-			Seed:     34,
+	type outcome struct{ deepSec, energyJ float64 }
+	run := func(desync bool) Job[outcome] {
+		return func() (outcome, error) {
+			opts := sim.Options{
+				Workload: workload.NewKV(false),
+				Load:     loadprofile.Constant{Qps: capacity * 0.1, Len: 30 * time.Second},
+				Governor: sim.GovernorECL,
+				Prewarm:  true,
+				Seed:     34,
+			}
+			opts.ECL = ecl.DefaultOptions()
+			opts.ECL.DesyncRTI = desync
+			s, err := sim.New(opts)
+			if err != nil {
+				return outcome{}, err
+			}
+			res, err := s.Run()
+			if err != nil {
+				return outcome{}, err
+			}
+			_, _, deep := s.Machine().Residency(0)
+			return outcome{deepSec: deep, energyJ: res.EnergyJ}, nil
 		}
-		opts.ECL = ecl.DefaultOptions()
-		opts.ECL.DesyncRTI = desync
-		s, err := sim.New(opts)
-		if err != nil {
-			return 0, 0, err
-		}
-		res, err := s.Run()
-		if err != nil {
-			return 0, 0, err
-		}
-		_, _, deep := s.Machine().Residency(0)
-		return deep, res.EnergyJ, nil
 	}
-	if out.SyncedDeepSleepSec, out.SyncedJ, err = run(false); err != nil {
+	runs, err := Sweep([]Job[outcome]{run(false), run(true)})
+	if err != nil {
 		return out, err
 	}
-	if out.DesyncedDeepSleepSec, out.DesyncedJ, err = run(true); err != nil {
-		return out, err
-	}
+	out.SyncedDeepSleepSec, out.SyncedJ = runs[0].deepSec, runs[0].energyJ
+	out.DesyncedDeepSleepSec, out.DesyncedJ = runs[1].deepSec, runs[1].energyJ
 	return out, nil
 }
 
@@ -294,24 +312,36 @@ func AblationQuantum() (AblationQuantumResult, error) {
 	out := AblationQuantumResult{
 		Quanta: []time.Duration{500 * time.Microsecond, time.Millisecond, 2 * time.Millisecond},
 	}
-	capacity, err := sim.MeasureCapacity(workload.NewKV(false), 35)
+	capacity, err := MeasureCapacity(workload.NewKV(false), 35)
 	if err != nil {
 		return out, err
 	}
-	for _, q := range out.Quanta {
-		res, err := sim.Run(sim.Options{
-			Workload: workload.NewKV(false),
-			Load:     loadprofile.Constant{Qps: capacity * 0.4, Len: 30 * time.Second},
-			Governor: sim.GovernorECL,
-			Prewarm:  true,
-			Quantum:  q,
-			Seed:     35,
-		})
-		if err != nil {
-			return out, err
+	type outcome struct{ energyJ, violations float64 }
+	jobs := make([]Job[outcome], len(out.Quanta))
+	for i, q := range out.Quanta {
+		q := q
+		jobs[i] = func() (outcome, error) {
+			res, err := sim.Run(sim.Options{
+				Workload: workload.NewKV(false),
+				Load:     loadprofile.Constant{Qps: capacity * 0.4, Len: 30 * time.Second},
+				Governor: sim.GovernorECL,
+				Prewarm:  true,
+				Quantum:  q,
+				Seed:     35,
+			})
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{energyJ: res.EnergyJ, violations: res.ViolationFrac}, nil
 		}
-		out.EnergyJ = append(out.EnergyJ, res.EnergyJ)
-		out.Violations = append(out.Violations, res.ViolationFrac)
+	}
+	runs, err := Sweep(jobs)
+	if err != nil {
+		return out, err
+	}
+	for _, r := range runs {
+		out.EnergyJ = append(out.EnergyJ, r.energyJ)
+		out.Violations = append(out.Violations, r.violations)
 	}
 	return out, nil
 }

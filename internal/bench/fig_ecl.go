@@ -82,7 +82,7 @@ type Fig11Result struct {
 // steps, then low load served by RTI.
 func Figure11() (Fig11Result, error) {
 	wl := workload.NewKV(false)
-	capacity, err := sim.MeasureCapacity(wl, 11)
+	capacity, err := MeasureCapacity(wl, 11)
 	if err != nil {
 		return Fig11Result{}, err
 	}
@@ -202,51 +202,55 @@ type LoadAdaptResult struct {
 	Savings1Hz float64
 }
 
-// loadAdapt runs the three governors against a load profile. When ob is
-// non-nil it observes the ECL-1Hz run (the figure's headline governor).
+// loadAdapt runs the three governors against a load profile, fanned out
+// through the sweep orchestrator (each governor's run is an independent
+// seeded simulation). When ob is non-nil it observes the ECL-1Hz run
+// (the figure's headline governor).
 func loadAdapt(name string, wl func() workload.Workload, mkLoad func(capacity float64) loadprofile.Profile, seed int64, ob *obs.Observer) (LoadAdaptResult, error) {
-	capacity, err := sim.MeasureCapacity(wl(), seed)
+	capacity, err := MeasureCapacity(wl(), seed)
 	if err != nil {
 		return LoadAdaptResult{}, err
 	}
 	load := mkLoad(capacity)
 	out := LoadAdaptResult{Profile: name, CapacityQps: capacity}
 
-	run := func(gov sim.Governor, interval time.Duration) (RunSummary, error) {
-		opts := sim.Options{
-			Workload: wl(),
-			Load:     load,
-			Governor: gov,
-			Prewarm:  gov == sim.GovernorECL,
-			Seed:     seed,
-		}
-		if gov == sim.GovernorECL {
-			opts.ECL = ecl.DefaultOptions()
-			opts.ECL.Interval = interval
-			if interval == time.Second {
-				opts.Obs = ob
+	run := func(gov sim.Governor, interval time.Duration) Job[RunSummary] {
+		return func() (RunSummary, error) {
+			opts := sim.Options{
+				Workload: wl(),
+				Load:     load,
+				Governor: gov,
+				Prewarm:  gov == sim.GovernorECL,
+				Seed:     seed,
 			}
+			if gov == sim.GovernorECL {
+				opts.ECL = ecl.DefaultOptions()
+				opts.ECL.Interval = interval
+				if interval == time.Second {
+					opts.Obs = ob
+				}
+			}
+			res, err := sim.Run(opts)
+			if err != nil {
+				return RunSummary{}, err
+			}
+			label := gov.String()
+			if gov == sim.GovernorECL {
+				label = fmt.Sprintf("ecl %.0fHz", float64(time.Second)/float64(interval))
+			}
+			return summarize(label, res, 100), nil
 		}
-		res, err := sim.Run(opts)
-		if err != nil {
-			return RunSummary{}, err
-		}
-		label := gov.String()
-		if gov == sim.GovernorECL {
-			label = fmt.Sprintf("ecl %.0fHz", float64(time.Second)/float64(interval))
-		}
-		return summarize(label, res, 100), nil
 	}
 
-	if out.Baseline, err = run(sim.GovernorBaseline, 0); err != nil {
+	summaries, err := Sweep([]Job[RunSummary]{
+		run(sim.GovernorBaseline, 0),
+		run(sim.GovernorECL, time.Second),
+		run(sim.GovernorECL, 500*time.Millisecond),
+	})
+	if err != nil {
 		return out, err
 	}
-	if out.ECL1Hz, err = run(sim.GovernorECL, time.Second); err != nil {
-		return out, err
-	}
-	if out.ECL2Hz, err = run(sim.GovernorECL, 500*time.Millisecond); err != nil {
-		return out, err
-	}
+	out.Baseline, out.ECL1Hz, out.ECL2Hz = summaries[0], summaries[1], summaries[2]
 	out.Savings1Hz = 1 - out.ECL1Hz.EnergyJ/out.Baseline.EnergyJ
 	return out, nil
 }
@@ -355,56 +359,56 @@ func FigureAdaptationSized(switchAt, duration time.Duration) (AdaptResult, error
 	// workload. With this reproduction's capacity ratio that point sits
 	// at 55 % of the non-indexed capacity (a light load for the indexed
 	// phase before the switch).
-	capacity, err := sim.MeasureCapacity(workload.NewKV(false), 15)
+	capacity, err := MeasureCapacity(workload.NewKV(false), 15)
 	if err != nil {
 		return out, err
 	}
-	run := func(mode ecl.MaintenanceMode) (AdaptStrategyRun, error) {
-		opts := sim.Options{
-			Workload: workload.NewKV(true),
-			Load:     loadprofile.Constant{Qps: capacity * 0.55, Len: duration},
-			Governor: sim.GovernorECL,
-			Prewarm:  true,
-			SwitchAt: switchAt,
-			SwitchTo: workload.NewKV(false),
-			Seed:     15,
-		}
-		opts.ECL = ecl.DefaultOptions()
-		opts.ECL.Maintenance = mode
-		res, err := sim.Run(opts)
-		if err != nil {
-			return AdaptStrategyRun{}, err
-		}
-		s := AdaptStrategyRun{RunSummary: summarize("ecl "+mode.String(), res, 100)}
-		for i, ts := range s.Power.Times {
-			if ts < switchAt {
-				continue
+	run := func(mode ecl.MaintenanceMode) Job[AdaptStrategyRun] {
+		return func() (AdaptStrategyRun, error) {
+			opts := sim.Options{
+				Workload: workload.NewKV(true),
+				Load:     loadprofile.Constant{Qps: capacity * 0.55, Len: duration},
+				Governor: sim.GovernorECL,
+				Prewarm:  true,
+				SwitchAt: switchAt,
+				SwitchTo: workload.NewKV(false),
+				Seed:     15,
 			}
-			end := duration
-			if i+1 < len(s.Power.Times) {
-				end = s.Power.Times[i+1]
+			opts.ECL = ecl.DefaultOptions()
+			opts.ECL.Maintenance = mode
+			res, err := sim.Run(opts)
+			if err != nil {
+				return AdaptStrategyRun{}, err
 			}
-			s.PostSwitchEnergyJ += s.Power.Values[i] * (end - ts).Seconds()
+			s := AdaptStrategyRun{RunSummary: summarize("ecl "+mode.String(), res, 100)}
+			for i, ts := range s.Power.Times {
+				if ts < switchAt {
+					continue
+				}
+				end := duration
+				if i+1 < len(s.Power.Times) {
+					end = s.Power.Times[i+1]
+				}
+				s.PostSwitchEnergyJ += s.Power.Values[i] * (end - ts).Seconds()
+			}
+			for i, ts := range s.Latency.Times {
+				if ts < switchAt || s.Latency.Values[i] <= 100 {
+					continue
+				}
+				if i+1 < len(s.Latency.Times) {
+					s.PostSwitchOverloadSec += (s.Latency.Times[i+1] - s.Latency.Times[i]).Seconds()
+				}
+			}
+			return s, nil
 		}
-		for i, ts := range s.Latency.Times {
-			if ts < switchAt || s.Latency.Values[i] <= 100 {
-				continue
-			}
-			if i+1 < len(s.Latency.Times) {
-				s.PostSwitchOverloadSec += (s.Latency.Times[i+1] - s.Latency.Times[i]).Seconds()
-			}
-		}
-		return s, nil
 	}
-	if out.Static, err = run(ecl.MaintainNone); err != nil {
+	runs, err := Sweep([]Job[AdaptStrategyRun]{
+		run(ecl.MaintainNone), run(ecl.MaintainOnline), run(ecl.MaintainMultiplexed),
+	})
+	if err != nil {
 		return out, err
 	}
-	if out.Online, err = run(ecl.MaintainOnline); err != nil {
-		return out, err
-	}
-	if out.Multi, err = run(ecl.MaintainMultiplexed); err != nil {
-		return out, err
-	}
+	out.Static, out.Online, out.Multi = runs[0], runs[1], runs[2]
 	return out, nil
 }
 
@@ -454,14 +458,33 @@ type Table1Result struct {
 // sweep tractable while representing every load phase).
 func Table1() (Table1Result, error) { return Table1Sized(2 * time.Minute) }
 
-// Table1Sized runs the Table 1 sweep with a custom profile length.
+// Table1Sized runs the Table 1 sweep with a custom profile length. The
+// sweep is two orchestrated phases: first the per-workload capacity
+// probes (memoized, so reruns and other figures reuse them), then all
+// 12 combos × {baseline, ECL} = 24 independent seeded runs fan out
+// across the worker pool and merge back in row order.
 func Table1Sized(table1Duration time.Duration) (Table1Result, error) {
 	var out Table1Result
-	for _, wl := range workload.All() {
-		capacity, err := sim.MeasureCapacity(wl, 21)
-		if err != nil {
-			return out, err
-		}
+	wls := workload.All()
+	capJobs := make([]Job[float64], len(wls))
+	for i, wl := range wls {
+		wl := wl
+		capJobs[i] = func() (float64, error) { return MeasureCapacity(wl, 21) }
+	}
+	capacities, err := Sweep(capJobs)
+	if err != nil {
+		return out, err
+	}
+
+	type combo struct {
+		workload string
+		profile  string
+		capacity float64
+		load     loadprofile.Profile
+	}
+	var combos []combo
+	for i, wl := range wls {
+		capacity := capacities[i]
 		for _, lp := range []struct {
 			name string
 			load loadprofile.Profile
@@ -469,28 +492,44 @@ func Table1Sized(table1Duration time.Duration) (Table1Result, error) {
 			{"spike", loadprofile.Spike{PeakQps: capacity * spikeOverloadFactor, Len: table1Duration}},
 			{"twitter", loadprofile.Twitter{BaseQps: capacity * twitterBaseFactor, Len: table1Duration}},
 		} {
-			row := Table1Row{Workload: wl.Name(), LoadProfile: lp.name, CapacityQps: capacity}
-			base, err := sim.Run(sim.Options{
-				Workload: workload.ByName(wl.Name()), Load: lp.load,
-				Governor: sim.GovernorBaseline, Seed: 21,
-			})
-			if err != nil {
-				return out, err
-			}
-			eclRes, err := sim.Run(sim.Options{
-				Workload: workload.ByName(wl.Name()), Load: lp.load,
-				Governor: sim.GovernorECL, Prewarm: true, Seed: 21,
-			})
-			if err != nil {
-				return out, err
-			}
-			row.BaselineJ = base.EnergyJ
-			row.ECLJ = eclRes.EnergyJ
-			row.Savings = 1 - eclRes.EnergyJ/base.EnergyJ
-			row.BestConfig = eclRes.MostApplied
-			row.ViolationFrac = eclRes.ViolationFrac
-			out.Rows = append(out.Rows, row)
+			combos = append(combos, combo{workload: wl.Name(), profile: lp.name, capacity: capacity, load: lp.load})
 		}
+	}
+
+	// Two jobs per combo: runs[2i] is the baseline, runs[2i+1] the ECL.
+	runJobs := make([]Job[*sim.Result], 0, 2*len(combos))
+	for _, c := range combos {
+		c := c
+		runJobs = append(runJobs,
+			func() (*sim.Result, error) {
+				return sim.Run(sim.Options{
+					Workload: workload.ByName(c.workload), Load: c.load,
+					Governor: sim.GovernorBaseline, Seed: 21,
+				})
+			},
+			func() (*sim.Result, error) {
+				return sim.Run(sim.Options{
+					Workload: workload.ByName(c.workload), Load: c.load,
+					Governor: sim.GovernorECL, Prewarm: true, Seed: 21,
+				})
+			})
+	}
+	runs, err := Sweep(runJobs)
+	if err != nil {
+		return out, err
+	}
+	for i, c := range combos {
+		base, eclRes := runs[2*i], runs[2*i+1]
+		out.Rows = append(out.Rows, Table1Row{
+			Workload:      c.workload,
+			LoadProfile:   c.profile,
+			CapacityQps:   c.capacity,
+			BaselineJ:     base.EnergyJ,
+			ECLJ:          eclRes.EnergyJ,
+			Savings:       1 - eclRes.EnergyJ/base.EnergyJ,
+			BestConfig:    eclRes.MostApplied,
+			ViolationFrac: eclRes.ViolationFrac,
+		})
 	}
 	return out, nil
 }

@@ -134,25 +134,32 @@ type Fig9Result struct {
 	C ProfileResult
 }
 
+// profileJob evaluates and summarizes one profile as a sweep job.
+func profileJob(name string, ch perfmodel.Characteristics, gp energy.GeneratorParams) Job[ProfileResult] {
+	return func() (ProfileResult, error) {
+		p, err := profileFor(ch, gp)
+		if err != nil {
+			return ProfileResult{}, err
+		}
+		return summarizeProfile(name, gp, p), nil
+	}
+}
+
 // Figure9 reproduces the generator-granularity comparison on the
-// compute-bound workload.
+// compute-bound workload. The three generator settings evaluate
+// independently and fan out through the orchestrator.
 func Figure9() (Fig9Result, error) {
 	ch := perfmodel.ComputeBound()
 	var res Fig9Result
-	for _, c := range []struct {
-		gp  energy.GeneratorParams
-		out *ProfileResult
-	}{
-		{energy.GeneratorParams{FCore: 4, FUncore: 3, CMax: 256}, &res.A},
-		{energy.GeneratorParams{FCore: 7, FUncore: 3, CMax: 256}, &res.B},
-		{energy.GeneratorParams{FCore: 4, FUncore: 3, CoreMixed: true, CMax: 256}, &res.C},
-	} {
-		p, err := profileFor(ch, c.gp)
-		if err != nil {
-			return res, err
-		}
-		*c.out = summarizeProfile("compute-bound", c.gp, p)
+	profiles, err := Sweep([]Job[ProfileResult]{
+		profileJob("compute-bound", ch, energy.GeneratorParams{FCore: 4, FUncore: 3, CMax: 256}),
+		profileJob("compute-bound", ch, energy.GeneratorParams{FCore: 7, FUncore: 3, CMax: 256}),
+		profileJob("compute-bound", ch, energy.GeneratorParams{FCore: 4, FUncore: 3, CoreMixed: true, CMax: 256}),
+	})
+	if err != nil {
+		return res, err
 	}
+	res.A, res.B, res.C = profiles[0], profiles[1], profiles[2]
 	return res, nil
 }
 
@@ -172,20 +179,18 @@ type Fig10Result struct {
 func Figure10() (Fig10Result, error) {
 	gp := energy.DefaultGeneratorParams()
 	var res Fig10Result
-	for _, c := range []struct {
-		ch  perfmodel.Characteristics
-		out *ProfileResult
-	}{
-		{perfmodel.MemoryScan(), &res.MemoryBound},
-		{perfmodel.AtomicContention(), &res.Atomic},
-		{perfmodel.HashTableInsert(), &res.HashTable},
-	} {
-		p, err := profileFor(c.ch, gp)
-		if err != nil {
-			return res, err
-		}
-		*c.out = summarizeProfile(c.ch.Name, gp, p)
+	chs := []perfmodel.Characteristics{
+		perfmodel.MemoryScan(), perfmodel.AtomicContention(), perfmodel.HashTableInsert(),
 	}
+	jobs := make([]Job[ProfileResult], len(chs))
+	for i, ch := range chs {
+		jobs[i] = profileJob(ch.Name, ch, gp)
+	}
+	profiles, err := Sweep(jobs)
+	if err != nil {
+		return res, err
+	}
+	res.MemoryBound, res.Atomic, res.HashTable = profiles[0], profiles[1], profiles[2]
 	return res, nil
 }
 
@@ -215,21 +220,19 @@ func AppendixProfiles() (AppendixResult, error) {
 	if err != nil {
 		return res, err
 	}
-	for _, c := range []struct {
-		wl  workload.Workload
-		out *ProfileResult
-	}{
-		{workload.NewTATP(true), &res.TATPIndexed},
-		{workload.NewTATP(false), &res.TATPNonIndexed},
-		{ssbIdx, &res.SSBIndexed},
-		{ssbScan, &res.SSBNonIndexed},
-	} {
-		p, err := profileFor(c.wl.Characteristics(), gp)
-		if err != nil {
-			return res, err
-		}
-		*c.out = summarizeProfile(c.wl.Name(), gp, p)
+	wls := []workload.Workload{
+		workload.NewTATP(true), workload.NewTATP(false), ssbIdx, ssbScan,
 	}
+	jobs := make([]Job[ProfileResult], len(wls))
+	for i, wl := range wls {
+		jobs[i] = profileJob(wl.Name(), wl.Characteristics(), gp)
+	}
+	profiles, err := Sweep(jobs)
+	if err != nil {
+		return res, err
+	}
+	res.TATPIndexed, res.TATPNonIndexed = profiles[0], profiles[1]
+	res.SSBIndexed, res.SSBNonIndexed = profiles[2], profiles[3]
 	return res, nil
 }
 

@@ -44,7 +44,7 @@ type PowerCapResult struct {
 func PowerCap() (PowerCapResult, error) {
 	const loadFrac = 0.85
 	out := PowerCapResult{LoadFrac: loadFrac}
-	capacity, err := sim.MeasureCapacity(workload.NewKV(false), 37)
+	capacity, err := MeasureCapacity(workload.NewKV(false), 37)
 	if err != nil {
 		return out, err
 	}
@@ -73,19 +73,25 @@ func PowerCap() (PowerCapResult, error) {
 		}
 		return p, nil
 	}
+	// The uncapped run anchors the cap budgets, so it must finish first;
+	// the capped runs then fan out together.
 	uncapped, err := run(0)
 	if err != nil {
 		return out, err
 	}
 	out.Points = append(out.Points, uncapped)
 	perSocket := uncapped.AvgRAPLW / 2
-	for _, frac := range []float64{0.85, 0.65, 0.45} {
-		p, err := run(perSocket * frac)
-		if err != nil {
-			return out, err
-		}
-		out.Points = append(out.Points, p)
+	fracs := []float64{0.85, 0.65, 0.45}
+	jobs := make([]Job[PowerCapPoint], len(fracs))
+	for i, frac := range fracs {
+		capW := perSocket * frac
+		jobs[i] = func() (PowerCapPoint, error) { return run(capW) }
 	}
+	points, err := Sweep(jobs)
+	if err != nil {
+		return out, err
+	}
+	out.Points = append(out.Points, points...)
 	return out, nil
 }
 

@@ -33,48 +33,51 @@ type PropResult struct {
 }
 
 // Proportionality sweeps constant loads from 10 % to 90 % of capacity on
-// the non-indexed key-value workload.
+// the non-indexed key-value workload. All ten runs (five load levels ×
+// two governors) are independent and fan out through the orchestrator.
 func Proportionality() (PropResult, error) {
 	var out PropResult
 	wl := func() workload.Workload { return workload.NewKV(false) }
-	capacity, err := sim.MeasureCapacity(wl(), 41)
+	capacity, err := MeasureCapacity(wl(), 41)
 	if err != nil {
 		return out, err
 	}
 	const runLen = 30 * time.Second
-	run := func(gov sim.Governor, frac float64) (float64, error) {
-		res, err := sim.Run(sim.Options{
-			Workload: wl(),
-			Load:     loadprofile.Constant{Qps: capacity * frac, Len: runLen},
-			Governor: gov,
-			Prewarm:  gov == sim.GovernorECL,
-			Seed:     41,
-		})
-		if err != nil {
-			return 0, err
-		}
-		// Skip the first quarter (controller settling).
-		p := res.Rec.Series("power_rapl_w")
-		sum, n := 0.0, 0
-		for i, ts := range p.Times {
-			if ts >= runLen/4 {
-				sum += p.Values[i]
-				n++
+	run := func(gov sim.Governor, frac float64) Job[float64] {
+		return func() (float64, error) {
+			res, err := sim.Run(sim.Options{
+				Workload: wl(),
+				Load:     loadprofile.Constant{Qps: capacity * frac, Len: runLen},
+				Governor: gov,
+				Prewarm:  gov == sim.GovernorECL,
+				Seed:     41,
+			})
+			if err != nil {
+				return 0, err
 			}
+			// Skip the first quarter (controller settling).
+			p := res.Rec.Series("power_rapl_w")
+			sum, n := 0.0, 0
+			for i, ts := range p.Times {
+				if ts >= runLen/4 {
+					sum += p.Values[i]
+					n++
+				}
+			}
+			return sum / float64(n), nil
 		}
-		return sum / float64(n), nil
 	}
 	fracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	jobs := make([]Job[float64], 0, 2*len(fracs))
 	for _, f := range fracs {
-		bw, err := run(sim.GovernorBaseline, f)
-		if err != nil {
-			return out, err
-		}
-		ew, err := run(sim.GovernorECL, f)
-		if err != nil {
-			return out, err
-		}
-		out.Points = append(out.Points, PropPoint{LoadFrac: f, BaselineW: bw, ECLW: ew})
+		jobs = append(jobs, run(sim.GovernorBaseline, f), run(sim.GovernorECL, f))
+	}
+	watts, err := Sweep(jobs)
+	if err != nil {
+		return out, err
+	}
+	for i, f := range fracs {
+		out.Points = append(out.Points, PropPoint{LoadFrac: f, BaselineW: watts[2*i], ECLW: watts[2*i+1]})
 	}
 	score := func(get func(PropPoint) float64) float64 {
 		peak := get(out.Points[len(out.Points)-1])

@@ -51,6 +51,22 @@ func TestTableRenderAlignment(t *testing.T) {
 	}
 }
 
+// A row wider than the header must render (cells beyond the last header
+// column have no measured width) instead of panicking on widths[i].
+func TestTableRenderRowWiderThanHeader(t *testing.T) {
+	tb := Table{
+		Title:  "wide",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2", "extra", "more"}},
+	}
+	out := tb.Render()
+	for _, cell := range []string{"extra", "more"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("render dropped overflow cell %q:\n%s", cell, out)
+		}
+	}
+}
+
 func TestFormattingHelpers(t *testing.T) {
 	if f1(3.14159) != "3.1" || f2(3.14159) != "3.14" || f0(3.7) != "4" {
 		t.Error("float helpers wrong")

@@ -111,6 +111,15 @@ type Engine struct {
 	// commMessages counts inter-socket message transfers.
 	commMessages int64
 
+	// Per-step scratch buffers, reused so the steady-state step path
+	// allocates nothing (the step loop runs ~10^5 times per experiment;
+	// see TestStepSteadyStateAllocatesNothing). stepStats is what Step
+	// returns — the engine owns it, and its contents are valid only
+	// until the next Step call. stepOrigBudget snapshots the per-thread
+	// budgets at the start of each step's worker phase.
+	stepStats      []SocketStats
+	stepOrigBudget [][]float64
+
 	// Observability (nil/empty when disabled; see internal/obs).
 	obsLog        *obs.Log
 	obsSubmitted  *obs.Counter
@@ -158,6 +167,13 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.busySec = make([]float64, cfg.Topo.Sockets)
 	e.activeSec = make([]float64, cfg.Topo.Sockets)
+	e.stepStats = make([]SocketStats, cfg.Topo.Sockets)
+	e.stepOrigBudget = make([][]float64, cfg.Topo.Sockets)
+	for s := range e.stepStats {
+		e.stepStats[s].BusyFrac = make([]float64, cfg.Topo.ThreadsPerSocket())
+		e.stepStats[s].UsedInstr = make([]float64, cfg.Topo.ThreadsPerSocket())
+		e.stepOrigBudget[s] = make([]float64, cfg.Topo.ThreadsPerSocket())
+	}
 	if err := e.install(cfg.Workload); err != nil {
 		return nil, err
 	}
@@ -376,13 +392,21 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 // whether the worker is active and its instruction capacity for the step.
 // The returned stats feed the machine's power/counter integration and the
 // ECL's utilization input.
+//
+// The returned slice and its per-socket sub-slices are scratch buffers
+// owned by the engine: they are valid until the next Step call, which
+// overwrites them in place. Callers that need the values across steps
+// must copy them.
 func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64) []SocketStats {
 	nSock := e.topo.Sockets
 	tps := e.topo.ThreadsPerSocket()
-	stats := make([]SocketStats, nSock)
+	stats := e.stepStats
 	for s := 0; s < nSock; s++ {
-		stats[s].BusyFrac = make([]float64, tps)
-		stats[s].UsedInstr = make([]float64, tps)
+		bf, ui := stats[s].BusyFrac, stats[s].UsedInstr
+		for i := range bf {
+			bf[i], ui[i] = 0, 0
+		}
+		stats[s] = SocketStats{BusyFrac: bf, UsedInstr: ui}
 	}
 
 	// Worker elasticity events: one per socket whose active worker count
@@ -447,7 +471,7 @@ func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64
 		bpi := e.SocketCharacteristics(s).BytesPerInstr
 		hub := e.router.Hub(s)
 		remainingBudget := budget[s]
-		origBudget := make([]float64, tps)
+		origBudget := e.stepOrigBudget[s]
 		copy(origBudget, remainingBudget)
 		// Pay down debt from previous steps' overshoot.
 		for lt := 0; lt < tps; lt++ {
@@ -469,14 +493,13 @@ func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64
 					continue
 				}
 				for n := 0; n < e.cfg.BatchSize && remainingBudget[lt] > 0; n++ {
-					batch, err := hub.Dequeue(token, part, 1)
+					m, err := hub.DequeueOne(token, part)
 					if err != nil {
 						panic(err)
 					}
-					if len(batch) == 0 {
+					if m == nil {
 						break
 					}
-					m := batch[0]
 					if m.Exec != nil {
 						m.Exec()
 					}

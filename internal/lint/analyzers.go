@@ -8,6 +8,16 @@ const modulePath = "ecldb"
 // inside a simulation. internal/bench drives simulations (it may use
 // testing helpers), internal/lint is tooling, and cmd/ and examples/ are
 // CLIs at the edge of the virtual world — none of those are core.
+//
+// internal/bench being outside the fence is deliberate, not an
+// oversight: the parallel sweep orchestrator (bench/sweep.go) fans
+// *whole* simulation runs across goroutines, each run owning its clock,
+// RNG, machine, engine, and observer. Concurrency between runs cannot
+// perturb determinism within a run, so the contract is "no concurrency
+// inside a simulation", enforced here, plus "runs share no mutable
+// state", proven by the parallel-vs-sequential byte-identity test under
+// the race detector (bench.TestParallelSweepByteIdentical). The
+// noconc/sweeplike fixture pins the boundary from both sides.
 func CorePackages() []string {
 	names := []string{
 		"vtime", "hw", "dodb", "msg", "ecl", "energy", "obs",

@@ -45,6 +45,28 @@ func TestNoconcOutsideCore(t *testing.T) {
 	}
 }
 
+func TestNoconcSweepShapeInCore(t *testing.T) {
+	// The worker-pool shape of the bench sweep orchestrator, configured
+	// as core: the fence still fires on every construct (go statement,
+	// channel, sync import), so the orchestrator cannot silently move
+	// inside the deterministic core.
+	runFixture(t, []*Analyzer{NewNoconc(coreFixture("noconc/sweeplike"))}, "noconc/sweeplike")
+}
+
+func TestNoconcSweepShapeOutsideCore(t *testing.T) {
+	// The identical package outside the core list — the real
+	// orchestrator's position (internal/bench is not in CorePackages) —
+	// produces nothing.
+	units, err := Load(repoRoot(t), []string{fixtureBase + "/noconc/sweeplike"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(units, []*Analyzer{NewNoconc(nil)})
+	if len(diags) != 0 {
+		t.Fatalf("noconc outside core reported findings: %v", diags)
+	}
+}
+
 func TestMapiterFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{NewMapiter(coreFixture("mapiter/core"))}, "mapiter/core")
 }

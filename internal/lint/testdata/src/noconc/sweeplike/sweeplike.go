@@ -1,0 +1,32 @@
+// Package sweeplike is the shape of the bench sweep orchestrator — a
+// fixed-size worker pool fanning jobs across goroutines — compiled as a
+// fixture. Configured as deterministic core, every construct must be a
+// finding: if the orchestrator ever migrated inside the fence, ecllint
+// would reject it wholesale. The same package analyzed outside the core
+// list must be silent (TestNoconcSweepShapeOutsideCore), which is why
+// run-level parallelism lives in internal/bench.
+package sweeplike
+
+import "sync" // want "import of sync"
+
+// Fan mirrors bench.SweepN: index channel, worker pool, indexed merge.
+func Fan(jobs []func() int) []int {
+	results := make([]int, len(jobs))
+	idx := make(chan int) // want "channel type"
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() { // want "go statement"
+			defer wg.Done()
+			for i := range idx {
+				results[i] = jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i // want "channel send"
+	}
+	close(idx) // want "close of a channel"
+	wg.Wait()
+	return results
+}

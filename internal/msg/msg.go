@@ -200,6 +200,25 @@ func (h *Hub) Release(worker, partition int) error {
 	return nil
 }
 
+// DequeueOne pops a single message from an owned partition, or nil when
+// the queue is empty. The caller must hold ownership. This is the
+// engine's per-message hot path; unlike Dequeue it never allocates a
+// batch slice.
+func (h *Hub) DequeueOne(worker, partition int) (*Message, error) {
+	q, ok := h.queues[partition]
+	if !ok {
+		return nil, fmt.Errorf("msg: partition %d not homed on socket %d", partition, h.socket)
+	}
+	if q.owner != worker {
+		return nil, fmt.Errorf("msg: worker %d dequeuing partition %d owned by %d", worker, partition, q.owner)
+	}
+	m := q.pop()
+	if m != nil {
+		h.pending--
+	}
+	return m, nil
+}
+
 // Dequeue pops up to max messages from an owned partition. The caller
 // must hold ownership.
 func (h *Hub) Dequeue(worker, partition int, max int) ([]*Message, error) {

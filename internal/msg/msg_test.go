@@ -43,6 +43,56 @@ func TestHubEnqueueDequeueFIFO(t *testing.T) {
 	}
 }
 
+// DequeueOne mirrors Dequeue's FIFO order, pending accounting, and
+// ownership checks, one message at a time and without a batch slice.
+func TestHubDequeueOne(t *testing.T) {
+	h := NewHub(0, []int{1})
+	for i := 0; i < 3; i++ {
+		m := mkMsg(1)
+		m.Instr = float64(i)
+		if err := h.EnqueueLocal(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.DequeueOne(7, 1); err == nil {
+		t.Fatal("dequeue without ownership should fail")
+	}
+	if _, err := h.DequeueOne(7, 99); err == nil {
+		t.Fatal("dequeue of foreign partition should fail")
+	}
+	if p, ok := h.Acquire(7); !ok || p != 1 {
+		t.Fatalf("Acquire = %d,%v", p, ok)
+	}
+	for i := 0; i < 3; i++ {
+		m, err := h.DequeueOne(7, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil || m.Instr != float64(i) {
+			t.Fatalf("message %d = %+v, want FIFO order", i, m)
+		}
+		if h.Pending() != 2-i {
+			t.Fatalf("pending = %d after %d dequeues", h.Pending(), i+1)
+		}
+	}
+	// Empty queue: nil message, no error, pending untouched.
+	m, err := h.DequeueOne(7, 1)
+	if err != nil || m != nil {
+		t.Fatalf("empty dequeue = %v, %v", m, err)
+	}
+	if h.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", h.Pending())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := h.DequeueOne(7, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DequeueOne allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
 func TestHubEnqueueUnknownPartition(t *testing.T) {
 	h := NewHub(0, []int{1})
 	if err := h.EnqueueLocal(mkMsg(99)); err == nil {

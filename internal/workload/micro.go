@@ -57,13 +57,6 @@ type computePartition struct{ counter uint64 }
 // scanPartition holds an array column for the memory-bound scan workload.
 type scanPartition struct{ col *storage.Column }
 
-// sharedCounter is the single contended variable of the atomic-contention
-// workload (package-global: the paper's workload shares one cacheline
-// across all threads). The contention cost itself is modeled by
-// perfmodel; the simulator is single-threaded, so a plain counter stands
-// in for the atomic and keeps the core free of sync/atomic.
-var sharedCounter uint64
-
 // hashPartition holds the shared hash table of the hash-insert workload.
 type hashPartition struct {
 	idx  *storage.HashIndex
@@ -112,7 +105,16 @@ func NewMemoryScan() *Micro {
 
 // NewAtomicContention returns the "all threads atomically increment a
 // single variable" workload (Figure 10b).
+//
+// The contended variable is shared across the workload instance's
+// partitions (the paper's single cacheline touched by all threads), not
+// package-global: concurrent simulation runs each own their counter, so
+// run-level parallelism in internal/bench stays race-free. The
+// contention cost itself is modeled by perfmodel; within one run the
+// simulator is single-threaded, so a plain counter stands in for the
+// atomic and keeps the core free of sync/atomic.
 func NewAtomicContention() *Micro {
+	var sharedCounter uint64
 	return &Micro{
 		name:       "atomic-contention",
 		chars:      perfmodel.AtomicContention(),

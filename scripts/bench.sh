@@ -5,6 +5,14 @@
 # writes BENCH_<date>.json mapping each benchmark to its ns/op, so
 # successive snapshots can be diffed for performance regressions.
 #
+# Orchestrated sweep timing is part of the snapshot: the
+# BenchmarkProfileSweepSequential / BenchmarkProfileSweepParallel pair
+# runs the same four-profile sweep pinned to one worker and at the
+# default pool, so the sequential-vs-parallel trajectory is recorded on
+# every machine even in -short mode (the full-simulation pair,
+# BenchmarkTable1EnergySavings vs BenchmarkTable1Parallel, needs a
+# non-short run).
+#
 # CI runs this as a non-blocking step: a slow machine or noisy neighbor
 # must not fail the build, but the numbers are always archived.
 set -euo pipefail

@@ -10,7 +10,10 @@
 #   tests      the short suite (the full figure sweep takes tens of
 #              minutes; heavy regenerators honor -short)
 #   race       the byte-identical determinism test under the race
-#              detector, proving the core is goroutine-free at runtime
+#              detector, proving the core is goroutine-free at runtime,
+#              plus the parallel-vs-sequential sweep byte-identity test,
+#              proving the bench orchestrator's fan-out changes nothing
+#              but wall-clock
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,5 +39,11 @@ go test -short -count=1 ./...
 
 echo "== determinism under -race"
 go test -race -short -count=1 -run 'TestDeterminism' ./internal/sim
+
+echo "== parallel sweep byte-identity under -race"
+# Not -short: the comparison regenerates a sized-down figure three times
+# (sequential, 2 workers, 4 workers) and diffs tables, JSONL event
+# streams, and metrics expositions byte for byte.
+go test -race -count=1 -run 'TestParallelSweepByteIdentical' ./internal/bench
 
 echo "check.sh: all green"
