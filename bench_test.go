@@ -11,8 +11,11 @@ package ecldb_test
 
 import (
 	"testing"
+	"time"
 
 	"ecldb/internal/bench"
+	"ecldb/internal/sim"
+	"ecldb/internal/workload"
 )
 
 // skipInShort exempts the end-to-end simulation benchmarks from -short
@@ -259,6 +262,41 @@ func BenchmarkAppendixProfiles(b *testing.B) {
 		}
 		b.ReportMetric(float64(r.TATPIndexed.OptimalUncoreMHz), "tatp_idx_unc_MHz")
 		b.ReportMetric(float64(r.SSBNonIndexed.OptimalUncoreMHz), "ssb_scan_unc_MHz")
+	}
+}
+
+// BenchmarkTable1RowSingleRun times the harness itself on one Table 1
+// cell (kv-indexed x twitter, 30 s profile) run strictly sequentially:
+// a baseline run followed by an ECL run on one goroutine, capacity probe
+// memoized and warmed before timing. This is the headline metric of the
+// epoch-keyed step-kernel cache; the NoMemo variant below runs the same
+// cell on the naive reference step path, so the pair reads the speedup
+// directly off a BENCH_*.json snapshot. Both run in -short mode.
+func BenchmarkTable1RowSingleRun(b *testing.B) { benchTable1Row(b, false) }
+
+// BenchmarkTable1RowSingleRunNoMemo is the reference point: the same
+// sequential Table 1 cell with the kernel cache and macro-stepping
+// disabled (the eclsim -nomemo path). Results are byte-identical to the
+// cached path — only the wall time differs.
+func BenchmarkTable1RowSingleRunNoMemo(b *testing.B) { benchTable1Row(b, true) }
+
+func benchTable1Row(b *testing.B, naive bool) {
+	sequentially(b)
+	if naive {
+		sim.SetNaiveStep(true)
+		b.Cleanup(func() { sim.SetNaiveStep(false) })
+	}
+	// Warm the memoized capacity probe so timing covers only the runs.
+	if _, err := bench.MeasureCapacity(workload.ByName("kv-indexed"), 21); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table1SingleRow("kv-indexed", "twitter", 30*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Savings*100, "save_%")
 	}
 }
 

@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ecldb/internal/bench"
@@ -105,12 +107,19 @@ func main() {
 	csvPrefix := flag.String("csv", "", "custom run: write per-governor trace CSVs to <prefix>-<governor>.csv")
 	capW := flag.Float64("cap", 0, "custom run: per-socket power cap in W for the ECL (0 = none)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for multi-run sweeps (<1 = GOMAXPROCS); results are identical at any setting")
+	nomemo := flag.Bool("nomemo", false, "take the naive reference step path (no epoch-keyed kernel cache, no macro-stepping); results are identical, just slower")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	var oo obsOut
 	flag.StringVar(&oo.events, "events", "", "write the ECL decision-event stream as JSONL to this file")
 	flag.StringVar(&oo.metrics, "metrics", "", "write the post-run metrics in Prometheus text format to this file")
 	flag.BoolVar(&oo.explain, "explain", false, "print the post-run control-plane explain report")
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+	sim.SetNaiveStep(*nomemo)
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	exitOn(err)
+	defer stopProfiles()
 
 	switch {
 	case *table == 1:
@@ -246,8 +255,56 @@ func warnNoObs(oo obsOut) {
 	}
 }
 
+// stopProfilesFn finalizes any requested profiles; exitOn invokes it so
+// profiles survive error exits too (os.Exit skips deferred calls).
+var stopProfilesFn = func() {}
+
+// startProfiles starts a CPU profile and arranges a heap profile at
+// shutdown, returning the finalizer (also stored for exitOn).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	stopProfilesFn = func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "eclsim:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "eclsim:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", memPath)
+		}
+	}
+	return stopProfilesFn, nil
+}
+
 func exitOn(err error) {
 	if err != nil {
+		stopProfilesFn()
 		fmt.Fprintln(os.Stderr, "eclsim:", err)
 		os.Exit(1)
 	}

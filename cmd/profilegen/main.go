@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ecldb/internal/bench"
 	"ecldb/internal/energy"
@@ -26,11 +28,17 @@ func main() {
 	fig := flag.Int("fig", 0, "figure number (9, 10, or 17-20); 0 runs all")
 	wlName := flag.String("workload", "", "render the profile of one workload by name")
 	parallel := flag.Int("parallel", 0, "worker goroutines for multi-profile sweeps (<1 = GOMAXPROCS); results are identical at any setting")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	exitOn(err)
+	defer stopProfiles()
 
 	if *wlName != "" {
 		if err := renderWorkload(*wlName); err != nil {
+			stopProfilesFn()
 			fmt.Fprintln(os.Stderr, "profilegen:", err)
 			os.Exit(1)
 		}
@@ -88,7 +96,55 @@ func renderWorkload(name string) error {
 
 func exitOn(err error) {
 	if err != nil {
+		stopProfilesFn()
 		fmt.Fprintln(os.Stderr, "profilegen:", err)
 		os.Exit(1)
 	}
+}
+
+// stopProfilesFn finalizes any requested profiles; exitOn invokes it so
+// profiles survive error exits too (os.Exit skips deferred calls).
+var stopProfilesFn = func() {}
+
+// startProfiles starts a CPU profile and arranges a heap profile at
+// shutdown, returning the finalizer (also stored for exitOn).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	stopProfilesFn = func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profilegen:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profilegen:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", memPath)
+		}
+	}
+	return stopProfilesFn, nil
 }

@@ -534,6 +534,57 @@ func Table1Sized(table1Duration time.Duration) (Table1Result, error) {
 	return out, nil
 }
 
+// Table1SingleRow computes one workload x load-profile cell of Table 1
+// strictly sequentially on the calling goroutine: the baseline run
+// followed by the ECL run, exactly as Table1Sized builds them, without
+// sweep orchestration. It is the unit of work behind the step-path
+// benchmarks in the root bench_test.go. The capacity probe is memoized
+// process-wide (MeasureCapacity); benchmarks warm it before timing so
+// the measurement covers only the two simulation runs.
+func Table1SingleRow(workloadName, profile string, d time.Duration) (Table1Row, error) {
+	wl := workload.ByName(workloadName)
+	if wl == nil {
+		return Table1Row{}, fmt.Errorf("bench: unknown workload %q", workloadName)
+	}
+	capacity, err := MeasureCapacity(wl, 21)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	var load loadprofile.Profile
+	switch profile {
+	case "spike":
+		load = loadprofile.Spike{PeakQps: capacity * spikeOverloadFactor, Len: d}
+	case "twitter":
+		load = loadprofile.Twitter{BaseQps: capacity * twitterBaseFactor, Len: d}
+	default:
+		return Table1Row{}, fmt.Errorf("bench: unknown load profile %q", profile)
+	}
+	base, err := sim.Run(sim.Options{
+		Workload: workload.ByName(workloadName), Load: load,
+		Governor: sim.GovernorBaseline, Seed: 21,
+	})
+	if err != nil {
+		return Table1Row{}, err
+	}
+	eclRes, err := sim.Run(sim.Options{
+		Workload: workload.ByName(workloadName), Load: load,
+		Governor: sim.GovernorECL, Prewarm: true, Seed: 21,
+	})
+	if err != nil {
+		return Table1Row{}, err
+	}
+	return Table1Row{
+		Workload:      workloadName,
+		LoadProfile:   profile,
+		CapacityQps:   capacity,
+		BaselineJ:     base.EnergyJ,
+		ECLJ:          eclRes.EnergyJ,
+		Savings:       1 - eclRes.EnergyJ/base.EnergyJ,
+		BestConfig:    eclRes.MostApplied,
+		ViolationFrac: eclRes.ViolationFrac,
+	}, nil
+}
+
 // SavingsFor returns the savings of one workload/profile cell.
 func (r Table1Result) SavingsFor(workloadName, profile string) (float64, bool) {
 	for _, row := range r.Rows {

@@ -56,11 +56,16 @@ type Config struct {
 	Seed int64
 }
 
-// query tracks one in-flight query.
+// query tracks one in-flight query. Queries live on an intrusive doubly
+// linked list (the in-flight set) and are recycled through a freelist once
+// every operation has completed, so the steady-state submit/complete cycle
+// performs no map operations and no query allocations.
 type query struct {
 	submitted time.Duration
 	remaining int
 	dropped   bool
+	prev      *query
+	next      *query
 }
 
 // SocketStats is the per-socket outcome of one engine step.
@@ -97,11 +102,19 @@ type Engine struct {
 	// matches the modeled capacity even when one message costs about a
 	// step's budget.
 	budgetDebt [][]float64
-	inFlight   map[*query]struct{}
-	completed  int64
-	submitted  int64
-	dropped    int64
-	lastUtil   []float64
+	// inFlight is the intrusive doubly linked list of live queries;
+	// inFlightLen tracks its length. freeQuery chains recycled query
+	// records (via next) and freeMsgs pools completed messages, so the
+	// steady-state submit/complete cycle reuses memory instead of
+	// allocating per query and per operation.
+	inFlight    *query
+	inFlightLen int
+	freeQuery   *query
+	freeMsgs    []*msg.Message
+	completed   int64
+	submitted   int64
+	dropped     int64
+	lastUtil    []float64
 	// busySec/activeSec accumulate per-socket busy and active worker
 	// thread-seconds; their ratio over a window tells the ECL whether a
 	// measurement window ran at full tilt (profile scores must be
@@ -110,6 +123,8 @@ type Engine struct {
 	activeSec []float64
 	// commMessages counts inter-socket message transfers.
 	commMessages int64
+	// charEpoch counts workload installs; see CharacteristicsEpoch.
+	charEpoch uint64
 
 	// Per-step scratch buffers, reused so the steady-state step path
 	// allocates nothing (the step loop runs ~10^5 times per experiment;
@@ -158,7 +173,6 @@ func New(cfg Config) (*Engine, error) {
 		topo:     cfg.Topo,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		latency:  NewLatencyTracker(cfg.LatencyWindow),
-		inFlight: make(map[*query]struct{}),
 		lastUtil: make([]float64, cfg.Topo.Sockets),
 	}
 	e.budgetDebt = make([][]float64, cfg.Topo.Sockets)
@@ -183,6 +197,7 @@ func New(cfg Config) (*Engine, error) {
 // install wires a workload: partition data, homes, and the message router.
 func (e *Engine) install(wl workload.Workload) error {
 	e.wl = wl
+	e.charEpoch++
 	e.parts = make([]workload.PartitionState, e.cfg.Partitions)
 	e.partHome = make([]int, e.cfg.Partitions)
 	homes := make([][]int, e.topo.Sockets)
@@ -230,7 +245,7 @@ func (e *Engine) SubmittedQueries() int64 { return e.submitted }
 func (e *Engine) DroppedQueries() int64 { return e.dropped }
 
 // InFlight returns the number of queries currently in the system.
-func (e *Engine) InFlight() int { return len(e.inFlight) }
+func (e *Engine) InFlight() int { return e.inFlightLen }
 
 // PendingMessages returns undelivered messages across all hubs.
 func (e *Engine) PendingMessages() int { return e.router.PendingTotal() }
@@ -240,6 +255,50 @@ func (e *Engine) CommMessages() int64 { return e.commMessages }
 
 // Utilization returns the socket utilization the last step reported.
 func (e *Engine) Utilization(socket int) float64 { return e.lastUtil[socket] }
+
+// CharacteristicsEpoch returns a value that changes whenever the result
+// of SocketCharacteristics can change: on every workload install (New,
+// SwitchWorkload) and, for workloads whose characteristics drift at
+// runtime (workload.Versioned), whenever their version moves. Callers key
+// capacity caches on it; two equal values guarantee identical
+// characteristics for every socket.
+func (e *Engine) CharacteristicsEpoch() uint64 {
+	ep := e.charEpoch << 32
+	if v, ok := e.wl.(workload.Versioned); ok {
+		ep += v.CharacteristicsVersion()
+	}
+	return ep
+}
+
+// Quiescent reports whether the engine holds no work whatsoever: no
+// queries in flight, no undelivered messages, no budget debt carried by
+// any worker, every socket's last reported utilization zero, and (when
+// observability is attached) no worker counted as awake. In this state a
+// Step with zero offered load has no effect beyond re-deriving the same
+// zeros, which is what licenses the simulation's macro-step fast path.
+func (e *Engine) Quiescent() bool {
+	if e.inFlightLen != 0 || e.router.PendingTotal() != 0 {
+		return false
+	}
+	for s := range e.budgetDebt {
+		for _, d := range e.budgetDebt[s] {
+			if d != 0 {
+				return false
+			}
+		}
+		if e.lastUtil[s] != 0 {
+			return false
+		}
+	}
+	if e.obsOn {
+		for _, n := range e.prevActive {
+			if n != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // BusySeconds returns the cumulative busy and active worker
 // thread-seconds of a socket. Differencing two readings tells how fully
@@ -295,16 +354,20 @@ func (e *Engine) SetObserver(ob *obs.Observer) {
 // workload-change experiment). Partition data is rebuilt; in-flight
 // queries of the old workload are dropped (counted in DroppedQueries).
 func (e *Engine) SwitchWorkload(wl workload.Workload) error {
-	// The drain commutes: every in-flight query gets the same two writes
-	// (dropped flag, counter increment) and the map ends empty, so no
-	// observable state depends on which query is visited first.
-	//ecllint:order-independent marking dropped and counting are per-query and commutative; the map is fully drained
-	for q := range e.inFlight {
+	// Drop every in-flight query. Dropped records are not recycled: their
+	// unprocessed messages (discarded with the old router below) still
+	// point at them via Ctx, so the records must stay dead rather than be
+	// reused for new queries.
+	for q := e.inFlight; q != nil; {
+		next := q.next
 		q.dropped = true
-		delete(e.inFlight, q)
+		q.prev, q.next = nil, nil
 		e.dropped++
 		e.obsDropped.Inc()
+		q = next
 	}
+	e.inFlight = nil
+	e.inFlightLen = 0
 	return e.install(wl)
 }
 
@@ -330,8 +393,19 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 	if len(ops) == 0 {
 		return fmt.Errorf("dodb: workload %s generated an empty query", e.wl.Name())
 	}
-	q := &query{submitted: now, remaining: len(ops)}
-	e.inFlight[q] = struct{}{}
+	q := e.freeQuery
+	if q != nil {
+		e.freeQuery = q.next
+		*q = query{submitted: now, remaining: len(ops)}
+	} else {
+		q = &query{submitted: now, remaining: len(ops)}
+	}
+	if e.inFlight != nil {
+		e.inFlight.prev = q
+	}
+	q.next = e.inFlight
+	e.inFlight = q
+	e.inFlightLen++
 	e.submitted++
 	// Client connection placement: random socket, or the first target
 	// partition's home under NUMA-aware routing.
@@ -344,47 +418,72 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 		At:     now,
 		Type:   obs.EvQueryAdmit,
 		Socket: origin,
-		A:      float64(len(e.inFlight)),
+		A:      float64(e.inFlightLen),
 	})
-	for _, op := range ops {
-		op := op
-		m := &msg.Message{
-			Partition: op.Partition,
-			Instr:     op.Instr,
-			Enqueued:  now,
-			Done: func(done time.Duration) {
-				if q.dropped {
-					return
-				}
-				q.remaining--
-				if q.remaining == 0 {
-					delete(e.inFlight, q)
-					e.completed++
-					lat := done - q.submitted
-					e.latency.Record(lat, done)
-					latMS := float64(lat) / float64(time.Millisecond)
-					e.obsCompleted.Inc()
-					e.obsLatency.Observe(latMS)
-					e.obsLog.Emit(obs.Event{
-						At:     done,
-						Type:   obs.EvQueryComplete,
-						Socket: -1,
-						A:      latMS,
-						B:      float64(len(e.inFlight)),
-					})
-				}
-			},
+	for i := range ops {
+		op := &ops[i]
+		var m *msg.Message
+		if n := len(e.freeMsgs); n > 0 {
+			// Pool entries are zeroed when recycled.
+			m = e.freeMsgs[n-1]
+			e.freeMsgs[n-1] = nil
+			e.freeMsgs = e.freeMsgs[:n-1]
+		} else {
+			m = &msg.Message{}
 		}
+		m.Partition = op.Partition
+		m.Instr = op.Instr
+		m.Enqueued = now
+		m.Ctx = q
 		if op.Exec != nil {
-			st := e.parts[op.Partition]
-			exec := op.Exec
-			m.Exec = func() { exec(st) }
+			m.ExecFn = op.Exec
+			m.ExecSt = e.parts[op.Partition]
 		}
 		if err := e.router.Send(origin, m); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// completeOp accounts one finished operation of a query, finalizing the
+// query when its last operation completes. It replaces a per-message Done
+// closure; the worker loop recovers the query from the message's Ctx.
+func (e *Engine) completeOp(q *query, done time.Duration) {
+	if q.dropped {
+		return
+	}
+	q.remaining--
+	if q.remaining != 0 {
+		return
+	}
+	// Unlink from the in-flight list.
+	if q.prev != nil {
+		q.prev.next = q.next
+	} else {
+		e.inFlight = q.next
+	}
+	if q.next != nil {
+		q.next.prev = q.prev
+	}
+	e.inFlightLen--
+	e.completed++
+	lat := done - q.submitted
+	e.latency.Record(lat, done)
+	latMS := float64(lat) / float64(time.Millisecond)
+	e.obsCompleted.Inc()
+	e.obsLatency.Observe(latMS)
+	e.obsLog.Emit(obs.Event{
+		At:     done,
+		Type:   obs.EvQueryComplete,
+		Socket: -1,
+		A:      latMS,
+		B:      float64(e.inFlightLen),
+	})
+	// All of the query's messages have been processed, so nothing aliases
+	// the record anymore: recycle it.
+	*q = query{next: e.freeQuery}
+	e.freeQuery = q
 }
 
 // Step runs the database for one step ending at now (the step covers
@@ -500,15 +599,23 @@ func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64
 					if m == nil {
 						break
 					}
-					if m.Exec != nil {
+					if m.ExecFn != nil {
+						m.ExecFn(m.ExecSt)
+					} else if m.Exec != nil {
 						m.Exec()
 					}
 					remainingBudget[lt] -= m.Instr
 					stats[s].UsedInstr[lt] += m.Instr
 					stats[s].MemBytes += m.Instr * bpi
-					if m.Done != nil {
+					if m.Ctx != nil {
+						e.completeOp(m.Ctx.(*query), now)
+					} else if m.Done != nil {
 						m.Done(now)
 					}
+					// The message is fully processed and unreferenced
+					// (queues drop dequeued entries): pool it for reuse.
+					*m = msg.Message{}
+					e.freeMsgs = append(e.freeMsgs, m)
 					progressed = true
 				}
 				if err := hub.Release(token, part); err != nil {

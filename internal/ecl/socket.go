@@ -832,3 +832,16 @@ func (s *SocketECL) cancelPending() {
 	}
 	s.pendingOps = s.pendingOps[:0]
 }
+
+// NextDeadline reports the earliest still-pending scheduled segment
+// transition of this socket's plan, or ok=false when none is pending
+// (fired and cancelled operations are excluded).
+func (s *SocketECL) NextDeadline() (time.Duration, bool) {
+	best, ok := time.Duration(0), false
+	for _, t := range s.pendingOps {
+		if at, o := t.Deadline(); o && (!ok || at < best) {
+			best, ok = at, true
+		}
+	}
+	return best, ok
+}

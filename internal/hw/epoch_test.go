@@ -1,0 +1,140 @@
+package hw
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// assertViewFresh asserts that the cached effective view of every socket
+// equals a from-scratch Effective computation. Effective deliberately
+// bypasses the epoch cache, so any staleness in the StateEpoch composite
+// shows up as a mismatch here.
+func assertViewFresh(t *testing.T, m *Machine, when string) {
+	t.Helper()
+	for s := 0; s < m.Topology().Sockets; s++ {
+		fresh := m.Effective(s)
+		view := m.EffectiveView(s)
+		if !reflect.DeepEqual(fresh, *view) {
+			t.Fatalf("%s: socket %d cached view diverged from Effective:\nview  %+v\nfresh %+v",
+				when, s, *view, fresh)
+		}
+	}
+}
+
+// TestEffectiveViewTracksTransitions drives the machine through every
+// transition class that can change the effective configuration without an
+// intervening Apply — settle commits, the energy-efficient-turbo delay
+// elapsing, automatic uncore frequency decay, and throttle engagement —
+// and asserts at each point that the epoch-cached view still matches the
+// reference computation and that StateEpoch actually moved.
+func TestEffectiveViewTracksTransitions(t *testing.T) {
+	pp := DefaultPowerParams()
+	pp.TDPWatts = 30 // low cap so sustained load engages the throttle
+	m := NewMachine(HaswellEP(), pp, 42)
+	topo := m.Topology()
+	acts := idleActs(m)
+	assertViewFresh(t, m, "fresh machine")
+
+	// Pending apply: the change must stay invisible until it settles and
+	// become visible exactly when it does, with an epoch movement.
+	cfg := NewConfiguration(topo)
+	cfg.Threads[0], cfg.Threads[1] = true, true
+	cfg.CoreMHz[0] = MaxCoreMHz
+	e0 := m.StateEpoch(0)
+	if err := m.Apply(0, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if m.StateEpoch(0) == e0 {
+		t.Error("Apply did not move StateEpoch")
+	}
+	assertViewFresh(t, m, "apply pending")
+	m.Step(ApplyLatency/2, acts)
+	assertViewFresh(t, m, "half settle latency")
+	e1 := m.StateEpoch(0)
+	m.Step(ApplyLatency/2, acts)
+	if m.StateEpoch(0) == e1 {
+		t.Error("settle commit did not move StateEpoch")
+	}
+	if got := m.EffectiveView(0).ActiveThreads(); got != 2 {
+		t.Fatalf("settled view has %d active threads, want 2", got)
+	}
+	assertViewFresh(t, m, "settled")
+
+	// EPB mode switch is machine-wide.
+	eA, eB := m.StateEpoch(0), m.StateEpoch(1)
+	m.SetEPB(EPBBalanced)
+	if m.StateEpoch(0) == eA || m.StateEpoch(1) == eB {
+		t.Error("SetEPB did not move every socket's StateEpoch")
+	}
+	assertViewFresh(t, m, "EPB balanced")
+
+	// Under the balanced bias a turbo request is held back by the EET
+	// delay; the grant happens purely by time passing, with no Apply in
+	// between — the "due" term of the StateEpoch composite.
+	turbo := NewConfiguration(topo)
+	turbo.Threads[0] = true
+	turbo.CoreMHz[0] = TurboMHz
+	if err := m.Apply(0, turbo); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(ApplyLatency, acts)
+	if got := m.EffectiveView(0).CoreMHz[0]; got != MaxCoreMHz {
+		t.Fatalf("EET-delayed clock = %d, want held at %d", got, MaxCoreMHz)
+	}
+	eHeld := m.StateEpoch(0)
+	for i := 0; i < 12; i++ { // walk past EETDelay (1 s) in 100 ms steps
+		m.Step(100*time.Millisecond, acts)
+		assertViewFresh(t, m, "EET wait")
+	}
+	if got := m.EffectiveView(0).CoreMHz[0]; got != TurboMHz {
+		t.Fatalf("clock after EET delay = %d, want %d", got, TurboMHz)
+	}
+	if m.StateEpoch(0) == eHeld {
+		t.Error("EET engagement did not move StateEpoch")
+	}
+
+	// Automatic uncore scaling decays the uncore clock over idle time.
+	eU := m.StateEpoch(0)
+	m.SetAutoUFS(true)
+	if m.StateEpoch(0) == eU {
+		t.Error("SetAutoUFS did not move StateEpoch")
+	}
+	assertViewFresh(t, m, "auto-UFS on")
+	for i := 0; i < 8; i++ {
+		m.Step(50*time.Millisecond, acts)
+		assertViewFresh(t, m, "auto-UFS decay")
+	}
+	m.SetAutoUFS(false)
+	m.SetEPB(EPBPerformance)
+	assertViewFresh(t, m, "firmware reset")
+
+	// Throttle engagement: sustained full-tilt activity over the low TDP
+	// drains the turbo budget; the throttle factor change must bump the
+	// epoch so capacity caches keyed on StateEpoch refresh.
+	full := AllMax(topo)
+	if err := m.Apply(0, full); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(ApplyLatency, acts)
+	busy := idleActs(m)
+	for i := range busy[0].Busy {
+		busy[0].Busy[i] = 1
+		busy[0].Instr[i] = 3e6
+	}
+	busy[0].MemGBs = 10
+	busy[0].DynScale = 1
+	ePre := m.StateEpoch(0)
+	deadline := 5 * time.Second
+	for elapsed := time.Duration(0); elapsed < deadline && m.ThrottleFactor(0) == 1; elapsed += time.Millisecond {
+		m.Step(time.Millisecond, busy)
+		assertViewFresh(t, m, "throttle ramp")
+	}
+	if m.ThrottleFactor(0) == 1 {
+		t.Fatal("sustained load under a 30 W TDP never engaged the throttle")
+	}
+	if m.StateEpoch(0) == ePre {
+		t.Error("throttle engagement did not move StateEpoch")
+	}
+	assertViewFresh(t, m, "throttled")
+}

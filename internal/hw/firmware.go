@@ -101,6 +101,20 @@ func (f *firmware) coreClock(socket, core, requestedMHz int, now time.Duration) 
 	return MaxCoreMHz
 }
 
+// eetEngaged counts the cores of a socket whose energy-efficient-turbo
+// delay has elapsed: turbo is requested and the request is at least
+// EETDelay old. The count is monotone between Apply calls and feeds the
+// machine's StateEpoch so time-driven clock transitions invalidate caches.
+func (f *firmware) eetEngaged(socket int, now time.Duration) int {
+	n := 0
+	for core, req := range f.turboReq[socket] {
+		if req && now-f.turboSince[socket][core] >= EETDelay {
+			n++
+		}
+	}
+	return n
+}
+
 // uncoreClock returns the effective uncore clock: the requested one, or
 // the automatic UFS choice when automatic scaling is enabled.
 func (f *firmware) uncoreClock(socket, requestedMHz int) int {

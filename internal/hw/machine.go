@@ -72,6 +72,14 @@ type Machine struct {
 	idleSec      []float64 // per socket: all cores gated, uncore running
 	deepSleepSec float64   // machine-wide: all uncores halted
 
+	// Change-epoch plumbing (see StateEpoch): epoch counts discrete
+	// state transitions per socket; effCache memoizes the effective
+	// configuration keyed by the composite epoch.
+	epoch    []uint64
+	effCache []Configuration
+	effEpoch []uint64
+	effValid []bool
+
 	// Observability (nil when disabled; see internal/obs).
 	obsLog     *obs.Log
 	obsApplies []*obs.Counter // per socket
@@ -103,6 +111,10 @@ func NewMachine(topo Topology, pp PowerParams, seed int64) *Machine {
 		lastDramW:   make([]float64, topo.Sockets),
 		turboBudget: make([]float64, topo.Sockets),
 		throttle:    make([]float64, topo.Sockets),
+		epoch:       make([]uint64, topo.Sockets),
+		effCache:    make([]Configuration, topo.Sockets),
+		effEpoch:    make([]uint64, topo.Sockets),
+		effValid:    make([]bool, topo.Sockets),
 	}
 	m.activeSec = make([]float64, topo.Sockets)
 	m.idleSec = make([]float64, topo.Sockets)
@@ -110,6 +122,7 @@ func NewMachine(topo Topology, pp PowerParams, seed int64) *Machine {
 		m.requested[s] = NewConfiguration(topo)
 		m.turboBudget[s] = pp.TurboBudgetJ
 		m.throttle[s] = 1
+		m.effCache[s] = NewConfiguration(topo)
 	}
 	return m
 }
@@ -124,14 +137,32 @@ func (m *Machine) Params() PowerParams { return m.pp }
 func (m *Machine) Now() time.Duration { return m.now }
 
 // SetEPB sets the energy-performance bias of all processors.
-func (m *Machine) SetEPB(e EPB) { m.fw.epb = e }
+func (m *Machine) SetEPB(e EPB) {
+	if m.fw.epb != e {
+		m.fw.epb = e
+		m.bumpAll()
+	}
+}
 
 // EPB returns the current energy-performance bias.
 func (m *Machine) EPB() EPB { return m.fw.epb }
 
 // SetAutoUFS enables or disables the CPU's automatic uncore frequency
 // scaling. With it disabled the requested uncore clock is pinned.
-func (m *Machine) SetAutoUFS(on bool) { m.fw.autoUFS = on }
+func (m *Machine) SetAutoUFS(on bool) {
+	if m.fw.autoUFS != on {
+		m.fw.autoUFS = on
+		m.bumpAll()
+	}
+}
+
+// bumpAll advances every socket's epoch; used for machine-wide firmware
+// mode changes that can alter any socket's effective configuration.
+func (m *Machine) bumpAll() {
+	for s := range m.epoch {
+		m.epoch[s]++
+	}
+}
 
 // SetObserver attaches the observability sinks. A nil observer (the
 // default) keeps every instrumentation site a no-op.
@@ -158,6 +189,7 @@ func (m *Machine) Apply(socket int, cfg Configuration) error {
 	}
 	m.pending[socket] = pendingApply{cfg: cfg.Clone(), at: m.now + ApplyLatency, valid: true}
 	m.fw.noteRequest(socket, cfg, m.now)
+	m.epoch[socket]++
 	if m.obsLog.Enabled() {
 		m.obsLog.Emit(obs.Event{
 			At:     m.now,
@@ -194,7 +226,10 @@ func (m *Machine) settled(socket int) Configuration {
 
 // Effective returns the configuration the socket hardware is actually
 // running: the settled request with firmware overrides (energy-efficient
-// turbo delay, automatic uncore scaling) applied.
+// turbo delay, automatic uncore scaling) applied. The result is a fresh
+// clone computed from first principles on every call — it deliberately
+// bypasses the epoch cache so it can serve as the reference the cached
+// view is validated against.
 func (m *Machine) Effective(socket int) Configuration {
 	base := m.settled(socket).Clone()
 	for core := range base.CoreMHz {
@@ -202,6 +237,78 @@ func (m *Machine) Effective(socket int) Configuration {
 	}
 	base.UncoreMHz = clampUncore(m.fw.uncoreClock(socket, base.UncoreMHz))
 	return base
+}
+
+// StateEpoch returns a value that changes whenever the socket's effective
+// configuration, throttle factor, or firmware-visible state can change.
+// The composite folds in three sources:
+//
+//   - the discrete per-socket epoch, bumped on Apply, pending-apply
+//     commit, throttle-factor change, auto-UFS clock movement, and
+//     machine-wide EPB / auto-UFS mode switches;
+//   - a "pending due" bit: a requested configuration whose settle instant
+//     has passed but has not yet been committed by Step already shows
+//     through settled()/Effective();
+//   - the count of cores whose energy-efficient-turbo delay has elapsed
+//     (only meaningful outside the performance bias, where the EET delay
+//     is bypassed), which advances with time rather than with any call.
+//
+// Two equal StateEpoch values therefore guarantee identical Effective
+// output and throttle factor, which is what callers key caches on.
+func (m *Machine) StateEpoch(socket int) uint64 {
+	e := m.epoch[socket] << 16
+	if p := m.pending[socket]; p.valid && m.now >= p.at {
+		e |= 1
+	}
+	if m.fw.epb != EPBPerformance {
+		e |= uint64(m.fw.eetEngaged(socket, m.now)) << 1
+	}
+	return e
+}
+
+// EffectiveView returns the effective configuration as a cached read-only
+// view. The returned pointer stays valid until the next machine mutation
+// and MUST NOT be modified or retained across Step/Apply calls; callers
+// needing ownership use Effective. The cache refreshes when StateEpoch
+// moves, so the view is always equal to Effective — a property the hw
+// tests assert across firmware transitions.
+func (m *Machine) EffectiveView(socket int) *Configuration {
+	return m.effectiveCached(socket)
+}
+
+// effectiveCached refreshes and returns the socket's effective
+// configuration cache. It performs no allocation once constructed.
+func (m *Machine) effectiveCached(socket int) *Configuration {
+	ep := m.StateEpoch(socket)
+	c := &m.effCache[socket]
+	if m.effValid[socket] && m.effEpoch[socket] == ep {
+		return c
+	}
+	src := m.settled(socket)
+	copy(c.Threads, src.Threads)
+	copy(c.CoreMHz, src.CoreMHz)
+	for core := range c.CoreMHz {
+		c.CoreMHz[core] = m.fw.coreClock(socket, core, c.CoreMHz[core], m.now)
+	}
+	c.UncoreMHz = clampUncore(m.fw.uncoreClock(socket, src.UncoreMHz))
+	m.effValid[socket], m.effEpoch[socket] = true, ep
+	return c
+}
+
+// NextSettle reports the earliest future instant at which a pending
+// configuration change settles, or ok=false when none is pending. A
+// pending change whose settle instant has already passed is not reported:
+// it is already visible through Effective (and through the StateEpoch due
+// bit), so it cannot invalidate a window that starts now.
+func (m *Machine) NextSettle() (time.Duration, bool) {
+	best, ok := time.Duration(0), false
+	for s := range m.pending {
+		p := m.pending[s]
+		if p.valid && p.at > m.now && (!ok || p.at < best) {
+			best, ok = p.at, true
+		}
+	}
+	return best, ok
 }
 
 // UncoreHalted reports whether the uncore clocks of the machine are
@@ -256,6 +363,7 @@ func (m *Machine) Step(dt time.Duration, acts []SocketActivity) {
 			if p.at <= m.now {
 				m.requested[s] = p.cfg
 				p.valid = false
+				m.epoch[s]++
 			} else if p.at < segEnd {
 				segEnd = p.at
 			}
@@ -263,9 +371,15 @@ func (m *Machine) Step(dt time.Duration, acts []SocketActivity) {
 		m.integrate(segEnd-m.now, dt, acts)
 		m.now = segEnd
 	}
-	// Let the automatic uncore scaling observe this step's activity.
+	// Let the automatic uncore scaling observe this step's activity. The
+	// epoch bumps only when the integer clock moves: the fractional UFS
+	// state is invisible until it crosses a MHz boundary.
 	for s := 0; s < m.topo.Sockets; s++ {
+		before := int(m.fw.ufsMHz[s])
 		m.fw.observe(s, avgBusy(acts[s].Busy, m.topo.ThreadsPerSocket()), dt)
+		if m.fw.autoUFS && int(m.fw.ufsMHz[s]) != before {
+			m.epoch[s]++
+		}
 	}
 }
 
@@ -282,15 +396,19 @@ func (m *Machine) integrate(seg, fullStep time.Duration, acts []SocketActivity) 
 	}
 	totalW := 0.0
 	for s := 0; s < m.topo.Sockets; s++ {
-		eff := m.Effective(s)
+		eff := m.effectiveCached(s)
 		if eff.ActiveThreads() > 0 {
 			m.activeSec[s] += seg.Seconds()
 		} else if !halted {
 			m.idleSec[s] += seg.Seconds()
 		}
 		bwCap := BandwidthCapGBs(eff.UncoreMHz)
-		pkgW, dramW := m.pp.SocketPowerW(m.topo, s, eff, acts[s], halted, bwCap)
+		pkgW, dramW := m.pp.SocketPowerW(m.topo, s, *eff, acts[s], halted, bwCap)
+		oldThrottle := m.throttle[s]
 		pkgW = m.limitPower(s, pkgW, seg)
+		if m.throttle[s] != oldThrottle {
+			m.epoch[s]++
+		}
 		m.lastPkgW[s], m.lastDramW[s] = pkgW, dramW
 		m.pkg[s].integrate(m.now, seg, pkgW, m.boundarySalt(s, DomainPackage))
 		m.dram[s].integrate(m.now, seg, dramW, m.boundarySalt(s, DomainDRAM))

@@ -144,20 +144,6 @@ type SocketActivity struct {
 	DynScale float64
 }
 
-// coreActivity combines the sibling loads of one physical core into the
-// activity factor used by CorePowerW: the strongest sibling counts fully,
-// further siblings at HTSiblingFrac.
-func (p PowerParams) coreActivity(loads []float64) float64 {
-	max, sum := 0.0, 0.0
-	for _, l := range loads {
-		sum += l
-		if l > max {
-			max = l
-		}
-	}
-	return max + p.HTSiblingFrac*(sum-max)
-}
-
 // SocketPowerW computes the RAPL-visible package and DRAM power of one
 // socket under a configuration and activity. uncoreHalted must reflect the
 // machine-wide halting rule (only when every socket is idle).
@@ -176,12 +162,14 @@ func (p PowerParams) SocketPowerW(t Topology, socket int, cfg Configuration, act
 		dyn = 1
 	}
 	tpc := t.ThreadsPerCore
-	loads := make([]float64, 0, tpc)
 	for core := 0; core < t.CoresPerSocket; core++ {
 		if !cfg.CoreActive(core, tpc) {
 			continue // power-gated (C6)
 		}
-		loads = loads[:0]
+		// Combine the sibling loads of the core into one activity factor:
+		// the strongest sibling counts fully, further siblings at
+		// HTSiblingFrac (HyperThreads share the core pipeline).
+		maxL, sumL := 0.0, 0.0
 		for s := 0; s < tpc; s++ {
 			lt := core*tpc + s
 			if !cfg.Threads[lt] {
@@ -194,9 +182,13 @@ func (p PowerParams) SocketPowerW(t Topology, socket int, cfg Configuration, act
 			if lt < len(act.Spin) {
 				l += p.SpinPowerFrac * act.Spin[lt]
 			}
-			loads = append(loads, clamp01(l))
+			l = clamp01(l)
+			sumL += l
+			if l > maxL {
+				maxL = l
+			}
 		}
-		activity := p.coreActivity(loads)
+		activity := maxL + p.HTSiblingFrac*(sumL-maxL)
 		pkgW += p.CoreIdleW + activity*dyn*p.CoreDynCoefW*sq(float64(cfg.CoreMHz[core])/1000.0)
 	}
 	return pkgW, dramW

@@ -33,6 +33,18 @@ type Message struct {
 	// Exec optionally performs real work against the partition's data
 	// structures when the message is processed.
 	Exec func()
+	// ExecFn with ExecSt is the closure-free form of Exec: the processor
+	// calls ExecFn(ExecSt). Senders that dispatch many messages through
+	// one shared function use this pair instead of allocating a capturing
+	// closure per message.
+	ExecFn func(st any)
+	// ExecSt is the state argument passed to ExecFn.
+	ExecSt any
+	// Ctx is an opaque completion context owned by the sender. The message
+	// layer never touches it; the sender's processing loop uses it to find
+	// the bookkeeping record a finished message belongs to without a Done
+	// closure.
+	Ctx any
 	// Done, if set, is invoked when processing completes, with the
 	// completion time (used for query latency accounting).
 	Done func(now time.Duration)
@@ -76,8 +88,9 @@ const NoOwner = -1
 // workers.
 type Hub struct {
 	socket     int
-	queues     map[int]*queue
-	order      []int // partition scan order for fairness
+	byPart     []*queue // dense partition -> queue; nil = not homed here
+	scan       []*queue // queues in scan order (parallel to order)
+	order      []int    // partition scan order for fairness
 	scanCursor int
 	outbound   map[int][]*Message // per remote socket
 	pending    int                // local messages waiting
@@ -87,14 +100,32 @@ type Hub struct {
 func NewHub(socket int, partitions []int) *Hub {
 	h := &Hub{
 		socket:   socket,
-		queues:   make(map[int]*queue, len(partitions)),
 		outbound: make(map[int][]*Message),
 	}
+	maxPart := -1
 	for _, p := range partitions {
-		h.queues[p] = &queue{partition: p, owner: NoOwner}
+		if p > maxPart {
+			maxPart = p
+		}
+	}
+	// Partition ids are small and dense, so a direct-mapped slice replaces
+	// a hash map on the per-message hot paths (enqueue, acquire, dequeue).
+	h.byPart = make([]*queue, maxPart+1)
+	for _, p := range partitions {
+		q := &queue{partition: p, owner: NoOwner}
+		h.byPart[p] = q
+		h.scan = append(h.scan, q)
 		h.order = append(h.order, p)
 	}
 	return h
+}
+
+// q returns the queue of a partition, or nil when it is not homed here.
+func (h *Hub) q(partition int) *queue {
+	if partition < 0 || partition >= len(h.byPart) {
+		return nil
+	}
+	return h.byPart[partition]
 }
 
 // Socket returns the hub's socket index.
@@ -108,8 +139,8 @@ func (h *Hub) Pending() int { return h.pending }
 
 // EnqueueLocal delivers a message to a partition homed on this hub.
 func (h *Hub) EnqueueLocal(m *Message) error {
-	q, ok := h.queues[m.Partition]
-	if !ok {
+	q := h.q(m.Partition)
+	if q == nil {
 		return fmt.Errorf("msg: partition %d not homed on socket %d", m.Partition, h.socket)
 	}
 	q.push(m)
@@ -153,14 +184,18 @@ func (h *Hub) OutboundLen(remoteSocket int) int { return len(h.outbound[remoteSo
 // It returns (-1, false) if no partition is available. Scanning rotates so
 // partitions are served fairly.
 func (h *Hub) Acquire(worker int) (partition int, ok bool) {
-	n := len(h.order)
-	for i := 0; i < n; i++ {
-		p := h.order[(h.scanCursor+i)%n]
-		q := h.queues[p]
+	n := len(h.scan)
+	i := h.scanCursor
+	for c := 0; c < n; c++ {
+		q := h.scan[i]
+		i++
+		if i == n {
+			i = 0
+		}
 		if q.owner == NoOwner && q.len() > 0 {
 			q.owner = worker
-			h.scanCursor = (h.scanCursor + i + 1) % n
-			return p, true
+			h.scanCursor = i
+			return q.partition, true
 		}
 	}
 	return -1, false
@@ -170,8 +205,8 @@ func (h *Hub) Acquire(worker int) (partition int, ok bool) {
 // unowned and has pending messages. Used by the static-binding ablation
 // mode, where workers may only serve their own partitions.
 func (h *Hub) AcquireSpecific(worker, partition int) bool {
-	q, ok := h.queues[partition]
-	if !ok || q.owner != NoOwner || q.len() == 0 {
+	q := h.q(partition)
+	if q == nil || q.owner != NoOwner || q.len() == 0 {
 		return false
 	}
 	q.owner = worker
@@ -180,7 +215,7 @@ func (h *Hub) AcquireSpecific(worker, partition int) bool {
 
 // Owner returns the worker token owning a partition, or NoOwner.
 func (h *Hub) Owner(partition int) int {
-	if q, ok := h.queues[partition]; ok {
+	if q := h.q(partition); q != nil {
 		return q.owner
 	}
 	return NoOwner
@@ -189,8 +224,8 @@ func (h *Hub) Owner(partition int) int {
 // Release gives up ownership of a partition. Releasing an unowned or
 // foreign partition is an error.
 func (h *Hub) Release(worker, partition int) error {
-	q, ok := h.queues[partition]
-	if !ok {
+	q := h.q(partition)
+	if q == nil {
 		return fmt.Errorf("msg: partition %d not homed on socket %d", partition, h.socket)
 	}
 	if q.owner != worker {
@@ -205,8 +240,8 @@ func (h *Hub) Release(worker, partition int) error {
 // engine's per-message hot path; unlike Dequeue it never allocates a
 // batch slice.
 func (h *Hub) DequeueOne(worker, partition int) (*Message, error) {
-	q, ok := h.queues[partition]
-	if !ok {
+	q := h.q(partition)
+	if q == nil {
 		return nil, fmt.Errorf("msg: partition %d not homed on socket %d", partition, h.socket)
 	}
 	if q.owner != worker {
@@ -222,8 +257,8 @@ func (h *Hub) DequeueOne(worker, partition int) (*Message, error) {
 // Dequeue pops up to max messages from an owned partition. The caller
 // must hold ownership.
 func (h *Hub) Dequeue(worker, partition int, max int) ([]*Message, error) {
-	q, ok := h.queues[partition]
-	if !ok {
+	q := h.q(partition)
+	if q == nil {
 		return nil, fmt.Errorf("msg: partition %d not homed on socket %d", partition, h.socket)
 	}
 	if q.owner != worker {
@@ -243,7 +278,7 @@ func (h *Hub) Dequeue(worker, partition int, max int) ([]*Message, error) {
 
 // QueueLen returns the number of pending messages of one partition.
 func (h *Hub) QueueLen(partition int) int {
-	if q, ok := h.queues[partition]; ok {
+	if q := h.q(partition); q != nil {
 		return q.len()
 	}
 	return 0

@@ -24,16 +24,21 @@ const (
 // endpoints that move buffered remote messages.
 type Router struct {
 	hubs []*Hub
-	home map[int]int // partition -> socket
+	home []int // dense partition -> socket; -1 = unknown
 }
 
 // NewRouter builds a router over per-socket partition assignments:
-// homes[s] lists the partitions homed on socket s.
+// homes[s] lists the partitions homed on socket s. Partition ids are
+// small and dense, so the home table is a direct-mapped slice (Send is a
+// per-message hot path).
 func NewRouter(homes [][]int) (*Router, error) {
-	r := &Router{home: make(map[int]int)}
+	r := &Router{}
 	for s, parts := range homes {
 		for _, p := range parts {
-			if owner, dup := r.home[p]; dup {
+			for p >= len(r.home) {
+				r.home = append(r.home, -1)
+			}
+			if owner := r.home[p]; owner >= 0 {
 				return nil, fmt.Errorf("msg: partition %d homed on sockets %d and %d", p, owner, s)
 			}
 			r.home[p] = s
@@ -51,15 +56,17 @@ func (r *Router) Sockets() int { return len(r.hubs) }
 
 // Home returns the home socket of a partition.
 func (r *Router) Home(partition int) (int, bool) {
-	s, ok := r.home[partition]
-	return s, ok
+	if partition < 0 || partition >= len(r.home) || r.home[partition] < 0 {
+		return 0, false
+	}
+	return r.home[partition], true
 }
 
 // Send routes a message: if it originates on the partition's home socket
 // it is enqueued locally, otherwise it is buffered at the origin socket's
 // communication endpoint for transfer.
 func (r *Router) Send(originSocket int, m *Message) error {
-	home, ok := r.home[m.Partition]
+	home, ok := r.Home(m.Partition)
 	if !ok {
 		return fmt.Errorf("msg: unknown partition %d", m.Partition)
 	}

@@ -188,19 +188,42 @@ type Capacity struct {
 // workload under an effective hardware configuration. throttle is the
 // machine's current TDP throttle factor (1 = unthrottled).
 func SocketCapacity(topo hw.Topology, cfg hw.Configuration, ch Characteristics, throttle float64) Capacity {
+	return SocketCapacityInto(nil, topo, cfg, ch, throttle)
+}
+
+// SocketCapacityInto is SocketCapacity with a caller-provided PerThread
+// buffer, letting hot callers (the sim's epoch-keyed step kernel) refresh
+// a capacity without allocating. perThread is reused when its capacity
+// suffices and the returned Capacity aliases it; pass nil to allocate.
+// The arithmetic is identical to SocketCapacity in operation and order,
+// so results are bit-for-bit the same.
+func SocketCapacityInto(perThread []float64, topo hw.Topology, cfg hw.Configuration, ch Characteristics, throttle float64) Capacity {
 	n := topo.ThreadsPerSocket()
-	cap_ := Capacity{PerThread: make([]float64, n)}
+	if cap(perThread) < n {
+		perThread = make([]float64, n)
+	}
+	perThread = perThread[:n]
+	for i := range perThread {
+		perThread[i] = 0
+	}
+	cap_ := Capacity{PerThread: perThread}
 	if throttle <= 0 || throttle > 1 {
 		throttle = 1
 	}
 	latNs := hw.MemLatencyNs(cfg.UncoreMHz)
 
 	// Unconstrained per-thread rates from core clock, stalls, and SMT.
+	tpc := topo.ThreadsPerCore
 	activeCores := 0
 	stallFracSum, stallFracN := 0.0, 0
 	for core := 0; core < topo.CoresPerSocket; core++ {
-		sibs := activeSiblings(cfg, core, topo.ThreadsPerCore)
-		if len(sibs) == 0 {
+		sibs := 0
+		for i := 0; i < tpc; i++ {
+			if cfg.Threads[core*tpc+i] {
+				sibs++
+			}
+		}
+		if sibs == 0 {
 			continue
 		}
 		activeCores++
@@ -212,20 +235,23 @@ func SocketCapacity(topo hw.Topology, cfg hw.Configuration, ch Characteristics, 
 		stallFracN++
 		oneThread := fGHz * 1e9 / cpi
 		coreTotal := oneThread
-		if len(sibs) > 1 {
+		if sibs > 1 {
 			coreTotal = oneThread * ch.HTYield
 		}
-		per := coreTotal / float64(len(sibs))
+		per := coreTotal / float64(sibs)
 		// Per-core memory issue limit: a core cannot generate more
 		// traffic than its clock allows.
 		if ch.BytesPerInstr > 0 {
 			issueCap := hw.CoreIssueGBs(cfg.CoreMHz[core]) * 1e9 / ch.BytesPerInstr
 			if coreTotal > issueCap {
-				per = issueCap / float64(len(sibs))
+				per = issueCap / float64(sibs)
 			}
 		}
-		for _, s := range sibs {
-			cap_.PerThread[s] = per
+		for i := 0; i < tpc; i++ {
+			lt := core*tpc + i
+			if cfg.Threads[lt] {
+				cap_.PerThread[lt] = per
+			}
 		}
 	}
 
@@ -288,17 +314,6 @@ func contendedSupply(cfg hw.Configuration, topo hw.Topology, activeCores, nThrea
 	xfer := xferBaseNs + xferSpreadNs*(1-norm)
 	crowd := 1 + crowdPenalty*float64(nThreads-2)
 	return 1e9 / (xfer * crowd)
-}
-
-func activeSiblings(cfg hw.Configuration, core, tpc int) []int {
-	var out []int
-	for i := 0; i < tpc; i++ {
-		lt := core*tpc + i
-		if cfg.Threads[lt] {
-			out = append(out, lt)
-		}
-	}
-	return out
 }
 
 func sum(xs []float64) float64 {

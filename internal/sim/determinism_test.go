@@ -25,15 +25,23 @@ import (
 // entry and flips the digest.
 func runDigest(t *testing.T, seed int64) [sha256.Size]byte {
 	t.Helper()
-	ob := obs.New(0)
-	s, err := New(Options{
+	sum, _ := digestRun(t, Options{
 		Workload: workload.NewKV(false),
 		Load:     loadprofile.Constant{Qps: 6000, Len: 15 * time.Second},
 		Governor: GovernorECL,
 		Prewarm:  true,
 		Seed:     seed,
-		Obs:      ob,
+		Obs:      obs.New(0),
 	})
+	return sum
+}
+
+// digestRun builds and runs a simulation from opts and hashes every
+// exported observable (see runDigest). It returns the Sim too so callers
+// can inspect internals (e.g. macro-step counters) after the run.
+func digestRun(t *testing.T, opts Options) ([sha256.Size]byte, *Sim) {
+	t.Helper()
+	s, err := New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,31 +68,40 @@ func runDigest(t *testing.T, seed int64) [sha256.Size]byte {
 	writeU64(h, uint64(res.P99Latency))
 	fmt.Fprintln(h, res.MostApplied)
 
+	// The rendered trace CSV, byte for byte.
+	if err := res.Rec.WriteCSV(h); err != nil {
+		t.Fatal(err)
+	}
+
 	// Profile skyline: the per-socket energy profiles are runtime state
 	// the controllers maintain; their measured entries must land
 	// identically too.
-	tpc := s.Machine().Topology().ThreadsPerCore
-	for _, e := range s.Controller().Socket(0).Profile().Skyline() {
-		fmt.Fprintln(h, e.Config.Key(tpc))
-		writeF64(h, e.PowerW)
-		writeF64(h, e.Score)
-		writeU64(h, uint64(e.LastEval))
+	if s.Controller() != nil {
+		tpc := s.Machine().Topology().ThreadsPerCore
+		for _, e := range s.Controller().Socket(0).Profile().Skyline() {
+			fmt.Fprintln(h, e.Config.Key(tpc))
+			writeF64(h, e.PowerW)
+			writeF64(h, e.Score)
+			writeU64(h, uint64(e.LastEval))
+		}
 	}
 
 	// Observability exports: the JSONL decision-event stream, the
 	// Prometheus exposition, and the explain report are all part of the
 	// determinism contract — byte-identical per seed.
-	if err := ob.Log.WriteJSONL(h); err != nil {
-		t.Fatal(err)
+	if ob := opts.Obs; ob != nil {
+		if err := ob.Log.WriteJSONL(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := ob.Metrics.WriteProm(h); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprint(h, obs.Report(ob.Log))
 	}
-	if err := ob.Metrics.WriteProm(h); err != nil {
-		t.Fatal(err)
-	}
-	fmt.Fprint(h, obs.Report(ob.Log))
 
 	var sum [sha256.Size]byte
 	h.Sum(sum[:0])
-	return sum
+	return sum, s
 }
 
 func writeF64(h hash.Hash, v float64) {

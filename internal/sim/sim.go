@@ -84,7 +84,27 @@ type Options struct {
 	// Instrumentation is read-only — attaching an observer never changes
 	// a run's behavior or its determinism.
 	Obs *obs.Observer
+	// NoMemo disables the epoch-keyed step kernel cache: every quantum
+	// recomputes capacities, masks, budgets, and config renderings from
+	// scratch. This is the reference path — byte-identical results, just
+	// slower — kept for the identity proofs and for measurement.
+	NoMemo bool
+	// NoMacro disables the quiescent macro-step fast path, forcing the
+	// full per-quantum loop even through idle valleys of the load
+	// profile. Byte-identical results; kept as the reference path.
+	NoMacro bool
 }
+
+// naiveDefault forces NoMemo+NoMacro on every new Sim; set once at
+// process start by the eclsim -nomemo flag (before any runs) so even
+// multi-run sweeps take the reference path.
+var naiveDefault bool
+
+// SetNaiveStep switches the process-wide default step path to the naive
+// reference implementation (both the kernel cache and macro-stepping
+// off). Call it before building any Sim; it exists for the CLI's -nomemo
+// flag and must not be toggled while runs are in progress.
+func SetNaiveStep(on bool) { naiveDefault = on }
 
 // Result is the outcome of a run.
 type Result struct {
@@ -144,6 +164,22 @@ type Sim struct {
 	bufEffs   []hw.Configuration
 	bufActs   []hw.SocketActivity
 
+	// Epoch-keyed step kernel cache (nil under Options.NoMemo): one
+	// kernel per socket, refreshed only when the machine's StateEpoch or
+	// the engine's CharacteristicsEpoch moved. kernActive aliases the
+	// kernels' active masks in the shape engine.Step expects.
+	kernels    []stepKernel
+	kernActive [][]bool
+
+	// idleActs is the all-zero activity used by the quiescent macro-step
+	// fast path; synActs is the reused buffer of advanceSynthetic.
+	idleActs []hw.SocketActivity
+	synActs  []hw.SocketActivity
+
+	// Macro-step accounting (test introspection).
+	macroWindows int64
+	macroQuanta  int64
+
 	// Sampling state: power samples are averages over the sampling
 	// window (instantaneous samples alias with RTI switching).
 	lastSampleAt   time.Duration
@@ -168,6 +204,9 @@ func New(opts Options) (*Sim, error) {
 	}
 	if opts.SampleEvery <= 0 {
 		opts.SampleEvery = 500 * time.Millisecond
+	}
+	if naiveDefault {
+		opts.NoMemo, opts.NoMacro = true, true
 	}
 	pp := hw.DefaultPowerParams()
 	if opts.Power != nil {
@@ -343,10 +382,154 @@ func (s *Sim) LoadProfiles(r io.Reader) error {
 	return nil
 }
 
+// stepKernel memoizes everything sim.step derives per socket that only
+// depends on the effective hardware configuration, the throttle factor,
+// and the workload characteristics: the capacity, the per-quantum budget
+// row, the active-thread mask, the per-thread effective clock in GHz, and
+// the Key/String renderings used for Table 1 config-time accounting. A
+// kernel stays valid while the composite (hw.Machine.StateEpoch,
+// dodb.Engine.CharacteristicsEpoch) pair is unchanged, turning the
+// per-quantum cost into two integer compares.
+type stepKernel struct {
+	valid    bool
+	cfgEpoch uint64
+	chEpoch  uint64
+	idle     bool
+	active   []bool
+	budget   []float64 // PerThread[lt] * Quantum seconds
+	fGHz     []float64 // effective core clock per local thread, in GHz
+	caps     perfmodel.Capacity
+	key      string
+	// timeAcc batches applied-configuration time (Table 1 accounting):
+	// instead of a map update per quantum, time accumulates here and is
+	// flushed into configTime on refresh and before mostApplied reads.
+	timeAcc time.Duration
+}
+
+// initKernels allocates the kernel cache and the shared step buffers the
+// cached path reuses every quantum.
+func (s *Sim) initKernels() {
+	n := s.topo.ThreadsPerSocket()
+	s.kernels = make([]stepKernel, s.topo.Sockets)
+	s.kernActive = make([][]bool, s.topo.Sockets)
+	for sock := range s.kernels {
+		k := &s.kernels[sock]
+		k.active = make([]bool, n)
+		k.budget = make([]float64, n)
+		k.fGHz = make([]float64, n)
+		k.caps = perfmodel.Capacity{PerThread: make([]float64, n)}
+		s.kernActive[sock] = k.active
+	}
+	if s.bufBudget == nil {
+		s.bufBudget = make([][]float64, s.topo.Sockets)
+		for sock := range s.bufBudget {
+			s.bufBudget[sock] = make([]float64, n)
+		}
+	}
+	if s.bufActs == nil {
+		s.bufActs = make([]hw.SocketActivity, s.topo.Sockets)
+		for sock := range s.bufActs {
+			s.bufActs[sock] = hw.SocketActivity{
+				Spin:  make([]float64, n),
+				Instr: make([]float64, n),
+			}
+		}
+	}
+}
+
+// kernelFor returns the socket's kernel, refreshing it if any epoch moved.
+func (s *Sim) kernelFor(sock int) *stepKernel {
+	k := &s.kernels[sock]
+	ce := s.machine.StateEpoch(sock)
+	we := s.engine.CharacteristicsEpoch()
+	if k.valid && k.cfgEpoch == ce && k.chEpoch == we {
+		return k
+	}
+	s.refreshKernel(sock, k, ce, we)
+	return k
+}
+
+// refreshKernel recomputes a socket's kernel from the current effective
+// configuration and workload characteristics. It allocates nothing once
+// the kernel exists, so epoch churn (e.g. auto-UFS decay bumping the
+// clock every quantum) cannot regress the step loop's allocation budget.
+func (s *Sim) refreshKernel(sock int, k *stepKernel, ce, we uint64) {
+	s.flushConfigTime(k)
+	eff := s.machine.EffectiveView(sock)
+	ch := s.engine.SocketCharacteristics(sock)
+	k.caps = perfmodel.SocketCapacityInto(k.caps.PerThread, s.topo, *eff, ch, s.machine.ThrottleFactor(sock))
+	qs := s.opts.Quantum.Seconds()
+	n := s.topo.ThreadsPerSocket()
+	for lt := 0; lt < n; lt++ {
+		k.active[lt] = eff.Threads[lt]
+		k.budget[lt] = k.caps.PerThread[lt] * qs
+		k.fGHz[lt] = float64(eff.CoreMHz[s.topo.CoreOfLocal(lt)]) / 1000
+	}
+	k.idle = eff.Idle()
+	k.key = ""
+	if s.controller != nil && !k.idle {
+		k.key = eff.Key(s.topo.ThreadsPerCore)
+		if _, ok := s.configName[k.key]; !ok {
+			s.configName[k.key] = eff.String()
+		}
+	}
+	k.valid, k.cfgEpoch, k.chEpoch = true, ce, we
+}
+
+// flushConfigTime moves a kernel's batched applied-configuration time
+// into the configTime map. Duration addition is exact integer math, so
+// batching cannot change the accumulated totals.
+func (s *Sim) flushConfigTime(k *stepKernel) {
+	if k.key != "" && k.timeAcc > 0 {
+		s.configTime[k.key] += k.timeAcc
+	}
+	k.timeAcc = 0
+}
+
 // advanceSynthetic steps machine and clock under synthetic full-capacity
 // load (no queries involved), using each socket's own workload
 // characteristics.
 func (s *Sim) advanceSynthetic(dt time.Duration) {
+	if s.opts.NoMemo {
+		s.advanceSyntheticNaive(dt)
+		return
+	}
+	if s.kernels == nil {
+		s.initKernels()
+	}
+	if s.synActs == nil {
+		s.synActs = newZeroActs(s.topo)
+	}
+	for dt > 0 {
+		q := s.opts.Quantum
+		if q > dt {
+			q = dt
+		}
+		for sock := 0; sock < s.topo.Sockets; sock++ {
+			k := s.kernelFor(sock)
+			a := &s.synActs[sock]
+			a.MemGBs = k.caps.MemGBsAtFull
+			a.DynScale = k.caps.DynScale
+			for i, r := range k.caps.PerThread {
+				if r > 0 {
+					a.Busy[i] = 1
+					a.Instr[i] = r * q.Seconds()
+				} else {
+					a.Busy[i] = 0
+					a.Instr[i] = 0
+				}
+			}
+		}
+		s.machine.Step(q, s.synActs)
+		s.clock.Advance(q)
+		dt -= q
+	}
+}
+
+// advanceSyntheticNaive is the reference implementation of
+// advanceSynthetic: fresh buffers and a full perf-model evaluation every
+// quantum. The cached variant above reproduces its arithmetic exactly.
+func (s *Sim) advanceSyntheticNaive(dt time.Duration) {
 	for dt > 0 {
 		q := s.opts.Quantum
 		if q > dt {
@@ -377,6 +560,20 @@ func (s *Sim) advanceSynthetic(dt time.Duration) {
 	}
 }
 
+// newZeroActs builds an all-zero per-socket activity set.
+func newZeroActs(topo hw.Topology) []hw.SocketActivity {
+	n := topo.ThreadsPerSocket()
+	acts := make([]hw.SocketActivity, topo.Sockets)
+	for sock := range acts {
+		acts[sock] = hw.SocketActivity{
+			Busy:  make([]float64, n),
+			Spin:  make([]float64, n),
+			Instr: make([]float64, n),
+		}
+	}
+	return acts
+}
+
 // Run executes the load profile and returns the result.
 func (s *Sim) Run() (*Result, error) {
 	if s.opts.Prewarm {
@@ -405,6 +602,15 @@ func (s *Sim) Run() (*Result, error) {
 				return nil, err
 			}
 			switched = true
+		}
+		// Quiescent fast path: when nothing can happen for k quanta —
+		// zero offered load, idle hardware, empty engine, and no
+		// controller deadline, trace sample, or pending settle inside
+		// the window — run the machine straight through them.
+		if k := s.macroQuantaFrom(t, dur, nextSample, switched); k > 1 {
+			s.macroStep(k)
+			t += time.Duration(k-1) * q
+			continue
 		}
 		if err := s.engine.OfferLoad(s.opts.Load.QPS(t), q, now); err != nil {
 			return nil, err
@@ -441,8 +647,180 @@ func (s *Sim) Run() (*Result, error) {
 	return res, nil
 }
 
+// macroQuantaFrom computes how many consecutive quanta starting at
+// profile time t the run may macro-step through, or 0/1 when the fast
+// path does not apply. The window is licensed only when every per-quantum
+// iteration it replaces would provably do nothing beyond stepping the
+// idle machine: the engine is quiescent, every socket's effective
+// configuration is idle, the offered load is zero throughout, and no
+// trace sample, workload switch, scheduled task, or pending settle falls
+// strictly inside the window. Tasks and settles landing exactly on the
+// window's end are fine: the final clock.Advance fires them with the
+// machine in the identical state the per-quantum loop would have.
+func (s *Sim) macroQuantaFrom(t, dur, nextSample time.Duration, switched bool) int {
+	if s.opts.NoMacro {
+		return 0
+	}
+	if !s.engine.Quiescent() {
+		return 0
+	}
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		if !s.socketIdle(sock) {
+			return 0
+		}
+	}
+	q := s.opts.Quantum
+	// Quanta i = 0..k-1 replace loop iterations at t+i*q, so every
+	// boundary B that triggers *at the top or bottom of an iteration*
+	// requires t+i*q < B, i.e. k <= ceil((B-t)/q).
+	span := dur - t
+	if sp := nextSample - t; sp < span {
+		span = sp
+	}
+	if !switched && s.opts.SwitchAt > 0 && s.opts.SwitchTo != nil {
+		if sp := s.opts.SwitchAt - t; sp < span {
+			span = sp
+		}
+	}
+	if span < 2*q {
+		return 0
+	}
+	k := int((span + q - 1) / q)
+	now := s.clock.Now()
+	// A scheduled task at deadline D may mutate any state, so the last
+	// macro quantum may at most *end* at D: k <= floor((D-now)/q).
+	if d, ok := s.clock.NextDeadline(); ok {
+		if kd := int((d - now) / q); kd < k {
+			k = kd
+		}
+	}
+	// A pending settle at instant A changes the effective configuration
+	// read at quantum starts; quantum starts must stay before A
+	// (the power integration inside a quantum splits at A identically
+	// in both schemes): k <= ceil((A-now)/q).
+	if a, ok := s.machine.NextSettle(); ok {
+		if ka := int((a - now + q - 1) / q); ka < k {
+			k = ka
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	n := 0
+	for n < k && s.opts.Load.QPS(t+time.Duration(n)*q) == 0 {
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	return n
+}
+
+// socketIdle reports whether the socket's effective configuration is the
+// idle one (no active threads).
+func (s *Sim) socketIdle(sock int) bool {
+	if s.opts.NoMemo {
+		return s.machine.EffectiveView(sock).Idle()
+	}
+	if s.kernels == nil {
+		s.initKernels()
+	}
+	return s.kernelFor(sock).idle
+}
+
+// macroStep advances machine and clock through k quanta of machine-wide
+// idle with zero activity, skipping the per-quantum sim work (load offer,
+// engine step, kernel evaluation) that is a no-op in this state. The
+// machine still integrates quantum by quantum — energy accumulators are
+// floating-point sums whose grouping must not change — so the results are
+// bit-identical to the per-quantum loop, just without its overhead.
+func (s *Sim) macroStep(k int) {
+	if s.idleActs == nil {
+		s.idleActs = newZeroActs(s.topo)
+	}
+	q := s.opts.Quantum
+	for i := 0; i < k; i++ {
+		s.machine.Step(q, s.idleActs)
+		s.clock.Advance(q)
+	}
+	s.macroWindows++
+	s.macroQuanta += int64(k)
+}
+
 // step advances the whole stack by one quantum.
 func (s *Sim) step(q time.Duration) {
+	if !s.opts.NoMemo && q == s.opts.Quantum {
+		s.stepCached(q)
+		return
+	}
+	s.stepNaive(q)
+}
+
+// stepCached is the epoch-cached step: per-socket state comes from the
+// kernel cache (refreshed only on epoch movement) and all buffers are
+// reused. Its arithmetic — expression by expression, in evaluation
+// order — matches stepNaive, so results are bit-identical.
+func (s *Sim) stepCached(q time.Duration) {
+	if s.kernels == nil {
+		s.initKernels()
+	}
+	n := s.topo.ThreadsPerSocket()
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		k := s.kernelFor(sock)
+		// The engine consumes budget rows in place; hand it a copy so
+		// the kernel's row survives the quantum.
+		copy(s.bufBudget[sock], k.budget)
+		// Track applied-configuration time for Table 1's "best
+		// configuration" column.
+		if s.controller != nil && !k.idle {
+			k.timeAcc += q
+		}
+	}
+
+	now := s.clock.Now()
+	stats := s.engine.Step(now+q, q, s.kernActive, s.bufBudget)
+
+	acts := s.bufActs
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		k := &s.kernels[sock]
+		acts[sock].Busy = stats[sock].BusyFrac
+		acts[sock].MemGBs = stats[sock].MemBytes / 1e9 / q.Seconds()
+		acts[sock].DynScale = k.caps.DynScale
+		firstActive := -1
+		for lt := 0; lt < n; lt++ {
+			acts[sock].Spin[lt] = 0
+			acts[sock].Instr[lt] = 0
+			if !k.active[lt] {
+				continue
+			}
+			if firstActive < 0 {
+				firstActive = lt
+			}
+			// Active workers without work busy-poll the message hubs
+			// (the always-on property of the data-oriented runtime).
+			spin := 1 - stats[sock].BusyFrac[lt]
+			if spin < 0 {
+				spin = 0
+			}
+			acts[sock].Spin[lt] = spin
+			acts[sock].Instr[lt] = stats[sock].UsedInstr[lt] + spin*perfmodel.SpinIPC*k.fGHz[lt]*1e9*q.Seconds()
+		}
+		// The ECL itself costs ~2 % of one hardware thread per socket.
+		if s.controller != nil && firstActive >= 0 {
+			b := acts[sock].Busy[firstActive] + s.controller.Overhead()
+			if b > 1 {
+				b = 1
+			}
+			acts[sock].Busy[firstActive] = b
+		}
+	}
+	s.machine.Step(q, acts)
+	s.clock.Advance(q)
+}
+
+// stepNaive is the reference step implementation: a full perf-model
+// evaluation and configuration render per socket per quantum.
+func (s *Sim) stepNaive(q time.Duration) {
 	if s.bufActive == nil {
 		n := s.topo.ThreadsPerSocket()
 		s.bufActive = make([][]bool, s.topo.Sockets)
@@ -475,7 +853,12 @@ func (s *Sim) step(q time.Duration) {
 		if s.controller != nil && !eff.Idle() {
 			key := eff.Key(s.topo.ThreadsPerCore)
 			s.configTime[key] += q
-			s.configName[key] = eff.String()
+			// Render the display name only on first sighting of a key:
+			// it is a pure function of the key, so re-rendering it
+			// every quantum only burned allocations.
+			if _, ok := s.configName[key]; !ok {
+				s.configName[key] = eff.String()
+			}
 		}
 	}
 
@@ -584,6 +967,9 @@ func (s *Sim) totalEnergy() float64 {
 // Keys are visited in sorted order so ties resolve the same way every
 // run (map order would otherwise leak into the Table 1 output).
 func (s *Sim) mostApplied() string {
+	for i := range s.kernels {
+		s.flushConfigTime(&s.kernels[i])
+	}
 	keys := make([]string, 0, len(s.configTime))
 	//ecllint:order-independent keys are collected into a slice and sorted before the ordered scan below
 	for k := range s.configTime {

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"ecldb/internal/hw"
+	"ecldb/internal/loadprofile"
+	"ecldb/internal/obs"
+	"ecldb/internal/workload"
+)
+
+// stepEquivOptions builds the scenario the optimized-vs-reference
+// equivalence proof runs: an ECL run over a stepped profile whose zero
+// plateaus give the quiescent macro-step fast path real windows to claim,
+// with the observability layer attached so event logs, metrics, and the
+// explain report enter the digest.
+func stepEquivOptions(noMemo, noMacro bool) Options {
+	return Options{
+		Workload: workload.NewKV(false),
+		Load: loadprofile.Step{
+			Levels:  []float64{5000, 0, 0, 0, 8000, 0, 0, 0, 2000},
+			StepLen: 2 * time.Second,
+		},
+		Governor: GovernorECL,
+		Prewarm:  true,
+		Seed:     7,
+		Obs:      obs.New(0),
+		NoMemo:   noMemo,
+		NoMacro:  noMacro,
+	}
+}
+
+// TestStepPathsByteIdentical is the identity proof for this package's two
+// step-loop optimizations: the epoch-keyed kernel cache (NoMemo toggles
+// it) and the quiescent macro-step fast path (NoMacro toggles it). All
+// four combinations must produce bit-identical digests over the full
+// observable surface — time-series float bits, energy counters, query
+// counters, MostApplied, the rendered trace CSV, the profile skyline, the
+// JSONL event log, the Prometheus exposition, and the explain report.
+// scripts/check.sh runs this under the race detector.
+func TestStepPathsByteIdentical(t *testing.T) {
+	combos := []struct {
+		name            string
+		noMemo, noMacro bool
+	}{
+		{"naive", true, true}, // the reference: no cache, no macro-stepping
+		{"memo-only", false, true},
+		{"macro-only", true, false},
+		{"default", false, false},
+	}
+	var ref [32]byte
+	for i, c := range combos {
+		sum, s := digestRun(t, stepEquivOptions(c.noMemo, c.noMacro))
+		switch {
+		case c.noMacro && s.macroWindows != 0:
+			t.Errorf("%s: macro-stepped %d windows with the fast path disabled", c.name, s.macroWindows)
+		case !c.noMacro && s.macroWindows == 0:
+			t.Errorf("%s: the idle plateaus never engaged the macro-step fast path; the comparison is vacuous", c.name)
+		}
+		if !c.noMacro && s.macroQuanta < s.macroWindows {
+			t.Errorf("%s: %d macro windows cover only %d quanta", c.name, s.macroWindows, s.macroQuanta)
+		}
+		if i == 0 {
+			ref = sum
+			continue
+		}
+		if sum != ref {
+			t.Errorf("%s digest diverged from the naive reference:\n  %x\n  %x", c.name, sum, ref)
+		}
+	}
+}
+
+// settleAllMax applies the full configuration to every socket and steps
+// the machine past the apply latency so it is effective.
+func settleAllMax(t *testing.T, s *Sim) {
+	t.Helper()
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		if err := s.machine.Apply(sock, hw.AllMax(s.topo)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.machine.Step(hw.ApplyLatency, newZeroActs(s.topo))
+}
+
+// TestKernelRefreshesOnMachineEpoch asserts that a configuration change
+// invalidates the step kernel: the cached budgets must follow the
+// machine's effective state, not the state at cache construction.
+func TestKernelRefreshesOnMachineEpoch(t *testing.T) {
+	s, err := New(Options{
+		Workload: workload.NewKV(true),
+		Load:     loadprofile.Constant{Qps: 100, Len: time.Second},
+		Governor: GovernorECL,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.initKernels()
+	if k := s.kernelFor(0); !k.idle || k.budget[0] != 0 {
+		t.Fatalf("fresh machine kernel not idle: idle=%v budget0=%v", k.idle, k.budget[0])
+	}
+	settleAllMax(t, s)
+	k := s.kernelFor(0)
+	if k.idle || k.budget[0] <= 0 {
+		t.Fatalf("kernel stale after Apply+settle: idle=%v budget0=%v", k.idle, k.budget[0])
+	}
+}
+
+// TestKernelRefreshesOnWorkloadSwitch asserts that installing a workload
+// with different hardware characteristics moves the characteristics epoch
+// and re-derives the kernel's capacity.
+func TestKernelRefreshesOnWorkloadSwitch(t *testing.T) {
+	s, err := New(Options{
+		Workload: workload.NewKV(true),
+		Load:     loadprofile.Constant{Qps: 100, Len: time.Second},
+		Governor: GovernorECL,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.initKernels()
+	settleAllMax(t, s)
+	before := s.kernelFor(0).caps.MemGBsAtFull
+	epoch := s.engine.CharacteristicsEpoch()
+	if err := s.engine.SwitchWorkload(workload.NewKV(false)); err != nil {
+		t.Fatal(err)
+	}
+	if s.engine.CharacteristicsEpoch() == epoch {
+		t.Fatal("SwitchWorkload did not move CharacteristicsEpoch")
+	}
+	after := s.kernelFor(0).caps.MemGBsAtFull
+	if before == after {
+		t.Fatalf("kernel capacity unchanged across workload switch (MemGBsAtFull %v)", before)
+	}
+}
+
+// TestKernelRefreshesOnThrottle asserts that throttle engagement — a
+// transition driven by the power limiter inside machine.Step, with no
+// Apply involved — still invalidates the kernel and shrinks its budgets.
+func TestKernelRefreshesOnThrottle(t *testing.T) {
+	pp := hw.DefaultPowerParams()
+	pp.TDPWatts = 30
+	s, err := New(Options{
+		Workload: workload.NewKV(true),
+		Load:     loadprofile.Constant{Qps: 100, Len: time.Second},
+		Governor: GovernorECL,
+		Seed:     3,
+		Power:    &pp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.initKernels()
+	settleAllMax(t, s)
+	before := s.kernelFor(0).budget[0]
+	s.advanceSynthetic(5 * time.Second) // full-tilt load drains the turbo budget
+	if s.machine.ThrottleFactor(0) == 1 {
+		t.Fatal("synthetic full load under a 30 W TDP never engaged the throttle")
+	}
+	after := s.kernelFor(0).budget[0]
+	if after >= before {
+		t.Fatalf("kernel budget did not shrink under throttling: before %v, after %v", before, after)
+	}
+}
+
+// TestSimStepSteadyStateAllocatesNothing locks the optimized step path at
+// zero allocations once warm: with the kernel cache in place, an idle
+// steady state (baseline governor, zero load, firmware transitions long
+// past) must not allocate per quantum.
+func TestSimStepSteadyStateAllocatesNothing(t *testing.T) {
+	s, err := New(Options{
+		Workload: workload.NewKV(true),
+		Load:     loadprofile.Constant{Qps: 0, Len: time.Hour},
+		Governor: GovernorBaseline,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.baseline.Start()
+	q := s.opts.Quantum
+	for i := 0; i < 2000; i++ { // settle the config and outlast the EET delay
+		s.step(q)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.step(q)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sim step allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// benchStepKernel measures one live step (load offer + full stack quantum)
+// with the kernel cache on or off; the pair quantifies what the epoch
+// memoization buys on the per-quantum path. Macro-stepping is disabled so
+// both variants run the same number of real steps.
+func benchStepKernel(b *testing.B, noMemo bool) {
+	s, err := New(Options{
+		Workload: workload.NewKV(true),
+		Load:     loadprofile.Constant{Qps: 3000, Len: time.Hour},
+		Governor: GovernorECL,
+		Prewarm:  true,
+		Seed:     9,
+		NoMemo:   noMemo,
+		NoMacro:  true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Prewarm()
+	s.controller.Start()
+	q := s.opts.Quantum
+	for i := 0; i < 2000; i++ {
+		if err := s.engine.OfferLoad(3000, q, s.clock.Now()); err != nil {
+			b.Fatal(err)
+		}
+		s.step(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.engine.OfferLoad(3000, q, s.clock.Now()); err != nil {
+			b.Fatal(err)
+		}
+		s.step(q)
+	}
+}
+
+func BenchmarkStepKernel(b *testing.B)       { benchStepKernel(b, false) }
+func BenchmarkStepKernelNoMemo(b *testing.B) { benchStepKernel(b, true) }

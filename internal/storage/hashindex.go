@@ -17,23 +17,32 @@ const (
 	maxLoadDen = 8
 )
 
-// slot states are encoded in a separate byte array so zero keys and zero
-// values stay legal.
+// Per-bucket states live in a byte array separate from the key/value
+// pairs. A full bucket's state carries the top bit plus seven tag bits
+// from the key's hash, so a probe walk filters on the tiny cache-resident
+// state array and fetches the 16-byte pair — the DRAM access — only when
+// the tag matches (one false positive per 128 full buckets). Unsuccessful
+// lookups, the common case under uniform random probing, usually finish
+// without touching pair memory at all.
 const (
-	slotEmpty byte = iota
-	slotFull
-	slotTombstone
+	slotEmpty     byte = 0
+	slotTombstone byte = 1
+	slotFullBit   byte = 0x80
 )
+
+// hpair is one bucket's key and value.
+type hpair struct {
+	key, val uint64
+}
 
 // HashIndex is an open-addressing (linear probing) hash table mapping
 // uint64 keys to uint64 values (typically row identifiers). The zero
 // value is not usable; call NewHashIndex.
 type HashIndex struct {
-	keys  []uint64
-	vals  []uint64
-	state []byte
-	live  int // full slots
-	used  int // full + tombstone slots
+	pairs  []hpair
+	states []byte
+	live   int // full slots
+	used   int // full + tombstone slots
 }
 
 // NewHashIndex returns an index pre-sized for the given number of entries.
@@ -42,11 +51,7 @@ func NewHashIndex(capacity int) *HashIndex {
 	for n*maxLoadDen < capacity*maxLoadDen*maxLoadDen/maxLoadNum && n < 1<<62 {
 		n *= 2
 	}
-	return &HashIndex{
-		keys:  make([]uint64, n),
-		vals:  make([]uint64, n),
-		state: make([]byte, n),
-	}
+	return &HashIndex{pairs: make([]hpair, n), states: make([]byte, n)}
 }
 
 // Len returns the number of live entries.
@@ -60,32 +65,40 @@ func hashKey(k uint64) uint64 {
 	return k ^ (k >> 31)
 }
 
+// tagOf derives a full-bucket state byte from a hash: the full bit plus
+// the hash's top seven bits (disjoint from the index bits).
+func tagOf(hash uint64) byte { return slotFullBit | byte(hash>>57) }
+
 // Put inserts or overwrites a key. It reports whether the key was new.
 func (h *HashIndex) Put(key, val uint64) bool {
-	if (h.used+1)*maxLoadDen > len(h.keys)*maxLoadNum {
+	if (h.used+1)*maxLoadDen > len(h.pairs)*maxLoadNum {
 		h.grow()
 	}
-	mask := uint64(len(h.keys) - 1)
-	i := hashKey(key) & mask
+	pairs, states := h.pairs, h.states
+	mask := uint64(len(pairs) - 1)
+	hash := hashKey(key)
+	tag := tagOf(hash)
+	i := hash & mask
 	firstTomb := -1
 	for {
-		switch h.state[i] {
-		case slotEmpty:
+		switch s := states[i]; {
+		case s == slotEmpty:
 			if firstTomb >= 0 {
 				i = uint64(firstTomb)
 			} else {
 				h.used++
 			}
-			h.keys[i], h.vals[i], h.state[i] = key, val, slotFull
+			pairs[i] = hpair{key: key, val: val}
+			states[i] = tag
 			h.live++
 			return true
-		case slotTombstone:
+		case s == slotTombstone:
 			if firstTomb < 0 {
 				firstTomb = int(i)
 			}
-		case slotFull:
-			if h.keys[i] == key {
-				h.vals[i] = val
+		case s == tag:
+			if pairs[i].key == key {
+				pairs[i].val = val
 				return false
 			}
 		}
@@ -95,35 +108,93 @@ func (h *HashIndex) Put(key, val uint64) bool {
 
 // Get looks up a key.
 func (h *HashIndex) Get(key uint64) (uint64, bool) {
-	mask := uint64(len(h.keys) - 1)
-	i := hashKey(key) & mask
+	pairs, states := h.pairs, h.states
+	mask := uint64(len(pairs) - 1)
+	hash := hashKey(key)
+	tag := tagOf(hash)
+	i := hash & mask
 	for {
-		switch h.state[i] {
-		case slotEmpty:
-			return 0, false
-		case slotFull:
-			if h.keys[i] == key {
-				return h.vals[i], true
+		s := states[i]
+		if s == tag {
+			if pairs[i].key == key {
+				return pairs[i].val, true
 			}
+		} else if s == slotEmpty {
+			return 0, false
 		}
 		i = (i + 1) & mask
 	}
 }
 
+// multiGetGroup is the number of lookups MultiGet keeps in flight at
+// once. Eight independent probe chains saturate the memory-level
+// parallelism of current cores.
+const multiGetGroup = 8
+
+// MultiGet looks up a batch of keys, filling vals[i] and found[i] exactly
+// as Get(keys[i]) would. The first pass computes every hash and touches
+// every chain's first state byte without branching on the loaded data, so
+// the group's cache misses overlap (group probing / software pipelining)
+// instead of serializing behind data-dependent branches; the second pass
+// then walks each chain over warm state lines. All three slices must have
+// the same length.
+func (h *HashIndex) MultiGet(keys []uint64, vals []uint64, found []bool) {
+	pairs, states := h.pairs, h.states
+	mask := uint64(len(pairs) - 1)
+	for base := 0; base < len(keys); base += multiGetGroup {
+		n := len(keys) - base
+		if n > multiGetGroup {
+			n = multiGetGroup
+		}
+		var cur [multiGetGroup]uint64
+		var tags [multiGetGroup]byte
+		var first [multiGetGroup]byte
+		for j := 0; j < n; j++ {
+			hash := hashKey(keys[base+j])
+			i := hash & mask
+			cur[j] = i
+			tags[j] = tagOf(hash)
+			first[j] = states[i]
+		}
+		for j := 0; j < n; j++ {
+			key := keys[base+j]
+			tag := tags[j]
+			s := first[j]
+			i := cur[j]
+			for {
+				if s == tag {
+					if pairs[i].key == key {
+						vals[base+j], found[base+j] = pairs[i].val, true
+						break
+					}
+				} else if s == slotEmpty {
+					vals[base+j], found[base+j] = 0, false
+					break
+				}
+				i = (i + 1) & mask
+				s = states[i]
+			}
+		}
+	}
+}
+
 // Delete removes a key, reporting whether it was present.
 func (h *HashIndex) Delete(key uint64) bool {
-	mask := uint64(len(h.keys) - 1)
-	i := hashKey(key) & mask
+	pairs, states := h.pairs, h.states
+	mask := uint64(len(pairs) - 1)
+	hash := hashKey(key)
+	tag := tagOf(hash)
+	i := hash & mask
 	for {
-		switch h.state[i] {
-		case slotEmpty:
-			return false
-		case slotFull:
-			if h.keys[i] == key {
-				h.state[i] = slotTombstone
+		s := states[i]
+		if s == tag {
+			if pairs[i].key == key {
+				states[i] = slotTombstone
 				h.live--
 				return true
 			}
+		} else if s == slotEmpty {
+			return false
 		}
 		i = (i + 1) & mask
 	}
@@ -132,9 +203,9 @@ func (h *HashIndex) Delete(key uint64) bool {
 // Range calls fn for every live entry until fn returns false. Iteration
 // order is unspecified. The index must not be mutated during Range.
 func (h *HashIndex) Range(fn func(key, val uint64) bool) {
-	for i, s := range h.state {
-		if s == slotFull {
-			if !fn(h.keys[i], h.vals[i]) {
+	for i, s := range h.states {
+		if s&slotFullBit != 0 {
+			if !fn(h.pairs[i].key, h.pairs[i].val) {
 				return
 			}
 		}
@@ -143,28 +214,28 @@ func (h *HashIndex) Range(fn func(key, val uint64) bool) {
 
 // grow doubles the bucket array (also discarding tombstones).
 func (h *HashIndex) grow() {
-	old := *h
-	n := len(h.keys) * 2
-	if h.live*maxLoadDen < len(h.keys)*maxLoadNum/2 {
-		n = len(h.keys) // tombstone-heavy: rehash in place size
+	oldPairs, oldStates := h.pairs, h.states
+	n := len(oldPairs) * 2
+	if h.live*maxLoadDen < len(oldPairs)*maxLoadNum/2 {
+		n = len(oldPairs) // tombstone-heavy: rehash in place size
 	}
-	h.keys = make([]uint64, n)
-	h.vals = make([]uint64, n)
-	h.state = make([]byte, n)
+	h.pairs = make([]hpair, n)
+	h.states = make([]byte, n)
 	h.live, h.used = 0, 0
-	for i, s := range old.state {
-		if s == slotFull {
-			h.Put(old.keys[i], old.vals[i])
+	for i, s := range oldStates {
+		if s&slotFullBit != 0 {
+			h.Put(oldPairs[i].key, oldPairs[i].val)
 		}
 	}
 }
 
-// MemBytes estimates the index's memory footprint.
+// MemBytes estimates the index's memory footprint (the modeled 17 bytes
+// per bucket: two words plus a state byte).
 func (h *HashIndex) MemBytes() int {
-	return len(h.keys)*16 + len(h.state)
+	return len(h.pairs)*16 + len(h.states)
 }
 
 // String summarizes the index for debugging.
 func (h *HashIndex) String() string {
-	return fmt.Sprintf("HashIndex{live=%d, buckets=%d}", h.live, len(h.keys))
+	return fmt.Sprintf("HashIndex{live=%d, buckets=%d}", h.live, len(h.pairs))
 }

@@ -60,6 +60,38 @@ func (kv *KVStore) Put(key, value uint32) {
 	kv.values.Append(int64(value))
 }
 
+// PutBatch stores a batch of pairs, equivalent to calling Put for each
+// pair in order. On the indexed path a read-only group lookup primes the
+// probe chains of eight keys at a time, so the cache misses of a bulk
+// load overlap instead of serializing (the subsequent Puts then probe
+// warm lines).
+func (kv *KVStore) PutBatch(keys, values []uint32) {
+	if !kv.indexed {
+		for i := range keys {
+			kv.Put(keys[i], values[i])
+		}
+		return
+	}
+	const group = 8
+	var k64, rows [group]uint64
+	var hit [group]bool
+	for base := 0; base < len(keys); base += group {
+		n := len(keys) - base
+		if n > group {
+			n = group
+		}
+		for j := 0; j < n; j++ {
+			k64[j] = uint64(keys[base+j])
+		}
+		// Warming pass only: Put re-probes from scratch, so an insert that
+		// extends a later key's chain is still handled correctly.
+		kv.index.MultiGet(k64[:n], rows[:n], hit[:n])
+		for j := 0; j < n; j++ {
+			kv.Put(keys[base+j], values[base+j])
+		}
+	}
+}
+
 // Get retrieves the value for a key.
 func (kv *KVStore) Get(key uint32) (uint32, bool) {
 	if kv.indexed {
@@ -74,6 +106,41 @@ func (kv *KVStore) Get(key uint32) (uint32, bool) {
 		return 0, false
 	}
 	return uint32(kv.values.Get(row)), true
+}
+
+// MultiGet retrieves a batch of keys (the store's client API is a
+// multi-get — one request carries many point accesses). vals[i] and
+// found[i] are set exactly as by Get(keys[i]); all slices must have the
+// same length. The indexed path overlaps the hash probes of eight keys
+// at a time via HashIndex.MultiGet.
+func (kv *KVStore) MultiGet(keys []uint32, vals []uint32, found []bool) {
+	if !kv.indexed {
+		for i, k := range keys {
+			v, ok := kv.Get(k)
+			vals[i], found[i] = v, ok
+		}
+		return
+	}
+	const group = 8
+	var k64, rows [group]uint64
+	var hit [group]bool
+	for base := 0; base < len(keys); base += group {
+		n := len(keys) - base
+		if n > group {
+			n = group
+		}
+		for j := 0; j < n; j++ {
+			k64[j] = uint64(keys[base+j])
+		}
+		kv.index.MultiGet(k64[:n], rows[:n], hit[:n])
+		for j := 0; j < n; j++ {
+			if hit[j] {
+				vals[base+j], found[base+j] = uint32(kv.values.Get(int(rows[j]))), true
+			} else {
+				vals[base+j], found[base+j] = 0, false
+			}
+		}
+	}
 }
 
 // scanFind locates a key by scanning the key column (returning the last

@@ -55,6 +55,8 @@ func (c *Clock) Advance(d time.Duration) {
 		if t.period > 0 && !t.cancelled {
 			t.at += t.period
 			heap.Push(&c.tasks, t)
+		} else {
+			t.done = true
 		}
 		t.fn()
 	}
@@ -72,6 +74,28 @@ func (t Task) Cancel() {
 	if t.t != nil {
 		t.t.cancelled = true
 	}
+}
+
+// Deadline reports the instant the task will next fire. ok is false for a
+// cancelled task or a one-shot task that has already fired; for periodic
+// tasks the deadline advances after each firing.
+func (t Task) Deadline() (time.Duration, bool) {
+	if t.t == nil || t.t.cancelled || t.t.done {
+		return 0, false
+	}
+	return t.t.at, true
+}
+
+// NextDeadline reports the earliest deadline of any scheduled task, or
+// ok=false when nothing is scheduled. The bound is conservative: cancelled
+// tasks still in the heap are counted, so the true next firing may be
+// later than reported — never earlier. This is exactly the guarantee the
+// simulation's quiescent fast path needs to bound a macro-step window.
+func (c *Clock) NextDeadline() (time.Duration, bool) {
+	if len(c.tasks) == 0 {
+		return 0, false
+	}
+	return c.tasks[0].at, true
 }
 
 // After schedules fn to run once when the clock reaches Now()+d.
@@ -123,6 +147,7 @@ type task struct {
 	fn        func()
 	seq       uint64
 	cancelled bool
+	done      bool
 }
 
 type taskHeap []*task

@@ -76,9 +76,15 @@ func (k *KV) NewPartition(partition int, rng *rand.Rand) PartitionState {
 	// execution speed; the *modeled* cost and characteristics encode the
 	// access-path difference at full scale.
 	st := &kvPartition{store: storage.NewKVStore(kvRowsPerPartition, true)}
-	for i := 0; i < kvRowsPerPartition; i++ {
-		st.store.Put(rng.Uint32(), rng.Uint32())
+	// Draw all pairs first (key before value, the same rng stream as
+	// element-wise Puts), then bulk-load so the index probes overlap.
+	keys := make([]uint32, kvRowsPerPartition)
+	vals := make([]uint32, kvRowsPerPartition)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+		vals[i] = rng.Uint32()
 	}
+	st.store.PutBatch(keys, vals)
 	return st
 }
 
@@ -102,9 +108,15 @@ func (k *KV) NewQuery(rng *rand.Rand, parts int) []Op {
 				panic(fmt.Sprintf("workload: kv op on foreign partition state %T", st))
 			}
 			if isGet {
-				for i := 0; i < kvExecSample; i++ {
-					kp.store.Get(key + uint32(i))
+				// One multi-get batch: the store overlaps the probes'
+				// cache misses instead of serializing kvExecSample
+				// dependent lookups.
+				var keys, vals [kvExecSample]uint32
+				var ok [kvExecSample]bool
+				for i := range keys {
+					keys[i] = key + uint32(i)
 				}
+				kp.store.MultiGet(keys[:], vals[:], ok[:])
 			} else {
 				kp.store.Put(key, key^0x5a5a5a5a)
 			}

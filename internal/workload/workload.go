@@ -18,8 +18,10 @@ import (
 	"ecldb/internal/perfmodel"
 )
 
-// PartitionState is the opaque partition-local data of a workload.
-type PartitionState interface{}
+// PartitionState is the opaque partition-local data of a workload. It is
+// an alias (not a defined type) so an Op's Exec callback is assignable to
+// lower layers' generic func(any) hooks without a wrapping closure.
+type PartitionState = interface{}
 
 // Op is one operation of a query, addressed to a data partition.
 type Op struct {
@@ -47,6 +49,16 @@ type Workload interface {
 	// NewQuery emits the operations of the next query over a database
 	// with parts partitions.
 	NewQuery(rng *rand.Rand, parts int) []Op
+}
+
+// Versioned is implemented by workloads whose Characteristics drift at
+// runtime (e.g. a blend whose mix ratio follows the query stream). The
+// version must advance whenever a subsequent Characteristics call could
+// return a different value; it feeds dodb.Engine.CharacteristicsEpoch so
+// capacity caches invalidate on drift. All workloads in this package have
+// static characteristics and do not implement it.
+type Versioned interface {
+	CharacteristicsVersion() uint64
 }
 
 // All returns every workload of the evaluation in Table 1 order: the three

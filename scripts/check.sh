@@ -40,6 +40,13 @@ go test -short -count=1 ./...
 echo "== determinism under -race"
 go test -race -short -count=1 -run 'TestDeterminism' ./internal/sim
 
+echo "== step-path byte-identity under -race"
+# The optimized step loop (epoch-keyed kernel cache + quiescent
+# macro-stepping) against the naive reference path: all four on/off
+# combinations must digest bit-identically over series, counters, trace
+# CSV, event log, metrics exposition, and explain report.
+go test -race -count=1 -run 'TestStepPathsByteIdentical' ./internal/sim
+
 echo "== parallel sweep byte-identity under -race"
 # Not -short: the comparison regenerates a sized-down figure three times
 # (sequential, 2 workers, 4 workers) and diffs tables, JSONL event
