@@ -13,12 +13,17 @@
 // The observability flags export the ECL control plane of a run:
 //
 //	eclsim -fig 13 -events ev.jsonl -metrics m.prom -explain
+//	eclsim -fig 13 -qtrace trace.json -qtrace-sample 8
 //
 // -events writes the decision-event stream as JSONL, -metrics writes the
 // post-run counters in Prometheus text format, and -explain prints an
 // ASCII report of per-socket zone residency, safety-valve activations,
-// and applied configurations. They apply to -fig 13, -fig 14, and custom
-// runs (where the ECL governor's pass is the one observed).
+// and applied configurations. -qtrace samples per-query latency phase
+// spans (route/wake/queue/exec) plus control-loop spans and writes them
+// as Chrome/Perfetto trace-event JSON — open the file at ui.perfetto.dev
+// — and prints the per-phase latency breakdown table. They apply to
+// -fig 13, -fig 14, and custom runs (where the ECL governor's pass is
+// the one observed).
 package main
 
 import (
@@ -33,26 +38,37 @@ import (
 	"ecldb/internal/ecl"
 	"ecldb/internal/loadprofile"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/trace"
 	"ecldb/internal/sim"
 	"ecldb/internal/workload"
 )
 
 // obsOut bundles the observability flags: where to export the decision
-// event stream and metrics, and whether to print the explain report.
+// event stream, metrics, and query trace, and whether to print the
+// explain report.
 type obsOut struct {
-	events  string
-	metrics string
-	explain bool
+	events       string
+	metrics      string
+	explain      bool
+	qtrace       string
+	qtraceSample int
 }
 
-func (o obsOut) wanted() bool { return o.events != "" || o.metrics != "" || o.explain }
+func (o obsOut) wanted() bool {
+	return o.events != "" || o.metrics != "" || o.explain || o.qtrace != ""
+}
 
-// observer creates the observer when any observability output is wanted.
+// observer creates the observer when any observability output is wanted,
+// with the query tracer attached when -qtrace asks for one.
 func (o obsOut) observer() *obs.Observer {
 	if !o.wanted() {
 		return nil
 	}
-	return obs.New(0)
+	ob := obs.New(0)
+	if o.qtrace != "" {
+		ob.Trace = trace.New(o.qtraceSample)
+	}
+	return ob
 }
 
 // flush writes the requested exports after the observed run.
@@ -88,9 +104,29 @@ func (o obsOut) flush(ob *obs.Observer) error {
 		}
 		fmt.Printf("metrics exposition written to %s\n", o.metrics)
 	}
+	if o.qtrace != "" {
+		f, err := os.Create(o.qtrace)
+		if err != nil {
+			return err
+		}
+		if err := ob.Trace.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("query trace written to %s (%d spans; open in ui.perfetto.dev)\n",
+			o.qtrace, len(ob.Trace.Queries()))
+		if !o.explain {
+			// -explain prints the breakdown as part of the full report.
+			fmt.Println()
+			fmt.Print(ob.Trace.Report())
+		}
+	}
 	if o.explain {
 		fmt.Println()
-		fmt.Print(obs.Report(ob.Log))
+		fmt.Print(ob.Explain())
 	}
 	return nil
 }
@@ -114,6 +150,8 @@ func main() {
 	flag.StringVar(&oo.events, "events", "", "write the ECL decision-event stream as JSONL to this file")
 	flag.StringVar(&oo.metrics, "metrics", "", "write the post-run metrics in Prometheus text format to this file")
 	flag.BoolVar(&oo.explain, "explain", false, "print the post-run control-plane explain report")
+	flag.StringVar(&oo.qtrace, "qtrace", "", "write sampled query spans as Perfetto trace-event JSON to this file (open at ui.perfetto.dev)")
+	flag.IntVar(&oo.qtraceSample, "qtrace-sample", 16, "trace one query span per N admissions (1 = every query)")
 	flag.Parse()
 	bench.SetParallelism(*parallel)
 	sim.SetNaiveStep(*nomemo)
@@ -251,7 +289,7 @@ func customRun(wlName, loadName, traceFile string, level float64, duration time.
 // exercise the ECL with its base interval (-fig 13, -fig 14, custom).
 func warnNoObs(oo obsOut) {
 	if oo.wanted() {
-		fmt.Fprintln(os.Stderr, "eclsim: -events/-metrics/-explain apply to -fig 13, -fig 14, and custom runs only; ignoring")
+		fmt.Fprintln(os.Stderr, "eclsim: -events/-metrics/-explain/-qtrace apply to -fig 13, -fig 14, and custom runs only; ignoring")
 	}
 }
 

@@ -37,6 +37,7 @@ package ecldb
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -46,6 +47,7 @@ import (
 	"ecldb/internal/hw"
 	"ecldb/internal/loadprofile"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/trace"
 	"ecldb/internal/sim"
 	"ecldb/internal/workload"
 )
@@ -115,6 +117,16 @@ type RunConfig struct {
 	// Result.Events. Observation is read-only — attaching it never
 	// changes a run's outcome.
 	Observe bool
+	// TraceQueries additionally samples per-query latency phase spans
+	// (route/wake/queue/exec) and control-loop spans on the virtual
+	// timeline, filling Result.PhaseBreakdown and Result.WriteQueryTrace.
+	// Implies the observability layer. Like Observe, tracing is read-only
+	// and never changes a run's outcome.
+	TraceQueries bool
+	// TraceSampleEvery sets the span sampling period: one query span per
+	// N admissions, keyed deterministically on the admission index.
+	// 0 defaults to 16; 1 traces every query.
+	TraceSampleEvery int
 	// Seed drives all randomness; runs are fully deterministic.
 	Seed int64
 }
@@ -150,6 +162,14 @@ type Result struct {
 	// "ZoneTransition", "ConfigApply"). Nil unless RunConfig.Observe
 	// was set.
 	Events map[string]int64
+	// PhaseBreakdown is the per-phase latency attribution table over the
+	// sampled query spans, with the critical-path summary. Empty unless
+	// RunConfig.TraceQueries was set.
+	PhaseBreakdown string
+	// WriteQueryTrace writes the sampled spans as Chrome/Perfetto
+	// trace-event JSON (open at ui.perfetto.dev). Nil unless
+	// RunConfig.TraceQueries was set.
+	WriteQueryTrace func(w io.Writer) error
 }
 
 // Workloads lists the available benchmark workload names.
@@ -231,8 +251,15 @@ func Run(cfg RunConfig) (*Result, error) {
 		}
 	}
 	var observer *obs.Observer
-	if cfg.Observe {
+	if cfg.Observe || cfg.TraceQueries {
 		observer = obs.New(0)
+		if cfg.TraceQueries {
+			every := cfg.TraceSampleEvery
+			if every == 0 {
+				every = 16
+			}
+			observer.Trace = trace.New(every)
+		}
 		opts.Obs = observer
 	}
 	simulator, err := sim.New(opts)
@@ -264,12 +291,16 @@ func Run(cfg RunConfig) (*Result, error) {
 		},
 	}
 	if observer != nil {
-		out.Explain = obs.Report(observer.Log)
+		out.Explain = observer.Explain()
 		out.Events = make(map[string]int64, len(obs.Types()))
 		for _, typ := range obs.Types() {
 			if n := observer.Log.Count(typ); n > 0 {
 				out.Events[typ.String()] = int64(n)
 			}
+		}
+		if tr := observer.Trace; tr != nil {
+			out.PhaseBreakdown = tr.Report()
+			out.WriteQueryTrace = tr.WritePerfetto
 		}
 	}
 	return out, nil

@@ -1,6 +1,8 @@
 package ecldb_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -198,5 +200,57 @@ func TestRunObserveFillsExplainAndEvents(t *testing.T) {
 	if plain.EnergyJ != res.EnergyJ || plain.Completed != res.Completed {
 		t.Errorf("Observe changed the run: energy %g vs %g, completed %d vs %d",
 			plain.EnergyJ, res.EnergyJ, plain.Completed, res.Completed)
+	}
+}
+
+func TestRunTraceQueriesFillsBreakdownAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	load := ecldb.LoadSpec{Kind: "constant", Level: 0.4, Duration: 10 * time.Second}
+	res, err := ecldb.Run(ecldb.RunConfig{
+		Workload: "kv-nonindexed", Load: load, Governor: ecldb.GovernorECL,
+		TraceQueries: true, TraceSampleEvery: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.PhaseBreakdown, "query phase breakdown") ||
+		!strings.Contains(res.PhaseBreakdown, "critical path:") {
+		t.Errorf("PhaseBreakdown missing:\n%s", res.PhaseBreakdown)
+	}
+	// TraceQueries implies the observability layer: the explain report is
+	// present and ends with the breakdown.
+	if !strings.Contains(res.Explain, "residency:") ||
+		!strings.Contains(res.Explain, "query phase breakdown") {
+		t.Errorf("Explain missing sections:\n%s", res.Explain)
+	}
+	if res.WriteQueryTrace == nil {
+		t.Fatal("WriteQueryTrace not set")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteQueryTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("query trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("query trace is empty")
+	}
+	// Tracing is invisible to the outcome.
+	plain, err := ecldb.Run(ecldb.RunConfig{
+		Workload: "kv-nonindexed", Load: load, Governor: ecldb.GovernorECL, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.EnergyJ != res.EnergyJ || plain.Completed != res.Completed {
+		t.Errorf("TraceQueries changed the run: energy %g vs %g, completed %d vs %d",
+			plain.EnergyJ, res.EnergyJ, plain.Completed, res.Completed)
+	}
+	if plain.PhaseBreakdown != "" || plain.WriteQueryTrace != nil {
+		t.Error("untraced run carries trace output")
 	}
 }

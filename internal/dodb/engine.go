@@ -21,6 +21,7 @@ import (
 	"ecldb/internal/hw"
 	"ecldb/internal/msg"
 	"ecldb/internal/obs"
+	qtrace "ecldb/internal/obs/trace"
 	"ecldb/internal/perfmodel"
 	"ecldb/internal/workload"
 )
@@ -64,8 +65,14 @@ type query struct {
 	submitted time.Duration
 	remaining int
 	dropped   bool
-	prev      *query
-	next      *query
+	// Tracing identity (meaningful only when traced is set): the 1-based
+	// admission index, the admitting socket, and the operation count.
+	qid    uint64
+	origin int32
+	ops    int32
+	traced bool
+	prev   *query
+	next   *query
 }
 
 // SocketStats is the per-socket outcome of one engine step.
@@ -146,6 +153,17 @@ type Engine struct {
 	// previous step for sleep/wake transition events.
 	prevActive []int
 	obsOn      bool
+
+	// Query tracing (nil tracer = disabled; see internal/obs/trace).
+	// asleepNS accumulates, per socket, virtual time during which the
+	// socket had no active worker; differencing two readings bounds the
+	// wake-from-sleep share of a wait interval. stepStart/stepEnd frame
+	// the step currently executing (valid only while tracing is on).
+	tracer      *qtrace.Tracer
+	deliverHook func(home int, m *msg.Message)
+	asleepNS    []time.Duration
+	stepStart   time.Duration
+	stepEnd     time.Duration
 }
 
 // New builds an engine, populating every partition's data.
@@ -181,6 +199,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.busySec = make([]float64, cfg.Topo.Sockets)
 	e.activeSec = make([]float64, cfg.Topo.Sockets)
+	e.asleepNS = make([]time.Duration, cfg.Topo.Sockets)
 	e.stepStats = make([]SocketStats, cfg.Topo.Sockets)
 	e.stepOrigBudget = make([][]float64, cfg.Topo.Sockets)
 	for s := range e.stepStats {
@@ -212,6 +231,9 @@ func (e *Engine) install(wl workload.Workload) error {
 		return err
 	}
 	e.router = router
+	// A workload switch rebuilds the router, so the tracing hook must
+	// follow it (nil when tracing is off).
+	e.router.SetDeliverHook(e.deliverHook)
 	return nil
 }
 
@@ -348,6 +370,21 @@ func (e *Engine) SetObserver(ob *obs.Observer) {
 	}
 	e.prevActive = make([]int, e.topo.Sockets)
 	e.obsOn = ob != nil
+	e.tracer = ob.Tracer()
+	e.deliverHook = nil
+	if e.tracer != nil {
+		// Stamp delivery metadata on traced queries' messages as the
+		// communication endpoints hand them to their home hubs. The hub
+		// enqueue itself stays tracing-free.
+		e.deliverHook = func(home int, m *msg.Message) {
+			if q, ok := m.Ctx.(*query); ok && q.traced {
+				m.DeliveredAt = e.stepEnd
+				m.SleepAtDeliver = e.asleepNS[home]
+				m.Hop = true
+			}
+		}
+	}
+	e.router.SetDeliverHook(e.deliverHook)
 }
 
 // SwitchWorkload replaces the workload at runtime (the paper's Section 6.3
@@ -407,11 +444,22 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 	e.inFlight = q
 	e.inFlightLen++
 	e.submitted++
+	// Deterministic 1-in-N span sampling, keyed on the admission index
+	// (never on wall clock or randomness): the sampled set is identical
+	// across same-seed runs. Nil-safe no-op when tracing is off.
+	if e.tracer.Sample(uint64(e.submitted)) {
+		q.traced = true
+		q.qid = uint64(e.submitted)
+		q.ops = int32(len(ops))
+	}
 	// Client connection placement: random socket, or the first target
 	// partition's home under NUMA-aware routing.
 	origin := e.rng.Intn(e.topo.Sockets)
 	if e.cfg.NUMARouting {
 		origin = e.partHome[ops[0].Partition]
+	}
+	if q.traced {
+		q.origin = int32(origin)
 	}
 	e.obsSubmitted.Inc()
 	e.obsLog.Emit(obs.Event{
@@ -435,6 +483,13 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 		m.Instr = op.Instr
 		m.Enqueued = now
 		m.Ctx = q
+		if q.traced && e.partHome[op.Partition] == origin {
+			// Locally admitted: delivered to the home hub at submit time.
+			// Remote messages are stamped by the router's deliver hook
+			// when a communication endpoint transfers them.
+			m.DeliveredAt = now
+			m.SleepAtDeliver = e.asleepNS[origin]
+		}
 		if op.Exec != nil {
 			m.ExecFn = op.Exec
 			m.ExecSt = e.parts[op.Partition]
@@ -448,8 +503,11 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 
 // completeOp accounts one finished operation of a query, finalizing the
 // query when its last operation completes. It replaces a per-message Done
-// closure; the worker loop recovers the query from the message's Ctx.
-func (e *Engine) completeOp(q *query, done time.Duration) {
+// closure; the worker loop recovers the query from the message's Ctx. m
+// is the just-processed message and lt the home-local worker thread that
+// processed it — for a finishing query that message is its critical path,
+// and the span phases are attributed from its timestamps.
+func (e *Engine) completeOp(q *query, m *msg.Message, done time.Duration, lt int) {
 	if q.dropped {
 		return
 	}
@@ -470,6 +528,9 @@ func (e *Engine) completeOp(q *query, done time.Duration) {
 	e.completed++
 	lat := done - q.submitted
 	e.latency.Record(lat, done)
+	if q.traced {
+		e.emitQuerySpan(q, m, done, lt)
+	}
 	latMS := float64(lat) / float64(time.Millisecond)
 	e.obsCompleted.Inc()
 	e.obsLatency.Observe(latMS)
@@ -484,6 +545,53 @@ func (e *Engine) completeOp(q *query, done time.Duration) {
 	// the record anymore: recycle it.
 	*q = query{next: e.freeQuery}
 	e.freeQuery = q
+}
+
+// emitQuerySpan assembles a sampled query's span from its critical
+// message (the one whose completion finished the query) and records it.
+//
+// The phase partition is exact integer arithmetic over four instants
+// t0 = admission, deliver = arrival at the home hub, execStart =
+// max(deliver, start of the completing step), done = completion:
+//
+//	route = deliver - t0
+//	wake + queue = execStart - deliver   (split by the asleep-time delta)
+//	exec  = done - execStart
+//
+// so route+wake+queue+exec == done-t0, the exact LatencyTracker sample —
+// the conservation invariant TestQueryPhaseConservation locks. The wake
+// share is the home socket's asleep-time accrual between delivery and the
+// completing step; the accrual happens at the top of Step, so the delta
+// counts precisely the no-active-worker quanta the message sat through.
+func (e *Engine) emitQuerySpan(q *query, m *msg.Message, done time.Duration, lt int) {
+	home := e.partHome[m.Partition]
+	deliver := m.DeliveredAt
+	execStart := e.stepStart
+	if execStart < deliver {
+		execStart = deliver
+	}
+	window := execStart - deliver
+	wake := e.asleepNS[home] - m.SleepAtDeliver
+	if wake > window {
+		wake = window
+	}
+	if wake < 0 {
+		wake = 0
+	}
+	e.tracer.AddQuery(qtrace.QuerySpan{
+		QID:    q.qid,
+		Start:  q.submitted,
+		End:    done,
+		Route:  deliver - q.submitted,
+		Wake:   wake,
+		Queue:  window - wake,
+		Exec:   done - execStart,
+		Origin: int(q.origin),
+		Home:   home,
+		Worker: lt,
+		Hop:    m.Hop,
+		Ops:    int(q.ops),
+	})
 }
 
 // Step runs the database for one step ending at now (the step covers
@@ -535,6 +643,19 @@ func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64
 					e.obsWorkerMove[s].Inc()
 				}
 				e.prevActive[s] = n
+			}
+		}
+	}
+
+	// Query tracing: frame the step and accrue per-socket asleep time
+	// BEFORE the communication endpoints run, so a delivery snapshot of
+	// asleepNS already includes this step's accrual (sleep before
+	// delivery belongs to the route phase, not the wake phase).
+	if e.tracer.Enabled() {
+		e.stepStart, e.stepEnd = now-dt, now
+		for s := 0; s < nSock; s++ {
+			if firstActive(active[s]) < 0 {
+				e.asleepNS[s] += dt
 			}
 		}
 	}
@@ -608,7 +729,7 @@ func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64
 					stats[s].UsedInstr[lt] += m.Instr
 					stats[s].MemBytes += m.Instr * bpi
 					if m.Ctx != nil {
-						e.completeOp(m.Ctx.(*query), now)
+						e.completeOp(m.Ctx.(*query), m, now, lt)
 					} else if m.Done != nil {
 						m.Done(now)
 					}

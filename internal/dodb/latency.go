@@ -9,6 +9,7 @@ import (
 type latencySample struct {
 	at      time.Duration // completion time
 	latency time.Duration
+	bucket  uint8 // histogram bucket index (for windowed eviction)
 }
 
 // LatencyTracker keeps a sliding window of query latencies and derives the
@@ -23,6 +24,14 @@ type LatencyTracker struct {
 
 	threshold time.Duration
 	overCount int64
+
+	// Fixed-bucket histogram over the window (bounds from
+	// QueryLatencyBuckets plus an overflow bucket). Counts are maintained
+	// incrementally — incremented on Record, decremented on evict — so
+	// EstimatedPercentile is O(buckets) instead of the O(n log n) sort of
+	// the exact Percentile.
+	histBounds []time.Duration
+	histCounts []int64
 }
 
 // NewLatencyTracker creates a tracker with the given sliding window.
@@ -30,12 +39,28 @@ func NewLatencyTracker(window time.Duration) *LatencyTracker {
 	if window <= 0 {
 		window = time.Second
 	}
-	return &LatencyTracker{window: window}
+	bounds := make([]time.Duration, len(QueryLatencyBuckets))
+	for i, ms := range QueryLatencyBuckets {
+		bounds[i] = time.Duration(ms * float64(time.Millisecond))
+	}
+	return &LatencyTracker{
+		window:     window,
+		histBounds: bounds,
+		histCounts: make([]int64, len(bounds)+1),
+	}
 }
 
 // Record adds a completed query.
 func (lt *LatencyTracker) Record(latency, now time.Duration) {
-	lt.samples = append(lt.samples, latencySample{at: now, latency: latency})
+	b := uint8(len(lt.histBounds))
+	for i, ub := range lt.histBounds {
+		if latency <= ub {
+			b = uint8(i)
+			break
+		}
+	}
+	lt.histCounts[b]++
+	lt.samples = append(lt.samples, latencySample{at: now, latency: latency, bucket: b})
 	lt.total++
 	if lt.threshold > 0 && latency > lt.threshold {
 		lt.overCount++
@@ -55,6 +80,7 @@ func (lt *LatencyTracker) OverThreshold() int64 { return lt.overCount }
 func (lt *LatencyTracker) evict(now time.Duration) {
 	cutoff := now - lt.window
 	for lt.head < len(lt.samples) && lt.samples[lt.head].at < cutoff {
+		lt.histCounts[lt.samples[lt.head].bucket]--
 		lt.head++
 	}
 	// Compact occasionally to bound memory.
@@ -107,6 +133,47 @@ func (lt *LatencyTracker) Percentile(now time.Duration, p float64) time.Duration
 		idx = len(lats) - 1
 	}
 	return lats[idx]
+}
+
+// EstimatedPercentile returns the p-quantile (0..1) latency over the
+// window from the fixed-bucket histogram, with linear interpolation
+// inside the matched bucket. Estimates in the overflow bucket clamp to
+// the top bound. Cheaper than the exact sort-based Percentile — O(one
+// bucket scan) — which makes it suitable for per-sample gauges; the
+// trade is bucket-resolution accuracy (bounds from QueryLatencyBuckets).
+func (lt *LatencyTracker) EstimatedPercentile(now time.Duration, p float64) time.Duration {
+	lt.evict(now)
+	n := int64(len(lt.samples) - lt.head)
+	if n == 0 {
+		return 0
+	}
+	rank := int64(p * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i, c := range lt.histCounts {
+		if c <= 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == len(lt.histBounds) {
+				return lt.histBounds[len(lt.histBounds)-1]
+			}
+			lower := time.Duration(0)
+			if i > 0 {
+				lower = lt.histBounds[i-1]
+			}
+			upper := lt.histBounds[i]
+			frac := float64(rank-cum) / float64(c)
+			return lower + time.Duration(float64(upper-lower)*frac)
+		}
+		cum += c
+	}
+	return 0
 }
 
 // Trend returns the latency slope in (latency seconds) per (wall second)

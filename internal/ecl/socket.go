@@ -7,6 +7,7 @@ import (
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
 	"ecldb/internal/obs"
+	qtrace "ecldb/internal/obs/trace"
 	"ecldb/internal/vtime"
 )
 
@@ -100,7 +101,11 @@ type segment struct {
 	// online measurement per interval (the paper's online adaptation
 	// keeps working while the loop races to idle).
 	aggregate bool
-	dur       time.Duration
+	// span classifies the segment for query tracing (CtlNone = not
+	// recorded): discovery windows and race-to-idle sleeps share the
+	// timeline with the query spans they explain.
+	span qtrace.CtlKind
+	dur  time.Duration
 }
 
 // RuntimeStats is the DBMS-side feedback the socket-level ECL consumes:
@@ -175,6 +180,11 @@ type SocketECL struct {
 	obsRescales *obs.Counter
 	obsDemand   *obs.Gauge
 	obsQueue    *obs.Gauge
+
+	// Query tracing (nil when disabled): segSpan carries the running
+	// segment's control-span kind between beginSegment and finishSegment.
+	tracer  *qtrace.Tracer
+	segSpan qtrace.CtlKind
 }
 
 // NewSocketECL builds a socket-level loop over an existing profile. The
@@ -228,6 +238,7 @@ func (s *SocketECL) SetObserver(ob *obs.Observer) {
 	s.obsRescales = reg.Counter(`ecl_drift_rescales_total{socket="` + sock + `"}`)
 	s.obsDemand = reg.Gauge(`ecl_demand_instr_s{socket="` + sock + `"}`)
 	s.obsQueue = reg.Gauge(`ecl_adapt_queue_depth{socket="` + sock + `"}`)
+	s.tracer = ob.Tracer()
 }
 
 // ttvSeconds renders a time-to-violation for event payloads: seconds,
@@ -465,8 +476,8 @@ func (s *SocketECL) plan(ttv time.Duration) []segment {
 		for budget >= slot && len(s.adaptQueue) > 0 {
 			e := s.popMostRelevant()
 			plan = append(plan,
-				segment{cfg: s.idleCfg, dur: 2 * s.p.MeasureWindow},
-				segment{cfg: e.Config, measure: e, adapt: true, dur: s.p.MeasureWindow})
+				segment{cfg: s.idleCfg, span: qtrace.CtlRTISleep, dur: 2 * s.p.MeasureWindow},
+				segment{cfg: e.Config, measure: e, adapt: true, span: qtrace.CtlDiscovery, dur: s.p.MeasureWindow})
 			budget -= slot
 			s.adaptBusy = true
 		}
@@ -538,7 +549,7 @@ func (s *SocketECL) plan(ttv time.Duration) []segment {
 				if s.p.Maintenance != MaintainNone && idleSlice >= s.p.MeasureWindow {
 					meas = s.profile.Idle()
 				}
-				plan = append(plan, segment{cfg: s.idleCfg, measure: meas, dur: idleSlice})
+				plan = append(plan, segment{cfg: s.idleCfg, measure: meas, span: qtrace.CtlRTISleep, dur: idleSlice})
 			}
 		}
 		s.rtiActive = true
@@ -644,6 +655,7 @@ func (s *SocketECL) beginSegment(now time.Duration, seg segment) {
 	s.segEntry = seg.measure
 	s.segAdapt = seg.adapt
 	s.segAggregate = seg.aggregate
+	s.segSpan = seg.span
 	s.segPkgJ = s.machine.ReadEnergy(s.p.Socket, hw.DomainPackage)
 	s.segDramJ = s.machine.ReadEnergy(s.p.Socket, hw.DomainDRAM)
 	s.segInstr = s.machine.SocketInstructions(s.p.Socket)
@@ -660,6 +672,15 @@ func (s *SocketECL) beginSegment(now time.Duration, seg segment) {
 // measured efficiency marks the whole profile stale for multiplexed
 // re-adaptation.
 func (s *SocketECL) finishSegment(now time.Duration) {
+	if s.tracer != nil && s.segSpan != qtrace.CtlNone && now > s.segStart {
+		s.tracer.AddCtl(qtrace.CtlSpan{
+			Kind:   s.segSpan,
+			Socket: s.p.Socket,
+			Start:  s.segStart,
+			End:    now,
+		})
+	}
+	s.segSpan = qtrace.CtlNone
 	entry := s.segEntry
 	adapt := s.segAdapt
 	aggregate := s.segAggregate

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/trace"
 )
 
 // Domain selects a RAPL measurement domain of one socket.
@@ -83,6 +84,9 @@ type Machine struct {
 	// Observability (nil when disabled; see internal/obs).
 	obsLog     *obs.Log
 	obsApplies []*obs.Counter // per socket
+	// tracer records settle windows as control spans (nil when query
+	// tracing is disabled; see internal/obs/trace).
+	tracer *trace.Tracer
 }
 
 type pendingApply struct {
@@ -175,6 +179,7 @@ func (m *Machine) SetObserver(ob *obs.Observer) {
 				reg.Counter(`hw_config_applies_total{socket="`+strconv.Itoa(s)+`"}`))
 		}
 	}
+	m.tracer = ob.Tracer()
 }
 
 // Apply requests a new configuration for one socket. The change becomes
@@ -190,6 +195,17 @@ func (m *Machine) Apply(socket int, cfg Configuration) error {
 	m.pending[socket] = pendingApply{cfg: cfg.Clone(), at: m.now + ApplyLatency, valid: true}
 	m.fw.noteRequest(socket, cfg, m.now)
 	m.epoch[socket]++
+	if m.tracer.Enabled() {
+		// The settle window is the hardware-level wake/transition latency
+		// an elasticity decision costs; on the shared timeline it lines
+		// up against the query spans paying for it.
+		m.tracer.AddCtl(trace.CtlSpan{
+			Kind:   trace.CtlSettle,
+			Socket: socket,
+			Start:  m.now,
+			End:    m.now + ApplyLatency,
+		})
+	}
 	if m.obsLog.Enabled() {
 		m.obsLog.Emit(obs.Event{
 			At:     m.now,

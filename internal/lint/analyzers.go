@@ -21,7 +21,8 @@ const modulePath = "ecldb"
 func CorePackages() []string {
 	names := []string{
 		"vtime", "hw", "dodb", "msg", "ecl", "energy", "obs",
-		"perfmodel", "sim", "storage", "workload", "loadprofile", "trace",
+		"obs/trace", "perfmodel", "sim", "storage", "workload",
+		"loadprofile", "trace",
 	}
 	core := make([]string, 0, len(names))
 	for _, n := range names {
@@ -70,6 +71,16 @@ func DefaultLayering() LayeringConfig {
 					in("workload"),
 				},
 				Reason: "the observability layer is imported by every core package and must depend only on vtime timestamps, never on the packages it observes",
+			},
+			{
+				Pkg: in("obs/trace"),
+				Forbid: []string{
+					in("bench"), in("dodb"), in("ecl"), in("energy"),
+					in("hw"), in("lint"), in("loadprofile"), in("msg"),
+					in("perfmodel"), in("sim"), in("storage"), in("trace"),
+					in("workload"),
+				},
+				Reason: "the query span model sits at the bottom of the observability stack: it may see only vtime timestamps and obs, never the runtime packages whose spans it records",
 			},
 		},
 		Restricted: []RestrictedImport{

@@ -95,6 +95,12 @@ func TestLayeringFixture(t *testing.T) {
 			Pkg:    base + "obslike",
 			Forbid: []string{base + "ecllike", base + "hwlike", base + "simlike"},
 			Reason: "fixture: obs-like may import only vtime-like",
+		}, {
+			// Mirrors the internal/obs/trace rule: the span model may see
+			// obs-like and vtime-like, never the runtime it describes.
+			Pkg:    base + "obstracelike",
+			Forbid: []string{base + "ecllike", base + "hwlike", base + "simlike"},
+			Reason: "fixture: obs-trace-like may import only obs-like and vtime-like",
 		}},
 		Restricted: []RestrictedImport{{
 			Target:  base + "simlike",
@@ -106,7 +112,7 @@ func TestLayeringFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{NewLayering(cfg)},
 		"layering/ecllike", "layering/hwlike", "layering/simlike",
 		"layering/benchlike", "layering/otherlike",
-		"layering/obslike", "layering/vtimelike")
+		"layering/obslike", "layering/obstracelike", "layering/vtimelike")
 }
 
 // TestSuiteCleanOnRepo is the contract itself: the default suite must

@@ -1,0 +1,12 @@
+// Package obstracelike stands in for internal/obs/trace: the query span
+// model at the bottom of the observability stack. The runtime packages
+// it describes import it, so it must not import them back — only the
+// obs-like and vtime-like layers below.
+package obstracelike
+
+import (
+	_ "ecldb/internal/lint/testdata/src/layering/ecllike" // want "must not import"
+	_ "ecldb/internal/lint/testdata/src/layering/hwlike"  // want "must not import"
+	_ "ecldb/internal/lint/testdata/src/layering/obslike"
+	_ "ecldb/internal/lint/testdata/src/layering/vtimelike"
+)

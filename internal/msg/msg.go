@@ -50,6 +50,19 @@ type Message struct {
 	Done func(now time.Duration)
 	// Enqueued is the time the message entered the system.
 	Enqueued time.Duration
+	// DeliveredAt is the time the message arrived at its home socket's
+	// hub: Enqueued for locally admitted messages, the delivery step's end
+	// for messages transferred by a communication endpoint. Stamped only
+	// for traced queries (see internal/obs/trace); zero otherwise.
+	DeliveredAt time.Duration
+	// SleepAtDeliver snapshots the home socket's cumulative asleep time
+	// at delivery; differencing it against the snapshot at completion
+	// attributes the wake-from-sleep share of the post-delivery wait.
+	// Stamped only for traced queries.
+	SleepAtDeliver time.Duration
+	// Hop records that the message crossed the interconnect. Stamped only
+	// for traced queries.
+	Hop bool
 }
 
 // queue is a FIFO of messages for one partition with an ownership flag.

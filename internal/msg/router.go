@@ -25,6 +25,9 @@ const (
 type Router struct {
 	hubs []*Hub
 	home []int // dense partition -> socket; -1 = unknown
+	// deliver, when non-nil, observes every message a communication
+	// endpoint hands to its home hub (query tracing; see SetDeliverHook).
+	deliver func(home int, m *Message)
 }
 
 // NewRouter builds a router over per-socket partition assignments:
@@ -80,6 +83,13 @@ func (r *Router) Send(originSocket int, m *Message) error {
 	return nil
 }
 
+// SetDeliverHook registers an observation callback invoked for every
+// message a communication endpoint delivers into its home hub, after the
+// enqueue. Observation only — the hook must not mutate routing state. A
+// nil hook (the default) disables the callback; the hot path then pays a
+// single nil check per transferred message.
+func (r *Router) SetDeliverHook(fn func(home int, m *Message)) { r.deliver = fn }
+
 // TransferReport describes one communication round of a socket endpoint.
 type TransferReport struct {
 	Messages int
@@ -100,6 +110,9 @@ func (r *Router) RunCommEndpoint(socket int) (TransferReport, error) {
 		for _, m := range h.DrainOutbound(remote, TransferBatch) {
 			if err := r.hubs[remote].EnqueueLocal(m); err != nil {
 				return rep, err
+			}
+			if r.deliver != nil {
+				r.deliver(remote, m)
 			}
 			rep.Messages++
 			rep.Instr += TransferInstr

@@ -28,15 +28,21 @@
 // observer is attached (verified by TestDisabledPathsAllocateNothing).
 package obs
 
-// Observer bundles the two sinks a simulation is wired with: the decision
-// event log and the metrics registry. A nil *Observer disables the layer;
-// the accessors below forward the nil so every downstream handle becomes
-// a no-op too.
+import "ecldb/internal/obs/trace"
+
+// Observer bundles the sinks a simulation is wired with: the decision
+// event log, the metrics registry, and (optionally) the query tracer. A
+// nil *Observer disables the layer; the accessors below forward the nil
+// so every downstream handle becomes a no-op too.
 type Observer struct {
 	// Log receives the structured decision events.
 	Log *Log
 	// Metrics is the counter/gauge/histogram registry.
 	Metrics *Registry
+	// Trace, when non-nil, collects per-query latency phase spans and
+	// control-loop spans (see internal/obs/trace). Nil by default — query
+	// tracing is opt-in on top of the control-plane layer.
+	Trace *trace.Tracer
 }
 
 // New builds an enabled Observer. capacity bounds the event log's ring
@@ -59,4 +65,32 @@ func (o *Observer) Reg() *Registry {
 		return nil
 	}
 	return o.Metrics
+}
+
+// Tracer returns the query tracer, or nil for a nil Observer or one
+// without tracing attached (the nil forwards, so downstream handles are
+// no-ops).
+func (o *Observer) Tracer() *trace.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// Explain renders the full post-run report: the control-plane explain
+// report reconstructed from the event log and, when query tracing was
+// attached, the per-phase latency breakdown with its critical-path
+// summary. Deterministic per seed; "" for a nil Observer.
+func (o *Observer) Explain() string {
+	if o == nil {
+		return ""
+	}
+	rep := Report(o.Log)
+	if tr := o.Trace.Report(); tr != "" {
+		if rep != "" {
+			rep += "\n"
+		}
+		rep += tr
+	}
+	return rep
 }

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PhaseTotals accumulates spans: a count, the summed latency, and the
+// summed per-phase durations. All sums are integer Durations, so
+// accumulation order cannot perturb them.
+type PhaseTotals struct {
+	Count   int
+	Latency time.Duration
+	Phase   [NumPhases]time.Duration
+}
+
+func (pt *PhaseTotals) add(s *QuerySpan) {
+	pt.Count++
+	pt.Latency += s.Latency()
+	pt.Phase[0] += s.Route
+	pt.Phase[1] += s.Wake
+	pt.Phase[2] += s.Queue
+	pt.Phase[3] += s.Exec
+}
+
+// Dominant returns the phase with the largest summed duration (ties
+// resolve to the earliest phase in PhaseNames order) and its share of the
+// summed latency. Empty totals report ("", 0).
+func (pt *PhaseTotals) Dominant() (string, float64) {
+	if pt.Count == 0 || pt.Latency <= 0 {
+		return "", 0
+	}
+	best := 0
+	for i := 1; i < NumPhases; i++ {
+		if pt.Phase[i] > pt.Phase[best] {
+			best = i
+		}
+	}
+	return PhaseNames[best], float64(pt.Phase[best]) / float64(pt.Latency)
+}
+
+// Bucket summarizes one latency percentile range of the sampled spans.
+type Bucket struct {
+	// Label names the percentile range, e.g. "p90-p99".
+	Label string
+	PhaseTotals
+}
+
+// Breakdown is the aggregate per-phase latency attribution over the
+// sampled query spans.
+type Breakdown struct {
+	// Seen is the number of queries offered for sampling; Every the
+	// sampling period.
+	Seen  uint64
+	Every int
+	// Hops counts sampled spans whose critical message crossed sockets.
+	Hops int
+	// Total aggregates every sampled span.
+	Total PhaseTotals
+	// Buckets split the spans by latency percentile: p0-p50, p50-p90,
+	// p90-p99, p99-p100 (empty buckets have Count 0).
+	Buckets [4]Bucket
+}
+
+// Breakdown aggregates the recorded query spans. Spans are ranked by
+// latency (ties by recording order, which is deterministic), then split
+// at the p50/p90/p99 ranks.
+func (t *Tracer) Breakdown() Breakdown {
+	b := Breakdown{Every: t.SampleEvery(), Seen: t.Seen()}
+	b.Buckets[0].Label = "p0-p50"
+	b.Buckets[1].Label = "p50-p90"
+	b.Buckets[2].Label = "p90-p99"
+	b.Buckets[3].Label = "p99-p100"
+	spans := t.Queries()
+	if len(spans) == 0 {
+		return b
+	}
+	ranked := make([]*QuerySpan, len(spans))
+	for i := range spans {
+		ranked[i] = &spans[i]
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].Latency() < ranked[j].Latency()
+	})
+	n := len(ranked)
+	cuts := [5]int{0, n * 50 / 100, n * 90 / 100, n * 99 / 100, n}
+	for bi := 0; bi < 4; bi++ {
+		for _, s := range ranked[cuts[bi]:cuts[bi+1]] {
+			b.Buckets[bi].add(s)
+		}
+	}
+	for i := range spans {
+		b.Total.add(&spans[i])
+		if spans[i].Hop {
+			b.Hops++
+		}
+	}
+	return b
+}
+
+// Render formats the breakdown as the fixed-width ASCII table surfaced by
+// obs.Explain, ecldb.Result, and eclsim. Deterministic: fixed column
+// order, fmt float formatting only.
+func (b Breakdown) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query phase breakdown: %d span(s) sampled (1 in %d of %d queries), %d inter-socket\n",
+		b.Total.Count, b.Every, b.Seen, b.Hops)
+	fmt.Fprintf(&sb, "  %-9s %7s %11s %9s %9s %9s %9s  %s\n",
+		"bucket", "count", "avg_lat_ms", "route_ms", "wake_ms", "queue_ms", "exec_ms", "dominant")
+	row := func(label string, pt PhaseTotals) {
+		if pt.Count == 0 {
+			fmt.Fprintf(&sb, "  %-9s %7d %11s %9s %9s %9s %9s  -\n", label, 0, "-", "-", "-", "-", "-")
+			return
+		}
+		dom, share := pt.Dominant()
+		ms := func(d time.Duration) float64 {
+			return float64(d) / float64(pt.Count) / float64(time.Millisecond)
+		}
+		fmt.Fprintf(&sb, "  %-9s %7d %11.3f %9.3f %9.3f %9.3f %9.3f  %s (%.1f%%)\n",
+			label, pt.Count, ms(pt.Latency), ms(pt.Phase[0]), ms(pt.Phase[1]), ms(pt.Phase[2]), ms(pt.Phase[3]),
+			dom, share*100)
+	}
+	for _, bk := range b.Buckets {
+		row(bk.Label, bk.PhaseTotals)
+	}
+	row("all", b.Total)
+	// The critical-path summary: which phase rules the tail.
+	for bi := len(b.Buckets) - 1; bi >= 0; bi-- {
+		if bk := b.Buckets[bi]; bk.Count > 0 {
+			dom, share := bk.Dominant()
+			fmt.Fprintf(&sb, "critical path: %s dominated by %s (%.1f%% of bucket latency)\n",
+				bk.Label, dom, share*100)
+			break
+		}
+	}
+	return sb.String()
+}
+
+// Report renders the breakdown table, or "" for a nil tracer or one with
+// no sampled spans.
+func (t *Tracer) Report() string {
+	if t == nil || len(t.queries) == 0 {
+		return ""
+	}
+	return t.Breakdown().Render()
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"io"
+	"strconv"
+	"time"
+)
+
+// Track layout of the Perfetto export: one process per socket; worker
+// threads are tids 1..N (local thread + 1), and two synthetic tracks per
+// socket carry the control plane.
+const (
+	// tidECL is the per-socket track for ECL control spans (discovery
+	// windows, race-to-idle sleeps).
+	tidECL = 900
+	// tidSettle is the per-socket track for hardware settle windows.
+	tidSettle = 901
+)
+
+// WritePerfetto writes the recorded spans as Chrome/Perfetto trace-event
+// JSON ("JSON object format"): open the file at ui.perfetto.dev or
+// chrome://tracing. One process per socket, one thread track per worker,
+// plus per-socket "ecl control" and "hw settle" tracks. Timestamps are
+// virtual microseconds with nanosecond precision preserved as fractions.
+//
+// The byte stream is a pure function of the recorded spans — the JSON is
+// assembled by hand in emission order with strconv, no maps and no
+// float formatting — so same-seed runs export byte-identical traces (the
+// determinism digest test covers this).
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 160)
+	first := true
+	emit := func(line []byte) error {
+		if first {
+			first = false
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return err
+			}
+		} else {
+			if _, err := w.Write([]byte{',', '\n'}); err != nil {
+				return err
+			}
+		}
+		_, err := w.Write(line)
+		return err
+	}
+
+	// Metadata first: the track names, derived deterministically from the
+	// spans (slices indexed by socket, no map iteration).
+	sockets, workers, ecl, settle := t.trackInventory()
+	for sock := 0; sock < len(sockets); sock++ {
+		if !sockets[sock] {
+			continue
+		}
+		buf = buf[:0]
+		buf = append(buf, `{"name":"process_name","ph":"M","pid":`...)
+		buf = strconv.AppendInt(buf, int64(sock), 10)
+		buf = append(buf, `,"args":{"name":"socket `...)
+		buf = strconv.AppendInt(buf, int64(sock), 10)
+		buf = append(buf, `"}}`...)
+		if err := emit(buf); err != nil {
+			return err
+		}
+		for lt := 0; lt <= workers[sock]; lt++ {
+			buf = appendThreadName(buf[:0], sock, lt+1, "worker ", lt)
+			if err := emit(buf); err != nil {
+				return err
+			}
+		}
+		if ecl[sock] {
+			buf = appendThreadName(buf[:0], sock, tidECL, "ecl control", -1)
+			if err := emit(buf); err != nil {
+				return err
+			}
+		}
+		if settle[sock] {
+			buf = appendThreadName(buf[:0], sock, tidSettle, "hw settle", -1)
+			if err := emit(buf); err != nil {
+				return err
+			}
+		}
+	}
+
+	for i := range t.Queries() {
+		q := &t.queries[i]
+		tid := q.Worker + 1
+		// Parent span: the whole query on the home worker's track.
+		buf = appendComplete(buf[:0], "query", q.Home, tid, q.Start, q.End-q.Start)
+		buf = append(buf, `,"args":{"qid":`...)
+		buf = strconv.AppendUint(buf, q.QID, 10)
+		buf = append(buf, `,"origin":`...)
+		buf = strconv.AppendInt(buf, int64(q.Origin), 10)
+		buf = append(buf, `,"ops":`...)
+		buf = strconv.AppendInt(buf, int64(q.Ops), 10)
+		buf = append(buf, `,"hop":`...)
+		if q.Hop {
+			buf = append(buf, '1')
+		} else {
+			buf = append(buf, '0')
+		}
+		buf = append(buf, `}}`...)
+		if err := emit(buf); err != nil {
+			return err
+		}
+		// Phase slices nest inside the parent: consecutive, zero-length
+		// phases skipped.
+		at := q.Start
+		for pi, d := range q.Phases() {
+			if d > 0 {
+				buf = appendComplete(buf[:0], PhaseNames[pi], q.Home, tid, at, d)
+				buf = append(buf, '}')
+				if err := emit(buf); err != nil {
+					return err
+				}
+			}
+			at += d
+		}
+		// Completion is an instant: the reply leaves the engine at End.
+		buf = buf[:0]
+		buf = append(buf, `{"name":"reply","ph":"i","s":"t","pid":`...)
+		buf = strconv.AppendInt(buf, int64(q.Home), 10)
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(tid), 10)
+		buf = append(buf, `,"ts":`...)
+		buf = appendTS(buf, q.End)
+		buf = append(buf, '}')
+		if err := emit(buf); err != nil {
+			return err
+		}
+	}
+
+	for _, c := range t.Ctl() {
+		tid := tidECL
+		if c.Kind == CtlSettle {
+			tid = tidSettle
+		}
+		buf = appendComplete(buf[:0], c.Kind.String(), c.Socket, tid, c.Start, c.End-c.Start)
+		buf = append(buf, '}')
+		if err := emit(buf); err != nil {
+			return err
+		}
+	}
+
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// trackInventory scans the spans for the sockets, worker threads, and
+// control tracks the metadata must announce. Indexed by socket.
+func (t *Tracer) trackInventory() (sockets []bool, workers []int, ecl, settle []bool) {
+	grow := func(sock int) {
+		for sock >= len(sockets) {
+			sockets = append(sockets, false)
+			workers = append(workers, -1)
+			ecl = append(ecl, false)
+			settle = append(settle, false)
+		}
+	}
+	for i := range t.Queries() {
+		q := &t.queries[i]
+		grow(q.Home)
+		sockets[q.Home] = true
+		if q.Worker > workers[q.Home] {
+			workers[q.Home] = q.Worker
+		}
+	}
+	for _, c := range t.Ctl() {
+		grow(c.Socket)
+		sockets[c.Socket] = true
+		if c.Kind == CtlSettle {
+			settle[c.Socket] = true
+		} else {
+			ecl[c.Socket] = true
+		}
+	}
+	return sockets, workers, ecl, settle
+}
+
+// appendThreadName appends a thread_name metadata event. idx >= 0 is
+// appended to the name (worker tracks); idx < 0 leaves the name as is.
+func appendThreadName(buf []byte, pid, tid int, name string, idx int) []byte {
+	buf = append(buf, `{"name":"thread_name","ph":"M","pid":`...)
+	buf = strconv.AppendInt(buf, int64(pid), 10)
+	buf = append(buf, `,"tid":`...)
+	buf = strconv.AppendInt(buf, int64(tid), 10)
+	buf = append(buf, `,"args":{"name":"`...)
+	buf = append(buf, name...)
+	if idx >= 0 {
+		buf = strconv.AppendInt(buf, int64(idx), 10)
+	}
+	buf = append(buf, `"}}`...)
+	return buf
+}
+
+// appendComplete appends the common prefix of a complete ("X") event, up
+// to but not including the closing brace, so callers can attach args.
+func appendComplete(buf []byte, name string, pid, tid int, ts, dur time.Duration) []byte {
+	buf = append(buf, `{"name":"`...)
+	buf = append(buf, name...)
+	buf = append(buf, `","ph":"X","pid":`...)
+	buf = strconv.AppendInt(buf, int64(pid), 10)
+	buf = append(buf, `,"tid":`...)
+	buf = strconv.AppendInt(buf, int64(tid), 10)
+	buf = append(buf, `,"ts":`...)
+	buf = appendTS(buf, ts)
+	buf = append(buf, `,"dur":`...)
+	buf = appendTS(buf, dur)
+	return buf
+}
+
+// appendTS renders a virtual timestamp as trace-event microseconds,
+// preserving nanosecond precision as an exact 3-digit decimal fraction.
+// Integer rendering only — no float formatting is involved, so the bytes
+// are trivially deterministic.
+func appendTS(buf []byte, d time.Duration) []byte {
+	ns := int64(d)
+	if ns < 0 {
+		buf = append(buf, '-')
+		ns = -ns
+	}
+	buf = strconv.AppendInt(buf, ns/1000, 10)
+	if frac := ns % 1000; frac != 0 {
+		buf = append(buf, '.')
+		buf = append(buf, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	}
+	return buf
+}

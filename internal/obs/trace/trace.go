@@ -1,0 +1,189 @@
+// Package trace is the data-plane half of the observability layer: a
+// deterministic, virtual-timestamped span model for the query lifecycle.
+//
+// internal/obs records *which control decision* the Energy-Control Loop
+// took; this package records *where an individual query's latency went* —
+// routing across the interconnect, waiting behind a sleeping worker,
+// waking it, executing — so a latency spike in a figure can be attributed
+// to a specific phase and, through the control spans sharing the
+// timeline, to the ECL action that caused it.
+//
+// The span model obeys the same determinism contract as the rest of the
+// core (DESIGN.md "Determinism contract"):
+//
+//   - All timestamps are virtual (time.Duration offsets of the vtime
+//     clock). The package never reads time and never generates
+//     randomness; sampling is keyed on the query id.
+//   - Same seed, same byte stream: the Perfetto export and the breakdown
+//     report are byte-identical across same-seed runs (internal/sim's
+//     determinism digest covers both).
+//   - A query span's phases are an exact partition of its latency:
+//     Route+Wake+Queue+Exec == End-Start == the LatencyTracker sample the
+//     engine recorded, in integer nanosecond arithmetic (the conservation
+//     invariant, tested in internal/dodb).
+//
+// A nil *Tracer accepts all operations as allocation-free no-ops, so
+// instrumented hot paths pay a nil check and nothing else when tracing is
+// disabled.
+package trace
+
+import "time"
+
+// NumPhases is the number of latency phases a query span is split into.
+const NumPhases = 4
+
+// PhaseNames names the phases in timeline order: route (admission until
+// delivery at the home socket's hub, including inter-socket transfer),
+// wake (the part of the post-delivery wait during which the home socket
+// had no active worker), queue (the remaining wait behind other work),
+// and exec (the step that retired the query's final operation).
+var PhaseNames = [NumPhases]string{"route", "wake", "queue", "exec"}
+
+// QuerySpan is one sampled query's lifecycle with its latency partitioned
+// into phases. Phase durations are attributed to the query's critical
+// path: the operation message whose completion finished the query.
+type QuerySpan struct {
+	// QID is the query's 1-based admission index (deterministic per seed).
+	QID uint64
+	// Start is the admission instant, End the completion instant.
+	Start, End time.Duration
+	// Route, Wake, Queue, Exec partition End-Start exactly.
+	Route, Wake, Queue, Exec time.Duration
+	// Origin is the admitting socket, Home the socket owning the critical
+	// partition, Worker the home-local thread that executed the final op.
+	Origin, Home, Worker int
+	// Hop reports whether the critical message crossed the interconnect.
+	Hop bool
+	// Ops is the query's operation count.
+	Ops int
+}
+
+// Latency returns the span's total duration.
+func (s QuerySpan) Latency() time.Duration { return s.End - s.Start }
+
+// Phases returns the phase durations in PhaseNames order.
+func (s QuerySpan) Phases() [NumPhases]time.Duration {
+	return [NumPhases]time.Duration{s.Route, s.Wake, s.Queue, s.Exec}
+}
+
+// CtlKind classifies a control-loop span.
+type CtlKind uint8
+
+const (
+	// CtlNone is the zero value: not a control span.
+	CtlNone CtlKind = iota
+	// CtlSettle is a hardware configuration transition settling
+	// (hw.ApplyLatency): the wake-latency cost of an elasticity decision.
+	CtlSettle
+	// CtlDiscovery is a multiplexed profile-discovery measurement window.
+	CtlDiscovery
+	// CtlRTISleep is a race-to-idle sleep slice (including the idle
+	// accumulation slices preceding discovery windows).
+	CtlRTISleep
+)
+
+// String names the kind.
+func (k CtlKind) String() string {
+	switch k {
+	case CtlSettle:
+		return "settle"
+	case CtlDiscovery:
+		return "discovery"
+	case CtlRTISleep:
+		return "rti-sleep"
+	}
+	return "none"
+}
+
+// CtlSpan is one control-loop activity on the shared timeline.
+type CtlSpan struct {
+	Kind       CtlKind
+	Socket     int
+	Start, End time.Duration
+}
+
+// Tracer collects query and control spans. It is single-threaded like
+// everything else in the core; spans are kept in emission order, which is
+// deterministic per seed.
+type Tracer struct {
+	every   uint64
+	seen    uint64
+	queries []QuerySpan
+	ctl     []CtlSpan
+}
+
+// New builds a tracer sampling one query span in every sampleEvery
+// admissions (keyed on the query id, not on wall clock or randomness, so
+// the sampled set is identical across runs). sampleEvery <= 1 traces
+// every query.
+func New(sampleEvery int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Tracer{every: uint64(sampleEvery)}
+}
+
+// Enabled reports whether tracing is attached (callers guard span
+// assembly work behind it).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SampleEvery returns the sampling period (1 = every query).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
+// Seen returns how many queries were offered to Sample.
+func (t *Tracer) Seen() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seen
+}
+
+// Sample decides whether the query with the given id is traced: a
+// deterministic 1-in-N choice keyed on the id. Nil-safe and
+// allocation-free; counts every offer.
+func (t *Tracer) Sample(qid uint64) bool {
+	if t == nil {
+		return false
+	}
+	t.seen++
+	return qid%t.every == 0
+}
+
+// AddQuery records a completed query span. Nil-safe.
+func (t *Tracer) AddQuery(s QuerySpan) {
+	if t == nil {
+		return
+	}
+	t.queries = append(t.queries, s)
+}
+
+// AddCtl records a control span. Nil-safe.
+func (t *Tracer) AddCtl(s CtlSpan) {
+	if t == nil {
+		return
+	}
+	t.ctl = append(t.ctl, s)
+}
+
+// Queries returns the recorded query spans in emission order. The slice
+// is the tracer's own storage; callers must not modify it.
+func (t *Tracer) Queries() []QuerySpan {
+	if t == nil {
+		return nil
+	}
+	return t.queries
+}
+
+// Ctl returns the recorded control spans in emission order. The slice is
+// the tracer's own storage; callers must not modify it.
+func (t *Tracer) Ctl() []CtlSpan {
+	if t == nil {
+		return nil
+	}
+	return t.ctl
+}

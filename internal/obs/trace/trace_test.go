@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTracerNoOps pins the disabled-path contract: every operation on
+// a nil *Tracer is a safe no-op, and the hot-path entry points allocate
+// nothing.
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	if tr.Sample(4) {
+		t.Fatal("nil tracer sampled a query")
+	}
+	if tr.Seen() != 0 || tr.SampleEvery() != 0 {
+		t.Fatalf("nil tracer counters: seen=%d every=%d", tr.Seen(), tr.SampleEvery())
+	}
+	tr.AddQuery(QuerySpan{})
+	tr.AddCtl(CtlSpan{})
+	if tr.Queries() != nil || tr.Ctl() != nil {
+		t.Fatal("nil tracer holds spans")
+	}
+	if tr.Report() != "" {
+		t.Fatal("nil tracer renders a report")
+	}
+
+	for name, fn := range map[string]func(){
+		"Enabled":  func() { tr.Enabled() },
+		"Sample":   func() { tr.Sample(7) },
+		"AddQuery": func() { tr.AddQuery(QuerySpan{QID: 1}) },
+		"AddCtl":   func() { tr.AddCtl(CtlSpan{Kind: CtlSettle}) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s on nil tracer: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestSamplingDeterministic pins that sampling is a pure function of the
+// query id: 1-in-N by id modulo, identical across tracers.
+func TestSamplingDeterministic(t *testing.T) {
+	a, b := New(4), New(4)
+	var picked []uint64
+	for qid := uint64(1); qid <= 100; qid++ {
+		ga, gb := a.Sample(qid), b.Sample(qid)
+		if ga != gb {
+			t.Fatalf("qid %d: tracers disagree", qid)
+		}
+		if ga != (qid%4 == 0) {
+			t.Fatalf("qid %d: sampled=%v, want %v", qid, ga, qid%4 == 0)
+		}
+		if ga {
+			picked = append(picked, qid)
+		}
+	}
+	if a.Seen() != 100 {
+		t.Fatalf("seen=%d, want 100", a.Seen())
+	}
+	if len(picked) != 25 {
+		t.Fatalf("picked %d of 100 at 1-in-4", len(picked))
+	}
+	if New(0).SampleEvery() != 1 {
+		t.Fatal("sampleEvery<1 must clamp to 1 (trace everything)")
+	}
+}
+
+func testTracer() *Tracer {
+	tr := New(2)
+	tr.AddQuery(QuerySpan{
+		QID: 2, Start: 1 * time.Millisecond, End: 2*time.Millisecond + 500*time.Nanosecond,
+		Route: 200 * time.Microsecond, Wake: 300 * time.Microsecond,
+		Queue: 100*time.Microsecond + 500*time.Nanosecond, Exec: 400 * time.Microsecond,
+		Origin: 1, Home: 0, Worker: 2, Hop: true, Ops: 3,
+	})
+	tr.AddQuery(QuerySpan{
+		QID: 4, Start: 3 * time.Millisecond, End: 3*time.Millisecond + 50*time.Microsecond,
+		Exec:   50 * time.Microsecond,
+		Origin: 1, Home: 1, Worker: 0, Ops: 1,
+	})
+	tr.AddCtl(CtlSpan{Kind: CtlDiscovery, Socket: 0, Start: 0, End: 5 * time.Millisecond})
+	tr.AddCtl(CtlSpan{Kind: CtlSettle, Socket: 1, Start: 1 * time.Millisecond, End: 1*time.Millisecond + 10*time.Microsecond})
+	tr.AddCtl(CtlSpan{Kind: CtlRTISleep, Socket: 1, Start: 6 * time.Millisecond, End: 7 * time.Millisecond})
+	return tr
+}
+
+// TestWritePerfetto checks the export is valid JSON in trace-event shape,
+// byte-identical across writes, and carries the expected tracks.
+func TestWritePerfetto(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := testTracer().WritePerfetto(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := testTracer().WritePerfetto(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same spans exported different bytes")
+	}
+
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit=%q", doc.DisplayTimeUnit)
+	}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		names[ev["name"].(string)]++
+	}
+	for _, want := range []string{
+		"process_name", "thread_name", "query", "route", "wake", "queue",
+		"exec", "reply", "discovery", "settle", "rti-sleep",
+	} {
+		if names[want] == 0 {
+			t.Errorf("export missing %q events", want)
+		}
+	}
+	// The second span has only an exec phase: zero-duration phases must be
+	// skipped, so exactly one route slice exists.
+	if names["route"] != 1 || names["exec"] != 2 {
+		t.Errorf("phase slices: route=%d exec=%d, want 1 and 2", names["route"], names["exec"])
+	}
+}
+
+// TestAppendTS pins the microsecond rendering: integer arithmetic with an
+// exact 3-digit nanosecond fraction, no float formatting.
+func TestAppendTS(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{999 * time.Nanosecond, "0.999"},
+		{time.Microsecond, "1"},
+		{1500 * time.Nanosecond, "1.500"},
+		{time.Millisecond, "1000"},
+		{time.Millisecond + 7*time.Nanosecond, "1000.007"},
+		{-1500 * time.Nanosecond, "-1.500"},
+	}
+	for _, c := range cases {
+		if got := string(appendTS(nil, c.d)); got != c.want {
+			t.Errorf("appendTS(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// TestBreakdown checks the aggregate attribution: totals, dominant-phase
+// selection (ties to the earliest phase), and the rendered table.
+func TestBreakdown(t *testing.T) {
+	tr := testTracer()
+	b := tr.Breakdown()
+	if b.Total.Count != 2 || b.Hops != 1 || b.Every != 2 {
+		t.Fatalf("total=%d hops=%d every=%d", b.Total.Count, b.Hops, b.Every)
+	}
+	wantLat := 1*time.Millisecond + 500*time.Nanosecond + 50*time.Microsecond
+	if b.Total.Latency != wantLat {
+		t.Fatalf("total latency %v, want %v", b.Total.Latency, wantLat)
+	}
+	var bucketed int
+	for _, bk := range b.Buckets {
+		bucketed += bk.Count
+	}
+	if bucketed != b.Total.Count {
+		t.Fatalf("buckets hold %d spans, total %d", bucketed, b.Total.Count)
+	}
+	dom, share := b.Total.Dominant()
+	if dom != "exec" || share <= 0 {
+		t.Fatalf("dominant = %s (%.2f)", dom, share)
+	}
+
+	// Ties resolve to the earliest phase in timeline order.
+	tie := PhaseTotals{Count: 1, Latency: 2 * time.Millisecond}
+	tie.Phase[1] = time.Millisecond // wake
+	tie.Phase[3] = time.Millisecond // exec
+	if dom, _ := tie.Dominant(); dom != "wake" {
+		t.Fatalf("tie resolved to %s, want wake", dom)
+	}
+
+	out := tr.Report()
+	for _, want := range []string{
+		"query phase breakdown: 2 span(s) sampled",
+		"1 inter-socket",
+		"critical path:",
+		"p99-p100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	var empty *Tracer
+	if empty.Report() != "" || New(1).Report() != "" {
+		t.Fatal("empty tracers must render no report")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"ecldb/internal/loadprofile"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/trace"
 	"ecldb/internal/workload"
 )
 
@@ -25,13 +26,15 @@ import (
 // entry and flips the digest.
 func runDigest(t *testing.T, seed int64) [sha256.Size]byte {
 	t.Helper()
+	ob := obs.New(0)
+	ob.Trace = trace.New(3)
 	sum, _ := digestRun(t, Options{
 		Workload: workload.NewKV(false),
 		Load:     loadprofile.Constant{Qps: 6000, Len: 15 * time.Second},
 		Governor: GovernorECL,
 		Prewarm:  true,
 		Seed:     seed,
-		Obs:      obs.New(0),
+		Obs:      ob,
 	})
 	return sum
 }
@@ -88,7 +91,9 @@ func digestRun(t *testing.T, opts Options) ([sha256.Size]byte, *Sim) {
 
 	// Observability exports: the JSONL decision-event stream, the
 	// Prometheus exposition, and the explain report are all part of the
-	// determinism contract — byte-identical per seed.
+	// determinism contract — byte-identical per seed. When query tracing
+	// is attached, the Perfetto export and the phase-breakdown table join
+	// the digest too.
 	if ob := opts.Obs; ob != nil {
 		if err := ob.Log.WriteJSONL(h); err != nil {
 			t.Fatal(err)
@@ -97,6 +102,12 @@ func digestRun(t *testing.T, opts Options) ([sha256.Size]byte, *Sim) {
 			t.Fatal(err)
 		}
 		fmt.Fprint(h, obs.Report(ob.Log))
+		if ob.Trace != nil {
+			if err := ob.Trace.WritePerfetto(h); err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprint(h, ob.Trace.Report())
+		}
 	}
 
 	var sum [sha256.Size]byte

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ecldb/internal/obs"
+	"ecldb/internal/obs/trace"
+)
+
+// tracedOpts is shortECLOpts with query tracing attached at 1-in-4.
+func tracedOpts(seed int64) (Options, *trace.Tracer) {
+	ob := obs.New(0)
+	ob.Trace = trace.New(4)
+	return shortECLOpts(seed, ob), ob.Trace
+}
+
+// TestQueryTraceIsBehaviorNeutral runs the same seeded scenario with and
+// without the tracer: the recorded series and outcomes must be identical.
+// Tracing observes timestamps the run already computes — it must never
+// draw randomness, change timing, or otherwise perturb the simulation.
+func TestQueryTraceIsBehaviorNeutral(t *testing.T) {
+	plain, err := Run(shortECLOpts(7, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, _ := tracedOpts(7)
+	traced, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := resultFingerprint(t, plain), resultFingerprint(t, traced); a != b {
+		t.Fatal("attaching the query tracer changed the run's recorded series")
+	}
+	if plain.Completed != traced.Completed || plain.EnergyJ != traced.EnergyJ {
+		t.Fatalf("tracer changed outcomes: completed %d vs %d, energy %g vs %g",
+			plain.Completed, traced.Completed, plain.EnergyJ, traced.EnergyJ)
+	}
+}
+
+// TestQueryTracePerfettoByteIdentical runs the same seed twice and demands
+// bit-for-bit equality of the Perfetto export and the breakdown report,
+// plus structural validity: the export parses as trace-event JSON and
+// carries query, phase, and control spans.
+func TestQueryTracePerfettoByteIdentical(t *testing.T) {
+	var exports [2]bytes.Buffer
+	var reports [2]string
+	for i := range exports {
+		opts, tr := tracedOpts(11)
+		if _, err := Run(opts); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WritePerfetto(&exports[i]); err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = tr.Report()
+	}
+	if !bytes.Equal(exports[0].Bytes(), exports[1].Bytes()) {
+		t.Fatal("same seed exported different Perfetto bytes")
+	}
+	if reports[0] != reports[1] {
+		t.Fatal("same seed rendered different breakdown reports")
+	}
+	if !strings.Contains(reports[0], "query phase breakdown") {
+		t.Fatalf("breakdown report empty or malformed:\n%s", reports[0])
+	}
+
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(exports[0].Bytes(), &doc); err != nil {
+		t.Fatalf("Perfetto export is not valid JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		names[ev["name"].(string)]++
+	}
+	if names["query"] == 0 || names["exec"] == 0 || names["reply"] == 0 {
+		t.Errorf("export carries no query spans: %v", names)
+	}
+	if names["rti-sleep"] == 0 && names["discovery"] == 0 && names["settle"] == 0 {
+		t.Error("export carries no control spans")
+	}
+}
+
+// TestQueryTraceSpanInvariants checks the sampled span set of a full ECL
+// run: sampling is exactly 1-in-4 by admission index, every span's phases
+// are non-negative and sum to its latency, and the explain report surfaces
+// the breakdown.
+func TestQueryTraceSpanInvariants(t *testing.T) {
+	opts, tr := tracedOpts(13)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Seen() != uint64(res.Submitted) {
+		t.Fatalf("tracer saw %d admissions, run submitted %d", tr.Seen(), res.Submitted)
+	}
+	spans := tr.Queries()
+	if len(spans) == 0 {
+		t.Fatal("no spans sampled")
+	}
+	if max := int(res.Submitted)/4 + 1; len(spans) > max {
+		t.Fatalf("sampled %d spans of %d admissions at 1-in-4", len(spans), res.Submitted)
+	}
+	for i, s := range spans {
+		if s.QID == 0 || s.QID%4 != 0 {
+			t.Fatalf("span %d: qid %d not a 1-in-4 admission index", i, s.QID)
+		}
+		for pi, d := range s.Phases() {
+			if d < 0 {
+				t.Fatalf("span %d (qid %d): negative %s phase %v", i, s.QID, trace.PhaseNames[pi], d)
+			}
+		}
+		if sum := s.Route + s.Wake + s.Queue + s.Exec; sum != s.Latency() {
+			t.Fatalf("span %d (qid %d): phases sum to %v, latency %v", i, s.QID, sum, s.Latency())
+		}
+		if s.End < s.Start {
+			t.Fatalf("span %d (qid %d): ends %v before start %v", i, s.QID, s.End, s.Start)
+		}
+	}
+	if ex := opts.Obs.Explain(); !strings.Contains(ex, "query phase breakdown") ||
+		!strings.Contains(ex, "critical path:") {
+		t.Errorf("Explain does not surface the breakdown:\n%s", ex)
+	}
+}

@@ -190,6 +190,9 @@ type Sim struct {
 	// disabled).
 	obsInflight  *obs.Gauge
 	obsThreads   *obs.Gauge
+	obsLatP50    *obs.Gauge
+	obsLatP95    *obs.Gauge
+	obsLatP99    *obs.Gauge
 	obsQueueDep  []*obs.Gauge // per socket
 	obsDebtInstr []*obs.Gauge // per socket
 }
@@ -266,6 +269,12 @@ func (s *Sim) attachObserver(ob *obs.Observer) {
 	reg := ob.Reg()
 	s.obsInflight = reg.Gauge("dodb_inflight")
 	s.obsThreads = reg.Gauge("hw_active_threads")
+	// Windowed latency tail estimates (the paper's soft-limit story is
+	// about the distribution tail, not the mean): fixed-bucket estimates
+	// from the LatencyTracker histogram, refreshed per trace sample.
+	s.obsLatP50 = reg.Gauge("dodb_latency_p50_ms")
+	s.obsLatP95 = reg.Gauge("dodb_latency_p95_ms")
+	s.obsLatP99 = reg.Gauge("dodb_latency_p99_ms")
 	s.obsQueueDep, s.obsDebtInstr = nil, nil
 	if reg != nil {
 		for sock := 0; sock < s.topo.Sockets; sock++ {
@@ -939,6 +948,9 @@ func (s *Sim) sample(t time.Duration) {
 	s.rec.Add("inflight", t, float64(s.engine.InFlight()))
 	s.obsInflight.Set(float64(s.engine.InFlight()))
 	s.obsThreads.Set(float64(activeThreads))
+	s.obsLatP50.Set(float64(lt.EstimatedPercentile(now, 0.50)) / float64(time.Millisecond))
+	s.obsLatP95.Set(float64(lt.EstimatedPercentile(now, 0.95)) / float64(time.Millisecond))
+	s.obsLatP99.Set(float64(lt.EstimatedPercentile(now, 0.99)) / float64(time.Millisecond))
 	for sock := 0; sock < len(s.obsQueueDep); sock++ {
 		s.obsQueueDep[sock].Set(float64(s.engine.SocketPending(sock)))
 		s.obsDebtInstr[sock].Set(s.engine.BudgetDebt(sock))

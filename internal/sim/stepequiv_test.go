@@ -7,6 +7,7 @@ import (
 	"ecldb/internal/hw"
 	"ecldb/internal/loadprofile"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/trace"
 	"ecldb/internal/workload"
 )
 
@@ -16,6 +17,12 @@ import (
 // with the observability layer attached so event logs, metrics, and the
 // explain report enter the digest.
 func stepEquivOptions(noMemo, noMacro bool) Options {
+	// Query tracing rides along: the Perfetto export and breakdown enter
+	// the digest, so the proof also covers span byte-identity across the
+	// optimization combinations (macro windows require quiescence, so no
+	// traced span interval can overlap one).
+	ob := obs.New(0)
+	ob.Trace = trace.New(3)
 	return Options{
 		Workload: workload.NewKV(false),
 		Load: loadprofile.Step{
@@ -25,7 +32,7 @@ func stepEquivOptions(noMemo, noMacro bool) Options {
 		Governor: GovernorECL,
 		Prewarm:  true,
 		Seed:     7,
-		Obs:      obs.New(0),
+		Obs:      ob,
 		NoMemo:   noMemo,
 		NoMacro:  noMacro,
 	}

@@ -47,6 +47,13 @@ echo "== step-path byte-identity under -race"
 # CSV, event log, metrics exposition, and explain report.
 go test -race -count=1 -run 'TestStepPathsByteIdentical' ./internal/sim
 
+echo "== query trace validity + byte-identity under -race"
+# A short traced simulation: the Perfetto export must parse as JSON,
+# match byte-for-byte across two same-seed runs, and leave the recorded
+# series untouched (tracing is read-only). The determinism digest above
+# also folds the export and the phase-breakdown table in.
+go test -race -count=1 -run 'TestQueryTrace' ./internal/sim
+
 echo "== parallel sweep byte-identity under -race"
 # Not -short: the comparison regenerates a sized-down figure three times
 # (sequential, 2 workers, 4 workers) and diffs tables, JSONL event

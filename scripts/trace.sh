@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# trace.sh — regenerate the reference query-trace artifact: a short
+# deterministic ECL run with per-query span tracing, exported as
+# Chrome/Perfetto trace-event JSON (open at https://ui.perfetto.dev) next
+# to the phase-breakdown table printed on stdout. Same seed, same bytes:
+# re-running this script must reproduce the artifact bit for bit.
+#
+# Usage: scripts/trace.sh [out.json]   (default artifacts/qtrace.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-artifacts/qtrace.json}"
+mkdir -p "$(dirname "$out")"
+
+go run ./cmd/eclsim -workload kv-nonindexed -load constant -level 0.5 \
+    -duration 30s -seed 42 -qtrace "$out" -qtrace-sample 16
+
+# Sanity: the artifact must be valid JSON in trace-event shape.
+python3 - "$out" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["displayTimeUnit"] == "ms", "unexpected displayTimeUnit"
+assert doc["traceEvents"], "empty trace"
+print(f"{sys.argv[1]}: {len(doc['traceEvents'])} events, valid trace-event JSON")
+PY
