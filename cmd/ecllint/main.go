@@ -8,6 +8,10 @@
 // in DESIGN.md's "Determinism contract" section. Findings are suppressed
 // inline with //ecllint:allow <analyzer> <reason> or, for map iteration,
 // //ecllint:order-independent <reason> — a reason is mandatory.
+//
+// With -unused-directives, every suppression that no longer suppresses
+// anything is itself a finding: stale justifications rot into license for
+// future violations, so CI keeps the set minimal.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	dir := flag.String("C", ".", "module root to run in")
+	unused := flag.Bool("unused-directives", false, "also flag //ecllint: suppressions that suppress nothing")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ecllint [-C dir] [packages]\n")
 		flag.PrintDefaults()
@@ -44,7 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ecllint:", err)
 		os.Exit(2)
 	}
-	diags := lint.Run(units, analyzers)
+	diags := lint.RunConfig{ReportUnused: *unused}.Run(units, analyzers)
 	for _, d := range diags {
 		fmt.Println(d)
 	}

@@ -40,6 +40,7 @@ import (
 	"ecldb/internal/obs"
 	"ecldb/internal/obs/trace"
 	"ecldb/internal/sim"
+	"ecldb/internal/units"
 	"ecldb/internal/workload"
 )
 
@@ -231,7 +232,7 @@ func customRun(wlName, loadName, traceFile string, level float64, duration time.
 		return fmt.Errorf("unknown load profile %q", loadName)
 	}
 	fmt.Printf("workload %s, capacity %.0f qps, load %s for %v\n", wlName, capacity, loadName, duration)
-	var baseJ float64
+	var baseJ units.Joule
 	for _, gov := range []sim.Governor{sim.GovernorBaseline, sim.GovernorECL} {
 		opts := sim.Options{
 			Workload: workload.ByName(wlName),
@@ -242,7 +243,7 @@ func customRun(wlName, loadName, traceFile string, level float64, duration time.
 		}
 		if gov == sim.GovernorECL && capW > 0 {
 			opts.ECL = ecl.DefaultOptions()
-			opts.ECL.PowerCapW = capW
+			opts.ECL.PowerCapW = units.WattsOf(capW)
 		}
 		// Observe the ECL run only: the baseline has no control plane
 		// worth explaining, and a single observer must not span runs.
@@ -276,7 +277,7 @@ func customRun(wlName, loadName, traceFile string, level float64, duration time.
 			baseJ = res.EnergyJ
 			fmt.Println()
 		} else {
-			fmt.Printf("  savings %5.1f%%  most applied %s\n", (1-res.EnergyJ/baseJ)*100, res.MostApplied)
+			fmt.Printf("  savings %5.1f%%  most applied %s\n", (1-res.EnergyJ.Div(baseJ))*100, res.MostApplied)
 			if err := oo.flush(ob); err != nil {
 				return err
 			}

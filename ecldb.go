@@ -49,6 +49,7 @@ import (
 	"ecldb/internal/obs"
 	"ecldb/internal/obs/trace"
 	"ecldb/internal/sim"
+	"ecldb/internal/units"
 	"ecldb/internal/workload"
 )
 
@@ -237,7 +238,7 @@ func Run(cfg RunConfig) (*Result, error) {
 			opts.ECL.Interval = cfg.Interval
 		}
 		if cfg.PowerCapW > 0 {
-			opts.ECL.PowerCapW = cfg.PowerCapW
+			opts.ECL.PowerCapW = units.WattsOf(cfg.PowerCapW)
 		}
 		switch cfg.Maintenance {
 		case "", "multiplexed":
@@ -276,8 +277,8 @@ func Run(cfg RunConfig) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{
-		EnergyJ:       res.EnergyJ,
-		PSUEnergyJ:    res.PSUEnergyJ,
+		EnergyJ:       res.EnergyJ.Joules(),
+		PSUEnergyJ:    res.PSUEnergyJ.Joules(),
 		CapacityQps:   capacity,
 		Completed:     res.Completed,
 		Submitted:     res.Submitted,
@@ -360,7 +361,7 @@ func Profile(workloadName string) ([]ProfilePoint, error) {
 			Threads:    e.Config.ActiveThreads(),
 			AvgCoreMHz: int(e.Config.AvgCoreMHz(topo.ThreadsPerCore)),
 			UncoreMHz:  e.Config.UncoreMHz,
-			PerfLevel:  e.Score / maxScore,
+			PerfLevel:  e.Score.Div(maxScore),
 			EffLevel:   e.Efficiency() / maxEff,
 			OnSkyline:  onSky[e],
 			Zone:       p.ZoneOf(e).String(),

@@ -125,7 +125,7 @@ func AblationNUMA() (AblationNUMAResult, error) {
 			if err != nil {
 				return outcome{}, err
 			}
-			return outcome{comm: s.Engine().CommMessages(), j: res.EnergyJ, lat: res.AvgLatency}, nil
+			return outcome{comm: s.Engine().CommMessages(), j: res.EnergyJ.Joules(), lat: res.AvgLatency}, nil
 		}
 	}
 	runs, err := Sweep([]Job[outcome]{run(false), run(true)})
@@ -190,7 +190,7 @@ func AblationRTI() (AblationRTIResult, error) {
 			if err != nil {
 				return 0, err
 			}
-			return res.EnergyJ, nil
+			return res.EnergyJ.Joules(), nil
 		}
 	}
 	energies, err := Sweep([]Job[float64]{
@@ -270,7 +270,7 @@ func AblationRTISync() (AblationRTISyncResult, error) {
 				return outcome{}, err
 			}
 			_, _, deep := s.Machine().Residency(0)
-			return outcome{deepSec: deep, energyJ: res.EnergyJ}, nil
+			return outcome{deepSec: deep, energyJ: res.EnergyJ.Joules()}, nil
 		}
 	}
 	runs, err := Sweep([]Job[outcome]{run(false), run(true)})
@@ -332,7 +332,7 @@ func AblationQuantum() (AblationQuantumResult, error) {
 			if err != nil {
 				return outcome{}, err
 			}
-			return outcome{energyJ: res.EnergyJ, violations: res.ViolationFrac}, nil
+			return outcome{energyJ: res.EnergyJ.Joules(), violations: res.ViolationFrac}, nil
 		}
 	}
 	runs, err := Sweep(jobs)

@@ -54,8 +54,8 @@ func summarize(name string, res *sim.Result, limitMs float64) RunSummary {
 	}
 	return RunSummary{
 		Name:          name,
-		EnergyJ:       res.EnergyJ,
-		PSUEnergyJ:    res.PSUEnergyJ,
+		EnergyJ:       res.EnergyJ.Joules(),
+		PSUEnergyJ:    res.PSUEnergyJ.Joules(),
 		AvgLatency:    res.AvgLatency,
 		ViolationFrac: res.ViolationFrac,
 		Completed:     res.Completed,
@@ -524,9 +524,9 @@ func Table1Sized(table1Duration time.Duration) (Table1Result, error) {
 			Workload:      c.workload,
 			LoadProfile:   c.profile,
 			CapacityQps:   c.capacity,
-			BaselineJ:     base.EnergyJ,
-			ECLJ:          eclRes.EnergyJ,
-			Savings:       1 - eclRes.EnergyJ/base.EnergyJ,
+			BaselineJ:     base.EnergyJ.Joules(),
+			ECLJ:          eclRes.EnergyJ.Joules(),
+			Savings:       1 - eclRes.EnergyJ.Div(base.EnergyJ),
 			BestConfig:    eclRes.MostApplied,
 			ViolationFrac: eclRes.ViolationFrac,
 		})
@@ -577,9 +577,9 @@ func Table1SingleRow(workloadName, profile string, d time.Duration) (Table1Row, 
 		Workload:      workloadName,
 		LoadProfile:   profile,
 		CapacityQps:   capacity,
-		BaselineJ:     base.EnergyJ,
-		ECLJ:          eclRes.EnergyJ,
-		Savings:       1 - eclRes.EnergyJ/base.EnergyJ,
+		BaselineJ:     base.EnergyJ.Joules(),
+		ECLJ:          eclRes.EnergyJ.Joules(),
+		Savings:       1 - eclRes.EnergyJ.Div(base.EnergyJ),
 		BestConfig:    eclRes.MostApplied,
 		ViolationFrac: eclRes.ViolationFrac,
 	}, nil

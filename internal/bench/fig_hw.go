@@ -5,6 +5,7 @@ import (
 
 	"ecldb/internal/hw"
 	"ecldb/internal/perfmodel"
+	"ecldb/internal/units"
 )
 
 // hwRig is a bare machine driven with synthetic activity, used by the
@@ -61,8 +62,8 @@ func (r *hwRig) advance(dt time.Duration, ch perfmodel.Characteristics, load flo
 // package power, DRAM power, PSU power, and the aggregate instruction
 // rate.
 func (r *hwRig) measure(window time.Duration, ch perfmodel.Characteristics, load float64) hwMeasure {
-	pkg0 := make([]float64, r.topo.Sockets)
-	dram0 := make([]float64, r.topo.Sockets)
+	pkg0 := make([]units.Joule, r.topo.Sockets)
+	dram0 := make([]units.Joule, r.topo.Sockets)
 	instr0 := 0.0
 	for s := 0; s < r.topo.Sockets; s++ {
 		pkg0[s] = r.m.TrueEnergy(s, hw.DomainPackage)
@@ -75,12 +76,12 @@ func (r *hwRig) measure(window time.Duration, ch perfmodel.Characteristics, load
 	sec := window.Seconds()
 	instr1 := 0.0
 	for s := 0; s < r.topo.Sockets; s++ {
-		out.PkgW[s] = (r.m.TrueEnergy(s, hw.DomainPackage) - pkg0[s]) / sec
-		out.DramW[s] = (r.m.TrueEnergy(s, hw.DomainDRAM) - dram0[s]) / sec
+		out.PkgW[s] = (r.m.TrueEnergy(s, hw.DomainPackage) - pkg0[s]).PerSeconds(sec).Watts()
+		out.DramW[s] = (r.m.TrueEnergy(s, hw.DomainDRAM) - dram0[s]).PerSeconds(sec).Watts()
 		out.TotalW += out.PkgW[s] + out.DramW[s]
 		instr1 += r.m.SocketInstructions(s)
 	}
-	out.PSUW = (r.m.PSUEnergy() - psu0) / sec
+	out.PSUW = (r.m.PSUEnergy() - psu0).PerSeconds(sec).Watts()
 	out.InstrRate = (instr1 - instr0) / sec
 	return out
 }

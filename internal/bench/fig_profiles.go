@@ -6,6 +6,7 @@ import (
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
 	"ecldb/internal/perfmodel"
+	"ecldb/internal/units"
 	"ecldb/internal/workload"
 )
 
@@ -61,7 +62,7 @@ func summarizeProfile(name string, gp energy.GeneratorParams, p *energy.Profile)
 	res := ProfileResult{Workload: name, Params: gp, Configurations: p.Size()}
 	opt := p.MostEfficient()
 	base := p.Lookup(hw.AllMax(topo))
-	idleW := 0.0
+	var idleW units.Watt
 	if p.Idle() != nil {
 		idleW = p.Idle().PowerW
 	}
@@ -69,7 +70,7 @@ func summarizeProfile(name string, gp energy.GeneratorParams, p *energy.Profile)
 	res.OptimalCoreMHz = int(opt.Config.AvgCoreMHz(topo.ThreadsPerCore))
 	res.OptimalUncoreMHz = opt.Config.UncoreMHz
 	res.OptimalThreads = opt.Config.ActiveThreads()
-	res.RespAdvantage = opt.Score/base.Score - 1
+	res.RespAdvantage = opt.Score.Div(base.Score) - 1
 	res.EffAdvantage = opt.Efficiency() / base.Efficiency()
 	for _, e := range p.Entries() {
 		if e.Config.Idle() {
@@ -86,15 +87,15 @@ func summarizeProfile(name string, gp energy.GeneratorParams, p *energy.Profile)
 	res.SkylineSize = len(sky)
 	maxScore, maxEff := p.MaxScore(), opt.Efficiency()
 	for _, e := range sky {
-		res.SkylinePerf = append(res.SkylinePerf, e.Score/maxScore)
+		res.SkylinePerf = append(res.SkylinePerf, e.Score.Div(maxScore))
 		res.SkylineEff = append(res.SkylineEff, e.Efficiency()/maxEff)
 	}
 	// Peak ECL-RTI savings versus the baseline race-to-idle line.
 	for d := 0.02; d <= 1.0; d += 0.02 {
-		demand := d * base.Score
+		demand := base.Score.Scale(d)
 		effRTI := energy.RTIEfficiency(opt, idleW, demand)
-		duty := demand / base.Score
-		effBase := demand / (duty*base.PowerW + (1-duty)*idleW)
+		duty := demand.Div(base.Score)
+		effBase := units.PerWatt(demand, base.PowerW.Scale(duty)+idleW.Scale(1-duty))
 		if effRTI > 0 && effBase > 0 {
 			if s := 1 - effBase/effRTI; s > res.MaxRTISavings {
 				res.MaxRTISavings = s

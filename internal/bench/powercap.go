@@ -7,6 +7,7 @@ import (
 	"ecldb/internal/ecl"
 	"ecldb/internal/loadprofile"
 	"ecldb/internal/sim"
+	"ecldb/internal/units"
 	"ecldb/internal/workload"
 )
 
@@ -57,14 +58,14 @@ func PowerCap() (PowerCapResult, error) {
 			Seed:     37,
 		}
 		opts.ECL = ecl.DefaultOptions()
-		opts.ECL.PowerCapW = capW
+		opts.ECL.PowerCapW = units.WattsOf(capW)
 		res, err := sim.Run(opts)
 		if err != nil {
 			return PowerCapPoint{}, err
 		}
 		p := PowerCapPoint{
 			CapW:        capW,
-			AvgRAPLW:    res.EnergyJ / res.Duration.Seconds(),
+			AvgRAPLW:    res.EnergyJ.Joules() / res.Duration.Seconds(),
 			Violations:  res.ViolationFrac,
 			MostApplied: res.MostApplied,
 		}

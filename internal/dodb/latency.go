@@ -60,6 +60,7 @@ func (lt *LatencyTracker) Record(latency, now time.Duration) {
 		}
 	}
 	lt.histCounts[b]++
+	//ecllint:allow hotpath amortized window growth; compaction in evict reuses the backing array
 	lt.samples = append(lt.samples, latencySample{at: now, latency: latency, bucket: b})
 	lt.total++
 	if lt.threshold > 0 && latency > lt.threshold {
@@ -85,6 +86,7 @@ func (lt *LatencyTracker) evict(now time.Duration) {
 	}
 	// Compact occasionally to bound memory.
 	if lt.head > 4096 && lt.head*2 > len(lt.samples) {
+		//ecllint:allow hotpath compaction runs once per ~4096 samples, amortized to near zero
 		lt.samples = append([]latencySample(nil), lt.samples[lt.head:]...)
 		lt.head = 0
 	}

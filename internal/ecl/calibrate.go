@@ -81,7 +81,7 @@ func MetaCalibrate(m *hw.Machine, socket int, advance Advancer, tolerance float6
 		e0 := m.ReadEnergy(socket, hw.DomainPackage) + m.ReadEnergy(socket, hw.DomainDRAM)
 		advance(window)
 		e1 := m.ReadEnergy(socket, hw.DomainPackage) + m.ReadEnergy(socket, hw.DomainDRAM)
-		return (e1 - e0) / window.Seconds()
+		return (e1 - e0).PerSeconds(window.Seconds()).Watts()
 	}
 
 	// Reference powers with generous times.

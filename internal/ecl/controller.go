@@ -7,6 +7,7 @@ import (
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
 	"ecldb/internal/obs"
+	"ecldb/internal/units"
 	"ecldb/internal/vtime"
 )
 
@@ -31,7 +32,7 @@ type Options struct {
 	// (the machine-level budget is the cap times the socket count). The
 	// cap is a hard constraint enforced through the energy profile; see
 	// SocketParams.PowerCapW.
-	PowerCapW float64
+	PowerCapW units.Watt
 	// DesyncRTI staggers the socket-level loops' tick phases instead of
 	// ticking them together (ablation). With aligned phases the sockets'
 	// race-to-idle grids coincide, so their idle windows overlap and the
@@ -129,7 +130,7 @@ func (c *Controller) SetObserver(ob *obs.Observer) {
 func (c *Controller) broadcast(ttv time.Duration) {
 	c.obsBroadcasts.Inc()
 	c.obsLog.Emit(obs.Event{
-		At:     c.clock.Now(),
+		At:     units.Virtual(c.clock.Now()),
 		Type:   obs.EvTTVBroadcast,
 		Socket: -1,
 		A:      ttvSeconds(ttv),

@@ -7,6 +7,7 @@ import (
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
 	"ecldb/internal/perfmodel"
+	"ecldb/internal/units"
 	"ecldb/internal/vtime"
 )
 
@@ -215,7 +216,7 @@ func TestSocketECLDiscoveryExponential(t *testing.T) {
 		s.Tick(0.05, NoViolation)
 		w.advance(time.Second)
 	}
-	var demands []float64
+	var demands []units.Hertz
 	for i := 0; i < 6; i++ {
 		s.Tick(1.0, NoViolation)
 		w.advance(time.Second)
@@ -288,7 +289,7 @@ func TestSocketECLOnlineAdaptationMeasures(t *testing.T) {
 		w.advance(time.Second)
 		s.Tick(0.85, 3*time.Second/2)
 	}
-	if relErrF(opt.PowerW, truthPower) > 0.1 || relErrF(opt.Score, truthScore) > 0.1 {
+	if relErrF(opt.PowerW.Watts(), truthPower.Watts()) > 0.1 || relErrF(opt.Score.PerSecond(), truthScore.PerSecond()) > 0.1 {
 		t.Errorf("online adaptation did not converge: power %.1f (truth %.1f), score %.3g (truth %.3g)",
 			opt.PowerW, truthPower, opt.Score, truthScore)
 	}

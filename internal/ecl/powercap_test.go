@@ -7,19 +7,20 @@ import (
 
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
+	"ecldb/internal/units"
 )
 
 // medianPower returns the median measured power of a prewarmed profile's
 // evaluated non-idle entries — a cap that excludes roughly half the
 // configurations, including the fastest ones.
-func medianPower(s *SocketECL) float64 {
-	var ps []float64
+func medianPower(s *SocketECL) units.Watt {
+	var ps []units.Watt
 	for _, e := range s.Profile().Entries() {
 		if e.Evaluated && !e.Config.Idle() {
 			ps = append(ps, e.PowerW)
 		}
 	}
-	sort.Float64s(ps)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
 	return ps[len(ps)/2]
 }
 
@@ -89,7 +90,7 @@ func TestPowerCapOverridesSafetyValve(t *testing.T) {
 // A cap of zero leaves the loop unrestricted (identical plans to the
 // uncapped loop over an eventful utilization schedule).
 func TestPowerCapZeroUnrestricted(t *testing.T) {
-	run := func(capW float64) []string {
+	run := func(capW units.Watt) []string {
 		w := newWorld(1.0)
 		s := prewarmedECL(t, w, MaintainNone)
 		s.p.PowerCapW = capW

@@ -8,6 +8,7 @@ import (
 	"ecldb/internal/hw"
 	"ecldb/internal/obs"
 	qtrace "ecldb/internal/obs/trace"
+	"ecldb/internal/units"
 	"ecldb/internal/vtime"
 )
 
@@ -73,7 +74,7 @@ type SocketParams struct {
 	// keeps its configuration ranking instead of being throttled blindly).
 	// Enforcement needs evaluated entries; until the first measurements
 	// arrive the loop cannot honor the cap.
-	PowerCapW float64
+	PowerCapW units.Watt
 }
 
 // DefaultSocketParams returns the paper-calibrated parameters.
@@ -126,18 +127,18 @@ type SocketECL struct {
 	idleCfg hw.Configuration
 
 	// demand is the current performance-level demand in instructions/s.
-	demand float64
+	demand units.Hertz
 	// lastCapacity is the performance level offered during the previous
 	// interval (duty-weighted across segments).
-	lastCapacity float64
+	lastCapacity units.Hertz
 
 	// Measurement state of the currently running segment.
 	segStart     time.Duration
 	segEntry     *energy.Entry
 	segAdapt     bool
 	segAggregate bool
-	segPkgJ      float64
-	segDramJ     float64
+	segPkgJ      units.Joule
+	segDramJ     units.Joule
 	segInstr     float64
 	segBusy      float64
 	segActive    float64
@@ -149,7 +150,8 @@ type SocketECL struct {
 
 	// Aggregated online measurement across RTI run slices.
 	aggEntry           *energy.Entry
-	aggE, aggI, aggSec float64
+	aggE               units.Joule
+	aggI, aggSec       float64
 	aggBusy, aggActive float64
 
 	// Multiplexed adaptation queue and drift tracking.
@@ -259,10 +261,10 @@ func (s *SocketECL) noteMode(mode string) {
 	s.lastMode = mode
 	if s.obsLog.Enabled() {
 		s.obsLog.Emit(obs.Event{
-			At:     s.clock.Now(),
+			At:     units.Virtual(s.clock.Now()),
 			Type:   obs.EvZoneTransition,
 			Socket: s.p.Socket,
-			A:      s.demand,
+			A:      s.demand.PerSecond(),
 			S:      mode,
 		})
 	}
@@ -295,7 +297,7 @@ func (s *SocketECL) ReplaceProfile(p *energy.Profile) {
 func (s *SocketECL) Profile() *energy.Profile { return s.profile }
 
 // Demand returns the current performance-level demand (instr/s).
-func (s *SocketECL) Demand() float64 { return s.demand }
+func (s *SocketECL) Demand() units.Hertz { return s.demand }
 
 // RTI reports whether the last interval used race-to-idle, with its duty
 // cycle and cycle count.
@@ -344,13 +346,13 @@ func (s *SocketECL) Tick(util float64, ttv time.Duration) {
 	s.updateDemand(util, ttv)
 
 	s.obsTicks.Inc()
-	s.obsDemand.Set(s.demand)
+	s.obsDemand.Set(s.demand.PerSecond())
 	s.obsQueue.Set(float64(len(s.adaptQueue)))
 	s.obsLog.Emit(obs.Event{
-		At:     now,
+		At:     units.Virtual(now),
 		Type:   obs.EvDemandUpdate,
 		Socket: s.p.Socket,
-		A:      s.demand,
+		A:      s.demand.PerSecond(),
 		B:      util,
 		C:      ttvSeconds(ttv),
 	})
@@ -394,7 +396,7 @@ func (s *SocketECL) updateDemand(util float64, ttv time.Duration) {
 			s.demand = base * 1.6
 		}
 	} else {
-		next := util * base
+		next := base.Scale(util)
 		// Clamp the decrease rate: one drained interval (e.g. right
 		// after a load spike passed) must not idle the socket outright.
 		if next < s.demand*0.5 {
@@ -444,7 +446,7 @@ func (s *SocketECL) plan(ttv time.Duration) []segment {
 		s.obsSafety.Inc()
 		if s.obsLog.Enabled() {
 			s.obsLog.Emit(obs.Event{
-				At:     s.clock.Now(),
+				At:     units.Virtual(s.clock.Now()),
 				Type:   obs.EvSafetyValve,
 				Socket: s.p.Socket,
 				A:      float64(s.violTicks),
@@ -493,7 +495,7 @@ func (s *SocketECL) plan(ttv time.Duration) []segment {
 	// not silently shrink the offered capacity.
 	target := s.demand * provisionHeadroom
 	if remaining > 0 && remaining < interval {
-		target *= float64(interval) / float64(remaining)
+		target = target.Scale(float64(interval) / float64(remaining))
 	}
 	entry := s.profile.ForPerformanceCapped(target, s.p.PowerCapW)
 	if entry == nil {
@@ -512,7 +514,7 @@ func (s *SocketECL) plan(ttv time.Duration) []segment {
 	// pressure, since long idle stretches hurt response times.
 	useRTI := !s.p.DisableRTI && opt != nil && target < opt.Score && ttv > 2*s.p.Interval
 	if useRTI {
-		duty := target / opt.Score
+		duty := target.Div(opt.Score)
 		cycleLen := s.rtiCycleLen(remaining, ttv)
 		cycles := int(remaining / cycleLen)
 		if cycles < 1 {
@@ -555,10 +557,10 @@ func (s *SocketECL) plan(ttv time.Duration) []segment {
 		s.rtiActive = true
 		s.lastRTIDuty = duty
 		s.lastRTICycles = cycles
-		s.lastCapacity = duty * opt.Score
+		s.lastCapacity = opt.Score.Scale(duty)
 		s.obsRTI.Inc()
 		s.obsLog.Emit(obs.Event{
-			At:     s.clock.Now(),
+			At:     units.Virtual(s.clock.Now()),
 			Type:   obs.EvRTICycle,
 			Socket: s.p.Socket,
 			A:      duty,
@@ -754,13 +756,13 @@ func (s *SocketECL) flushAggregate(now time.Duration) {
 // changed, so the stale profile is rescaled by the observed measurement
 // ratios (fresh and stale scores are otherwise in incompatible units), and
 // in multiplexed mode everything is queued for re-evaluation.
-func (s *SocketECL) record(entry *energy.Entry, dE, dI, sec float64, now time.Duration) {
+func (s *SocketECL) record(entry *energy.Entry, dE units.Joule, dI, sec float64, now time.Duration) {
 	if dE < 0 || dI < 0 || sec <= 0 {
 		return
 	}
 	oldScore, oldPower := entry.Score, entry.PowerW
 	wasEvaluated := entry.Evaluated
-	power, score := dE/sec, dI/sec
+	power, score := dE.PerSeconds(sec), units.HertzOf(dI/sec)
 	drift, err := s.profile.Update(entry.Config, power, score, now)
 	if err != nil {
 		return
@@ -768,11 +770,11 @@ func (s *SocketECL) record(entry *energy.Entry, dE, dI, sec float64, now time.Du
 	s.obsMeasures.Inc()
 	if s.obsLog.Enabled() {
 		s.obsLog.Emit(obs.Event{
-			At:     now,
+			At:     units.Virtual(now),
 			Type:   obs.EvProfileMeasure,
 			Socket: s.p.Socket,
-			A:      power,
-			B:      score,
+			A:      power.Watts(),
+			B:      score.PerSecond(),
 			C:      drift,
 			S:      entry.Config.Key(s.machine.Topology().ThreadsPerCore),
 		})
@@ -783,8 +785,8 @@ func (s *SocketECL) record(entry *energy.Entry, dE, dI, sec float64, now time.Du
 	if drift > s.p.DriftThreshold {
 		s.driftHits++
 		if wasEvaluated && oldScore > 0 && oldPower > 0 {
-			s.driftScore = append(s.driftScore, score/oldScore)
-			s.driftPower = append(s.driftPower, power/oldPower)
+			s.driftScore = append(s.driftScore, score.Div(oldScore))
+			s.driftPower = append(s.driftPower, power.Div(oldPower))
 		}
 	} else if s.driftHits > 0 {
 		s.driftHits--
@@ -798,7 +800,7 @@ func (s *SocketECL) record(entry *energy.Entry, dE, dI, sec float64, now time.Du
 		s.profile.RescaleStale(now, 2*s.p.Interval, rs, rp)
 		s.obsRescales.Inc()
 		s.obsLog.Emit(obs.Event{
-			At:     now,
+			At:     units.Virtual(now),
 			Type:   obs.EvDriftRescale,
 			Socket: s.p.Socket,
 			A:      rs,
@@ -831,7 +833,8 @@ func avgRatio(xs []float64) float64 {
 // "requires more time, but finds a slightly more energy-efficient
 // configuration" behaviour of the paper's Figure 15.
 func (s *SocketECL) popMostRelevant() *energy.Entry {
-	best, bestDist := 0, -1.0
+	best := 0
+	var bestDist units.Hertz = -1
 	for i, e := range s.adaptQueue {
 		d := e.Score - s.demand
 		if d < 0 {

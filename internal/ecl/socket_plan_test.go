@@ -118,7 +118,7 @@ func TestDriftRescalesStaleEntries(t *testing.T) {
 		w.advance(time.Second)
 	}
 	after := witness.Score
-	ratio := after / before
+	ratio := after.Div(before)
 	if ratio > 0.75 || ratio < 0.3 {
 		t.Errorf("stale witness rescaled by %.2f, want ~0.5", ratio)
 	}

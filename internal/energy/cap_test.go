@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"ecldb/internal/units"
 )
 
 func TestForPerformanceCappedPrefersCapFit(t *testing.T) {
@@ -73,12 +75,12 @@ func TestCappedSelectionProperties(t *testing.T) {
 			}
 			power := 20 + 300*rng.Float64()
 			score := 1e9 * rng.Float64() * float64(1+e.Config.ActiveThreads())
-			if _, err := p.Update(e.Config, power, score, time.Duration(seed)); err != nil {
+			if _, err := p.Update(e.Config, units.WattsOf(power), units.HertzOf(score), time.Duration(seed)); err != nil {
 				t.Fatal(err)
 			}
 		}
-		capW := 20 + 320*rng.Float64()
-		demand := 5e9 * rng.Float64()
+		capW := units.WattsOf(20 + 320*rng.Float64())
+		demand := units.HertzOf(5e9 * rng.Float64())
 		got := p.ForPerformanceCapped(demand, capW)
 
 		var underCap, meets []*Entry

@@ -5,6 +5,7 @@ import (
 
 	"ecldb/internal/hw"
 	"ecldb/internal/perfmodel"
+	"ecldb/internal/units"
 )
 
 // EvaluateModel fills a profile analytically from the machine's power and
@@ -41,7 +42,7 @@ func EvaluateModel(p *Profile, topo hw.Topology, pp hw.PowerParams, ch perfmodel
 		if pkg > pp.TDPWatts && pp.TDPWatts > 0 {
 			pkg = pp.TDPWatts // sustained operation clamps to TDP
 		}
-		if _, err := p.Update(cfg, pkg+dram, cap_.Aggregate, now); err != nil {
+		if _, err := p.Update(cfg, pkg+dram, units.HertzOf(cap_.Aggregate), now); err != nil {
 			return err
 		}
 	}
@@ -53,17 +54,17 @@ func EvaluateModel(p *Profile, topo hw.Topology, pp hw.PowerParams, ch perfmodel
 // configuration entry and idle mode (the paper's "ECL RTI" line): the
 // socket runs the configuration for a duty fraction of the time and
 // sleeps for the rest.
-func RTIEfficiency(run *Entry, idlePowerW, demand float64) float64 {
+func RTIEfficiency(run *Entry, idlePowerW units.Watt, demand units.Hertz) float64 {
 	if run == nil || !run.Evaluated || run.Score <= 0 || demand <= 0 {
 		return 0
 	}
-	duty := demand / run.Score
+	duty := demand.Div(run.Score)
 	if duty > 1 {
 		duty = 1
 	}
-	power := duty*run.PowerW + (1-duty)*idlePowerW
+	power := run.PowerW.Scale(duty) + idlePowerW.Scale(1-duty)
 	if power <= 0 {
 		return 0
 	}
-	return duty * run.Score / power
+	return units.PerWatt(run.Score.Scale(duty), power)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ecldb/internal/hw"
+	"ecldb/internal/units"
 )
 
 // Profile persistence. Energy profiles are maintained at runtime, but a
@@ -40,8 +41,8 @@ func (p *Profile) Save(w io.Writer) error {
 			Threads:    e.Config.Threads,
 			CoreMHz:    e.Config.CoreMHz,
 			UncoreMHz:  e.Config.UncoreMHz,
-			PowerW:     e.PowerW,
-			Score:      e.Score,
+			PowerW:     e.PowerW.Watts(),
+			Score:      e.Score.PerSecond(),
 			Evaluated:  e.Evaluated,
 			LastEvalNs: int64(e.LastEval),
 		})
@@ -79,7 +80,7 @@ func LoadProfile(r io.Reader, topo hw.Topology) (*Profile, error) {
 		if e == nil {
 			continue // duplicate hardware state fused away
 		}
-		e.PowerW, e.Score = ef.PowerW, ef.Score
+		e.PowerW, e.Score = units.WattsOf(ef.PowerW), units.HertzOf(ef.Score)
 		e.Evaluated = true
 		e.LastEval = time.Duration(ef.LastEvalNs)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ecldb/internal/hw"
+	"ecldb/internal/units"
 )
 
 // Entry is one configuration of an energy profile together with its most
@@ -15,9 +16,9 @@ import (
 type Entry struct {
 	Config hw.Configuration
 	// PowerW is the measured socket power under this configuration.
-	PowerW float64
+	PowerW units.Watt
 	// Score is the measured performance score (instructions/s).
-	Score float64
+	Score units.Hertz
 	// LastEval is the virtual time of the most recent evaluation.
 	LastEval time.Duration
 	// Evaluated reports whether the entry has ever been measured.
@@ -31,7 +32,7 @@ func (e *Entry) Efficiency() float64 {
 	if !e.Evaluated || e.PowerW <= 0 {
 		return 0
 	}
-	return e.Score / e.PowerW
+	return units.PerWatt(e.Score, e.PowerW)
 }
 
 // Zone classifies a configuration relative to the profile's most
@@ -115,7 +116,7 @@ func (p *Profile) Lookup(cfg hw.Configuration) *Entry {
 // relative change of efficiency against the previous value — or 0 for a
 // first evaluation. The socket-level ECL uses sustained drift to trigger
 // multiplexed re-adaptation.
-func (p *Profile) Update(cfg hw.Configuration, powerW, score float64, now time.Duration) (drift float64, err error) {
+func (p *Profile) Update(cfg hw.Configuration, powerW units.Watt, score units.Hertz, now time.Duration) (drift float64, err error) {
 	e := p.Lookup(cfg)
 	if e == nil {
 		return 0, fmt.Errorf("energy: configuration %s not in profile", cfg)
@@ -134,11 +135,11 @@ func (p *Profile) Update(cfg hw.Configuration, powerW, score float64, now time.D
 	// the stored value is from a different workload and averaging the
 	// two units would leave the entry wrong for many more rounds.
 	alpha := 0.5
-	if e.Score > 0 && abs(score-e.Score)/e.Score > 0.5 {
+	if e.Score > 0 && (score-e.Score).Abs().Div(e.Score) > 0.5 {
 		alpha = 1.0
 	}
-	e.PowerW = alpha*powerW + (1-alpha)*e.PowerW
-	e.Score = alpha*score + (1-alpha)*e.Score
+	e.PowerW = powerW.Scale(alpha) + e.PowerW.Scale(1-alpha)
+	e.Score = score.Scale(alpha) + e.Score.Scale(1-alpha)
 	e.LastEval = now
 	newEff := e.Efficiency()
 	if oldEff > 0 {
@@ -164,8 +165,8 @@ func (p *Profile) MostEfficient() *Entry {
 }
 
 // MaxScore returns the highest measured performance score, or 0.
-func (p *Profile) MaxScore() float64 {
-	max := 0.0
+func (p *Profile) MaxScore() units.Hertz {
+	var max units.Hertz
 	for _, e := range p.entries {
 		if e.Evaluated && e.Score > max {
 			max = e.Score
@@ -244,7 +245,7 @@ func (p *Profile) Skyline() []*Entry {
 // entry delivers the demand, the highest-scoring entry is returned
 // (best-effort, the over-utilization edge). Returns nil when nothing is
 // evaluated.
-func (p *Profile) ForPerformance(demand float64) *Entry {
+func (p *Profile) ForPerformance(demand units.Hertz) *Entry {
 	var best, fastest *Entry
 	for _, e := range p.entries {
 		if !e.Evaluated || e.Config.Idle() {
@@ -271,7 +272,7 @@ func (p *Profile) ForPerformance(demand float64) *Entry {
 // cap is returned (the cap is a hard constraint, the demand is not). If
 // nothing evaluated fits under the cap, the lowest-power evaluated entry
 // is returned as the least-violating fallback. capW <= 0 means no cap.
-func (p *Profile) ForPerformanceCapped(demand, capW float64) *Entry {
+func (p *Profile) ForPerformanceCapped(demand units.Hertz, capW units.Watt) *Entry {
 	if capW <= 0 {
 		return p.ForPerformance(demand)
 	}
@@ -307,7 +308,7 @@ func (p *Profile) ForPerformanceCapped(demand, capW float64) *Entry {
 // MostEfficientCapped is MostEfficient restricted to entries whose
 // measured power stays at or below capW. capW <= 0 means no cap. Returns
 // nil when no evaluated entry fits under the cap.
-func (p *Profile) MostEfficientCapped(capW float64) *Entry {
+func (p *Profile) MostEfficientCapped(capW units.Watt) *Entry {
 	if capW <= 0 {
 		return p.MostEfficient()
 	}
@@ -355,8 +356,8 @@ func (p *Profile) RescaleStale(now, maxAge time.Duration, scoreRatio, powerRatio
 			continue
 		}
 		if now-e.LastEval >= maxAge {
-			e.Score *= scoreRatio
-			e.PowerW *= powerRatio
+			e.Score = e.Score.Scale(scoreRatio)
+			e.PowerW = e.PowerW.Scale(powerRatio)
 		}
 	}
 }

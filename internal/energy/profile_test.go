@@ -6,6 +6,7 @@ import (
 
 	"ecldb/internal/hw"
 	"ecldb/internal/perfmodel"
+	"ecldb/internal/units"
 )
 
 // smallProfile builds a 3-entry profile with hand-set measurements:
@@ -282,7 +283,7 @@ func TestEntryEfficiency(t *testing.T) {
 
 func TestRTIEfficiency(t *testing.T) {
 	opt := &Entry{Evaluated: true, PowerW: 40, Score: 1e10}
-	idleW := 10.0
+	idleW := units.WattsOf(10)
 	// At full demand, RTI equals the entry's own efficiency.
 	if got, want := RTIEfficiency(opt, idleW, 1e10), opt.Efficiency(); got != want {
 		t.Errorf("RTI at full duty = %g, want %g", got, want)

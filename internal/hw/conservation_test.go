@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"ecldb/internal/units"
 )
 
 // Property: under arbitrary configuration/activity sequences, energy
@@ -19,9 +21,9 @@ func TestEnergyConservationProperties(t *testing.T) {
 		}
 		m := NewMachine(HaswellEP(), DefaultPowerParams(), int64(seedRaw))
 		topo := m.Topology()
-		prevTrue := make([]float64, topo.Sockets)
-		prevRead := make([]float64, topo.Sockets)
-		prevPSU := 0.0
+		prevTrue := make([]units.Joule, topo.Sockets)
+		prevRead := make([]units.Joule, topo.Sockets)
+		var prevPSU units.Joule
 		for step := 0; step < 60; step++ {
 			// Occasionally reconfigure a random socket.
 			if next(3) == 0 {
@@ -55,7 +57,7 @@ func TestEnergyConservationProperties(t *testing.T) {
 			}
 			m.Step(time.Duration(1+next(20))*time.Millisecond, acts)
 
-			raplTotal := 0.0
+			var raplTotal units.Joule
 			for s := 0; s < topo.Sockets; s++ {
 				tr := m.TrueEnergy(s, DomainPackage) + m.TrueEnergy(s, DomainDRAM)
 				rd := m.ReadEnergy(s, DomainPackage) + m.ReadEnergy(s, DomainDRAM)

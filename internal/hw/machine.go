@@ -8,6 +8,7 @@ import (
 
 	"ecldb/internal/obs"
 	"ecldb/internal/obs/trace"
+	"ecldb/internal/units"
 )
 
 // Domain selects a RAPL measurement domain of one socket.
@@ -61,11 +62,11 @@ type Machine struct {
 	dram  []raplCounter
 	instr []float64 // per global hardware thread
 
-	psuJ        float64
-	lastPkgW    []float64
-	lastDramW   []float64
-	lastPSUW    float64
-	turboBudget []float64
+	psuJ        units.Joule
+	lastPkgW    []units.Watt
+	lastDramW   []units.Watt
+	lastPSUW    units.Watt
+	turboBudget []units.Joule
 	throttle    []float64
 
 	// C-state residency accounting.
@@ -111,9 +112,9 @@ func NewMachine(topo Topology, pp PowerParams, seed int64) *Machine {
 		instr:       make([]float64, topo.TotalThreads()),
 		pkg:         make([]raplCounter, topo.Sockets),
 		dram:        make([]raplCounter, topo.Sockets),
-		lastPkgW:    make([]float64, topo.Sockets),
-		lastDramW:   make([]float64, topo.Sockets),
-		turboBudget: make([]float64, topo.Sockets),
+		lastPkgW:    make([]units.Watt, topo.Sockets),
+		lastDramW:   make([]units.Watt, topo.Sockets),
+		turboBudget: make([]units.Joule, topo.Sockets),
 		throttle:    make([]float64, topo.Sockets),
 		epoch:       make([]uint64, topo.Sockets),
 		effCache:    make([]Configuration, topo.Sockets),
@@ -208,7 +209,7 @@ func (m *Machine) Apply(socket int, cfg Configuration) error {
 	}
 	if m.obsLog.Enabled() {
 		m.obsLog.Emit(obs.Event{
-			At:     m.now,
+			At:     units.Virtual(m.now),
 			Type:   obs.EvConfigApply,
 			Socket: socket,
 			A:      ApplyLatency.Seconds(),
@@ -294,6 +295,8 @@ func (m *Machine) EffectiveView(socket int) *Configuration {
 
 // effectiveCached refreshes and returns the socket's effective
 // configuration cache. It performs no allocation once constructed.
+//
+//ecllint:hotpath consulted by every capacity computation
 func (m *Machine) effectiveCached(socket int) *Configuration {
 	ep := m.StateEpoch(socket)
 	c := &m.effCache[socket]
@@ -360,11 +363,14 @@ func (m *Machine) MemLatency(socket int) float64 {
 // the given per-socket activity (which is assumed uniform across the
 // step). Pending configuration changes settling mid-step split the
 // integration so energy accounting stays exact.
+//
+//ecllint:hotpath runs every simulation quantum
 func (m *Machine) Step(dt time.Duration, acts []SocketActivity) {
 	if dt <= 0 {
 		return
 	}
 	if len(acts) != m.topo.Sockets {
+		//ecllint:allow hotpath cold panic path guarding a wiring bug, never taken in steady state
 		panic(fmt.Sprintf("hw: Step got %d activities for %d sockets", len(acts), m.topo.Sockets))
 	}
 	end := m.now + dt
@@ -410,7 +416,7 @@ func (m *Machine) integrate(seg, fullStep time.Duration, acts []SocketActivity) 
 	if halted {
 		m.deepSleepSec += seg.Seconds()
 	}
-	totalW := 0.0
+	var totalW units.Watt
 	for s := 0; s < m.topo.Sockets; s++ {
 		eff := m.effectiveCached(s)
 		if eff.ActiveThreads() > 0 {
@@ -434,25 +440,24 @@ func (m *Machine) integrate(seg, fullStep time.Duration, acts []SocketActivity) 
 		}
 	}
 	m.lastPSUW = m.pp.PSUPowerW(totalW)
-	m.psuJ += m.lastPSUW * seg.Seconds()
+	m.psuJ += m.lastPSUW.Over(seg)
 }
 
 // limitPower applies the per-socket sustained power limit: power above TDP
 // drains the turbo budget; once drained, the package clamps to TDP and the
 // throttle factor reflects the implied clock reduction.
-func (m *Machine) limitPower(socket int, pkgW float64, seg time.Duration) float64 {
+func (m *Machine) limitPower(socket int, pkgW units.Watt, seg time.Duration) units.Watt {
 	tdp := m.pp.TDPWatts
 	if tdp <= 0 {
 		m.throttle[socket] = 1
 		return pkgW
 	}
-	sec := seg.Seconds()
 	if pkgW <= tdp {
-		m.turboBudget[socket] = math.Min(m.pp.TurboBudgetJ, m.turboBudget[socket]+(tdp-pkgW)*sec*0.5)
+		m.turboBudget[socket] = m.pp.TurboBudgetJ.Min(m.turboBudget[socket] + (tdp - pkgW).Over(seg).Scale(0.5))
 		m.throttle[socket] = 1
 		return pkgW
 	}
-	m.turboBudget[socket] -= (pkgW - tdp) * sec
+	m.turboBudget[socket] -= (pkgW - tdp).Over(seg)
 	if m.turboBudget[socket] > 0 {
 		m.throttle[socket] = 1
 		return pkgW
@@ -465,7 +470,7 @@ func (m *Machine) limitPower(socket int, pkgW float64, seg time.Duration) float6
 		// Performance scales roughly with the clock, and dynamic power
 		// with its square, so the throttled performance factor is the
 		// square root of the power reduction.
-		m.throttle[socket] = math.Sqrt(dynCap / dynRaw)
+		m.throttle[socket] = math.Sqrt(dynCap.Div(dynRaw))
 	} else {
 		m.throttle[socket] = 1
 	}
@@ -477,15 +482,14 @@ func (m *Machine) limitPower(socket int, pkgW float64, seg time.Duration) float6
 // instant, quantized to the counter resolution. Differencing two reads
 // over short windows is therefore noticeably inaccurate, matching the
 // meta-calibration findings reproduced in Figure 12.
-func (m *Machine) ReadEnergy(socket int, d Domain) float64 {
-	c := m.counter(socket, d)
-	return math.Floor(c.snapJ/raplQuantumJ) * raplQuantumJ
+func (m *Machine) ReadEnergy(socket int, d Domain) units.Joule {
+	return m.counter(socket, d).snapJ.Quantize(raplQuantumJ)
 }
 
 // TrueEnergy returns the exact integrated energy of a domain. Experiments
 // and traces use it as the "external power meter" ground truth; the ECL
 // itself only uses ReadEnergy.
-func (m *Machine) TrueEnergy(socket int, d Domain) float64 {
+func (m *Machine) TrueEnergy(socket int, d Domain) units.Joule {
 	return m.counter(socket, d).trueJ
 }
 
@@ -499,13 +503,13 @@ func (m *Machine) counter(socket int, d Domain) *raplCounter {
 	panic(fmt.Sprintf("hw: unknown domain %d", d))
 }
 
-// PSUEnergy returns the energy drawn from the wall so far, in joules.
-func (m *Machine) PSUEnergy() float64 { return m.psuJ }
+// PSUEnergy returns the energy drawn from the wall so far.
+func (m *Machine) PSUEnergy() units.Joule { return m.psuJ }
 
 // LastPower returns the true power of the most recent step: per-socket
 // package and DRAM watts, and the PSU-level total.
-func (m *Machine) LastPower() (pkgW, dramW []float64, psuW float64) {
-	return append([]float64(nil), m.lastPkgW...), append([]float64(nil), m.lastDramW...), m.lastPSUW
+func (m *Machine) LastPower() (pkgW, dramW []units.Watt, psuW units.Watt) {
+	return append([]units.Watt(nil), m.lastPkgW...), append([]units.Watt(nil), m.lastDramW...), m.lastPSUW
 }
 
 // Residency returns the C-state residency of a socket: seconds with at
@@ -560,14 +564,14 @@ func clampUncore(mhz int) int {
 // raplCounter accumulates exact energy and exposes refresh-boundary
 // snapshots for reads.
 type raplCounter struct {
-	trueJ   float64
-	snapJ   float64
+	trueJ   units.Joule
+	snapJ   units.Joule
 	nextIdx int64 // index of the next refresh boundary to take
 }
 
 // integrate adds powerW over a window starting at t0 with length seg,
 // taking refresh snapshots at every jittered boundary inside the window.
-func (r *raplCounter) integrate(t0, seg time.Duration, powerW float64, salt uint64) {
+func (r *raplCounter) integrate(t0, seg time.Duration, powerW units.Watt, salt uint64) {
 	end := t0 + seg
 	for {
 		b := boundaryTime(r.nextIdx, salt)
@@ -575,13 +579,13 @@ func (r *raplCounter) integrate(t0, seg time.Duration, powerW float64, salt uint
 			break
 		}
 		if b > t0 {
-			r.snapJ = r.trueJ + powerW*(b-t0).Seconds()
+			r.snapJ = r.trueJ + powerW.Over(b-t0)
 		} else {
 			r.snapJ = r.trueJ
 		}
 		r.nextIdx++
 	}
-	r.trueJ += powerW * seg.Seconds()
+	r.trueJ += powerW.Over(seg)
 }
 
 // boundaryTime returns the k-th jittered refresh instant.

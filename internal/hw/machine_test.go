@@ -195,7 +195,7 @@ func TestEnergyAccumulatesAndRAPLTracksTruth(t *testing.T) {
 		t.Fatal("no package energy accumulated")
 	}
 	// Over one second the RAPL read should be within ~0.5 % of truth.
-	if rel := math.Abs(readJ-trueJ) / trueJ; rel > 0.005 {
+	if rel := math.Abs((readJ - trueJ).Div(trueJ)); rel > 0.005 {
 		t.Errorf("RAPL read off by %.3f%% over 1 s, want < 0.5%%", rel*100)
 	}
 	if m.PSUEnergy() <= trueJ {
@@ -228,7 +228,7 @@ func TestRAPLShortWindowRelativeError(t *testing.T) {
 			if truth <= 0 {
 				continue
 			}
-			if e := math.Abs((r1-r0)-truth) / truth; e > worst {
+			if e := math.Abs(((r1 - r0) - truth).Div(truth)); e > worst {
 				worst = e
 			}
 		}

@@ -1,6 +1,10 @@
 package hw
 
-import "math"
+import (
+	"math"
+
+	"ecldb/internal/units"
+)
 
 // PowerParams calibrates the machine's power model. The defaults reproduce
 // the paper's Section 2 measurements on the 2-socket Haswell-EP system:
@@ -23,19 +27,21 @@ type PowerParams struct {
 	// halted (deepest package sleep). Indexed by socket to model the
 	// asymmetry of Figure 5; sockets beyond the slice reuse the last
 	// entry.
-	PkgFloorW []float64
+	PkgFloorW []units.Watt
 	// UncoreBaseW is the uncore+LLC power at the minimum uncore clock.
-	UncoreBaseW float64
+	UncoreBaseW units.Watt
 	// UncoreDynW is the additional uncore power at the maximum uncore
 	// clock (quadratic in between, DVFS-style).
-	UncoreDynW float64
+	UncoreDynW units.Watt
 	// UncoreLoadW is the extra uncore power at full memory-controller
 	// utilization.
-	UncoreLoadW float64
+	UncoreLoadW units.Watt
 	// CoreIdleW is the power of an active (C0) but idle physical core.
-	CoreIdleW float64
+	CoreIdleW units.Watt
 	// CoreDynCoefW scales the dynamic power of a fully busy core:
-	// P = CoreDynCoefW * (GHz)^2.
+	// P = CoreDynCoefW * (GHz)^2. Watts per GHz², not a power — it stays
+	// a raw coefficient by design.
+	//ecllint:allow unit W-per-GHz² coefficient, not a power
 	CoreDynCoefW float64
 	// HTSiblingFrac is the fraction of a second sibling's load that adds
 	// to core activity (HyperThreads share the core pipeline, so the
@@ -45,29 +51,31 @@ type PowerParams struct {
 	// relative to a fully busy one.
 	SpinPowerFrac float64
 	// DRAMStaticW is the idle DRAM power per socket (LRDIMM refresh).
-	DRAMStaticW float64
-	// DRAMPerGBsW is the DRAM power per GB/s of traffic.
+	DRAMStaticW units.Watt
+	// DRAMPerGBsW is the DRAM power per GB/s of traffic — a mixed unit,
+	// deliberately a raw coefficient.
+	//ecllint:allow unit W-per-GB/s coefficient, not a power
 	DRAMPerGBsW float64
 	// PSUOverheadFrac is the fractional conversion overhead of the power
 	// supply unit on top of the RAPL-visible power.
 	PSUOverheadFrac float64
 	// PSUFixedW is the fixed non-RAPL power (fans, motherboard, PSU
 	// floor).
-	PSUFixedW float64
+	PSUFixedW units.Watt
 	// TDPWatts is the per-socket sustained package power limit. Power
 	// above it is tolerated only for TurboBudgetJ joules, after which
 	// the package throttles (the paper notes the 500 W turbo peak can
 	// endure only ~1 s).
-	TDPWatts float64
+	TDPWatts units.Watt
 	// TurboBudgetJ is the energy budget for exceeding TDP.
-	TurboBudgetJ float64
+	TurboBudgetJ units.Joule
 }
 
 // DefaultPowerParams returns the calibration used throughout the
 // reproduction (see PowerParams for the paper anchors).
 func DefaultPowerParams() PowerParams {
 	return PowerParams{
-		PkgFloorW:       []float64{8.0, 5.5},
+		PkgFloorW:       []units.Watt{8.0, 5.5},
 		UncoreBaseW:     15.0,
 		UncoreDynW:      13.0,
 		UncoreLoadW:     4.0,
@@ -85,7 +93,7 @@ func DefaultPowerParams() PowerParams {
 }
 
 // pkgFloor returns the floor power for a socket index.
-func (p PowerParams) pkgFloor(socket int) float64 {
+func (p PowerParams) pkgFloor(socket int) units.Watt {
 	if len(p.PkgFloorW) == 0 {
 		return 0
 	}
@@ -102,25 +110,26 @@ func uncoreNorm(mhz int) float64 {
 
 // UncorePowerW returns the uncore+LLC power for a given uncore clock and
 // memory-controller utilization in [0,1], assuming the uncore is running.
-func (p PowerParams) UncorePowerW(uncoreMHz int, memUtil float64) float64 {
+func (p PowerParams) UncorePowerW(uncoreMHz int, memUtil float64) units.Watt {
 	n := uncoreNorm(uncoreMHz)
-	return p.UncoreBaseW + p.UncoreDynW*n*n + p.UncoreLoadW*clamp01(memUtil)*n
+	base, dyn, load := p.UncoreBaseW.Watts(), p.UncoreDynW.Watts(), p.UncoreLoadW.Watts()
+	return units.WattsOf(base + dyn*n*n + load*clamp01(memUtil)*n)
 }
 
 // CorePowerW returns the power of one active physical core at the given
 // clock and combined activity level (0 = idle in C0, 1 = one sibling fully
 // busy, up to 1+HTSiblingFrac with both siblings busy).
-func (p PowerParams) CorePowerW(coreMHz int, activity float64) float64 {
+func (p PowerParams) CorePowerW(coreMHz int, activity float64) units.Watt {
 	ghz := float64(coreMHz) / 1000.0
-	return p.CoreIdleW + activity*p.CoreDynCoefW*ghz*ghz
+	return units.WattsOf(p.CoreIdleW.Watts() + activity*p.CoreDynCoefW*ghz*ghz)
 }
 
 // DRAMPowerW returns the DRAM power of one socket given traffic in GB/s.
-func (p PowerParams) DRAMPowerW(trafficGBs float64) float64 {
+func (p PowerParams) DRAMPowerW(trafficGBs float64) units.Watt {
 	if trafficGBs < 0 {
 		trafficGBs = 0
 	}
-	return p.DRAMStaticW + p.DRAMPerGBsW*trafficGBs
+	return units.WattsOf(p.DRAMStaticW.Watts() + p.DRAMPerGBsW*trafficGBs)
 }
 
 // SocketActivity describes, for one simulation step, the load the database
@@ -147,7 +156,7 @@ type SocketActivity struct {
 // SocketPowerW computes the RAPL-visible package and DRAM power of one
 // socket under a configuration and activity. uncoreHalted must reflect the
 // machine-wide halting rule (only when every socket is idle).
-func (p PowerParams) SocketPowerW(t Topology, socket int, cfg Configuration, act SocketActivity, uncoreHalted bool, bwCapGBs float64) (pkgW, dramW float64) {
+func (p PowerParams) SocketPowerW(t Topology, socket int, cfg Configuration, act SocketActivity, uncoreHalted bool, bwCapGBs float64) (pkgW, dramW units.Watt) {
 	dramW = p.DRAMPowerW(act.MemGBs)
 	if uncoreHalted {
 		return p.pkgFloor(socket), dramW
@@ -189,15 +198,15 @@ func (p PowerParams) SocketPowerW(t Topology, socket int, cfg Configuration, act
 			}
 		}
 		activity := maxL + p.HTSiblingFrac*(sumL-maxL)
-		pkgW += p.CoreIdleW + activity*dyn*p.CoreDynCoefW*sq(float64(cfg.CoreMHz[core])/1000.0)
+		pkgW += p.CoreIdleW + units.WattsOf(activity*dyn*p.CoreDynCoefW*sq(float64(cfg.CoreMHz[core])/1000.0))
 	}
 	return pkgW, dramW
 }
 
 // PSUPowerW converts total RAPL-visible power into the PSU-level power an
 // external meter would report.
-func (p PowerParams) PSUPowerW(raplW float64) float64 {
-	return raplW*(1+p.PSUOverheadFrac) + p.PSUFixedW
+func (p PowerParams) PSUPowerW(raplW units.Watt) units.Watt {
+	return raplW.Scale(1+p.PSUOverheadFrac) + p.PSUFixedW
 }
 
 func sq(x float64) float64 { return x * x }

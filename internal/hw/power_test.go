@@ -3,6 +3,8 @@ package hw
 import (
 	"testing"
 	"testing/quick"
+
+	"ecldb/internal/units"
 )
 
 // fullBusy returns an activity with every active thread of cfg fully busy.
@@ -18,7 +20,7 @@ func fullBusy(topo Topology, cfg Configuration) SocketActivity {
 }
 
 // socketPower is a test helper computing package power for one socket.
-func socketPower(topo Topology, cfg Configuration, act SocketActivity, halted bool) float64 {
+func socketPower(topo Topology, cfg Configuration, act SocketActivity, halted bool) units.Watt {
 	pp := DefaultPowerParams()
 	pkg, _ := pp.SocketPowerW(topo, 0, cfg, act, halted, BandwidthCapGBs(cfg.UncoreMHz))
 	return pkg
@@ -72,7 +74,7 @@ func TestHyperThreadSiblingNearlyFree(t *testing.T) {
 // uncore clock.
 func TestFirstCoreCostGrowsWithUncore(t *testing.T) {
 	topo := HaswellEP()
-	cost := func(uncore int) float64 {
+	cost := func(uncore int) units.Watt {
 		c := NewConfiguration(topo)
 		c.Threads[0] = true
 		c.UncoreMHz = uncore
@@ -89,7 +91,7 @@ func TestFirstCoreCostGrowsWithUncore(t *testing.T) {
 // compute-bound full load draws roughly 12 W more on the package.
 func TestUncoreClockPowerDelta(t *testing.T) {
 	topo := HaswellEP()
-	mk := func(uncore int) float64 {
+	mk := func(uncore int) units.Watt {
 		c := AllMax(topo)
 		c.UncoreMHz = uncore
 		return socketPower(topo, c, fullBusy(topo, c), false)
@@ -132,14 +134,14 @@ func TestStaticToPeakRatio(t *testing.T) {
 	topo := HaswellEP()
 	pp := DefaultPowerParams()
 
-	idleW := 0.0
+	var idleW units.Watt
 	for s := 0; s < topo.Sockets; s++ {
 		pkg, dram := pp.SocketPowerW(topo, s, NewConfiguration(topo), SocketActivity{}, true, 0)
 		idleW += pkg + dram
 	}
 	idlePSU := pp.PSUPowerW(idleW)
 
-	peakW := 0.0
+	var peakW units.Watt
 	cfg := AllMax(topo)
 	for s := 0; s < topo.Sockets; s++ {
 		act := fullBusy(topo, cfg)
@@ -153,7 +155,7 @@ func TestStaticToPeakRatio(t *testing.T) {
 	}
 	peakPSU := pp.PSUPowerW(peakW)
 
-	ratio := idlePSU / peakPSU
+	ratio := idlePSU.Div(peakPSU)
 	if ratio < 0.12 || ratio > 0.25 {
 		t.Errorf("static/peak PSU ratio = %.3f, want ~0.18 (0.12..0.25)", ratio)
 	}

@@ -20,7 +20,7 @@ const modulePath = "ecldb"
 // noconc/sweeplike fixture pins the boundary from both sides.
 func CorePackages() []string {
 	names := []string{
-		"vtime", "hw", "dodb", "msg", "ecl", "energy", "obs",
+		"vtime", "units", "hw", "dodb", "msg", "ecl", "energy", "obs",
 		"obs/trace", "perfmodel", "sim", "storage", "workload",
 		"loadprofile", "trace",
 	}
@@ -51,6 +51,11 @@ func DefaultLayering() LayeringConfig {
 				Pkg:    in("vtime"),
 				Forbid: []string{modulePath + "/internal/"},
 				Reason: "the virtual clock is the bottom layer and imports no internal package",
+			},
+			{
+				Pkg:    in("units"),
+				Forbid: []string{modulePath + "/internal/"},
+				Reason: "the quantity types are a leaf vocabulary package and import no internal package",
 			},
 			{
 				Pkg:    in("hw"),
@@ -104,5 +109,8 @@ func Default() []*Analyzer {
 		NewNoconc(core),
 		NewMapiter(core),
 		NewLayering(DefaultLayering()),
+		hotPathAnalyzer(),
+		floatOrderAnalyzer(),
+		NewUnit(core),
 	}
 }

@@ -119,11 +119,7 @@ func TestLayeringFixture(t *testing.T) {
 // stay clean on the whole tree. A red run here means a change broke the
 // determinism or layering contract (or needs an inline justification).
 func TestSuiteCleanOnRepo(t *testing.T) {
-	units, err := Load(repoRoot(t), []string{"./..."})
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags := Run(units, Default())
+	diags := Run(loadRepo(t), Default())
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}

@@ -13,22 +13,39 @@ type directive struct {
 	reason   string
 }
 
-// directivePrefix introduces every ecllint comment. Two verbs exist:
+// A Mark is a non-suppression annotation directive: //ecllint:<verb>
+// declares a fact about the code instead of hiding a finding. The only
+// annotation verb today is hotpath, which roots the hotpath analyzer's
+// allocation-freedom scan at the function declared below it.
+type Mark struct {
+	File string
+	Line int // line the comment starts on
+	Verb string
+}
+
+// directivePrefix introduces every ecllint comment. Three verbs exist:
 //
 //	//ecllint:allow <analyzer> <reason>
 //	//ecllint:order-independent <reason>
+//	//ecllint:hotpath [note]
 //
 // The second is shorthand for `allow mapiter` and is the canonical way to
 // justify a loop whose per-element effects commute. A directive covers
 // findings on its own line and on the line directly below, so both
-// trailing comments and a comment-above style work.
+// trailing comments and a comment-above style work. The third is an
+// annotation, not a suppression: it marks the function declared beneath
+// it as a hot path whose whole static call tree must stay allocation-free
+// (a trailing note is welcome but not required — the annotation asserts a
+// contract rather than excusing a violation).
 const directivePrefix = "ecllint:"
 
 // parseDirectives scans all comments of a unit. It returns the valid
-// suppressions plus a Diagnostic for every malformed directive: a reason
-// is mandatory, and the analyzer named in an allow must exist.
-func parseDirectives(u *Unit, known map[string]bool) ([]directive, []Diagnostic) {
+// suppressions and annotation marks plus a Diagnostic for every malformed
+// directive: a suppression's reason is mandatory, and the analyzer named
+// in an allow must exist.
+func parseDirectives(u *Unit, known map[string]bool) ([]directive, []Mark, []Diagnostic) {
 	var sups []directive
+	var marks []Mark
 	var problems []Diagnostic
 	report := func(pos token.Position, msg string) {
 		problems = append(problems, Diagnostic{Pos: pos, Analyzer: "directive", Message: msg})
@@ -58,8 +75,11 @@ func parseDirectives(u *Unit, known map[string]bool) ([]directive, []Diagnostic)
 					d.analyzer = analyzer
 				case "order-independent":
 					d.analyzer = "mapiter"
+				case "hotpath":
+					marks = append(marks, Mark{File: f.Name, Line: pos.Line, Verb: verb})
+					continue
 				default:
-					report(pos, "unknown ecllint directive "+quote(verb)+" (want allow or order-independent)")
+					report(pos, "unknown ecllint directive "+quote(verb)+" (want allow, order-independent, or hotpath)")
 					continue
 				}
 				d.reason = strings.TrimSpace(rest)
@@ -71,7 +91,7 @@ func parseDirectives(u *Unit, known map[string]bool) ([]directive, []Diagnostic)
 			}
 		}
 	}
-	return sups, problems
+	return sups, marks, problems
 }
 
 // directiveText extracts the directive body from a comment: `//ecllint:x`

@@ -30,9 +30,12 @@ var a int
 //ecllint:order-independent the loop body only sums, which commutes
 var b int
 `)
-	sups, problems := parseDirectives(u, knownTest)
+	sups, marks, problems := parseDirectives(u, knownTest)
 	if len(problems) != 0 {
 		t.Fatalf("unexpected problems: %v", problems)
+	}
+	if len(marks) != 0 {
+		t.Fatalf("unexpected marks: %v", marks)
 	}
 	if len(sups) != 2 {
 		t.Fatalf("got %d suppressions, want 2", len(sups))
@@ -58,7 +61,7 @@ func TestParseDirectivesMalformed(t *testing.T) {
 	}
 	for _, c := range cases {
 		u := parseSource(t, "package d\n\n"+c.src+"\nvar x int\n")
-		sups, problems := parseDirectives(u, knownTest)
+		sups, _, problems := parseDirectives(u, knownTest)
 		if len(sups) != 0 {
 			t.Errorf("%q: malformed directive produced a suppression", c.src)
 		}
@@ -75,16 +78,48 @@ func TestOrdinaryCommentsIgnored(t *testing.T) {
 // This mentions ecllint:allow mid-sentence and must not parse either.
 var x int
 `)
-	sups, problems := parseDirectives(u, knownTest)
-	if len(sups) != 0 || len(problems) != 0 {
-		t.Fatalf("prose comments were treated as directives: sups=%v problems=%v", sups, problems)
+	sups, marks, problems := parseDirectives(u, knownTest)
+	if len(sups) != 0 || len(marks) != 0 || len(problems) != 0 {
+		t.Fatalf("prose comments were treated as directives: sups=%v marks=%v problems=%v", sups, marks, problems)
+	}
+}
+
+func TestParseDirectivesHotpathMark(t *testing.T) {
+	u := parseSource(t, `package d
+
+//ecllint:hotpath steady-state dispatch loop
+func f() {}
+
+//ecllint:hotpath
+func g() {}
+`)
+	sups, marks, problems := parseDirectives(u, knownTest)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	if len(sups) != 0 {
+		t.Fatalf("hotpath marks must not become suppressions: %v", sups)
+	}
+	if len(marks) != 2 {
+		t.Fatalf("got %d marks, want 2: %v", len(marks), marks)
+	}
+	for _, m := range marks {
+		if m.Verb != "hotpath" || m.File != "d.go" {
+			t.Errorf("mark parsed wrong: %+v", m)
+		}
+	}
+	if marks[0].Line != 3 || marks[1].Line != 6 {
+		t.Errorf("mark lines = %d, %d; want 3, 6", marks[0].Line, marks[1].Line)
 	}
 }
 
 func TestSuppressedCoverage(t *testing.T) {
-	d := Diagnostic{Pos: token.Position{Filename: "d.go", Line: 10}, Analyzer: "mapiter"}
 	cover := func(line int, analyzer, file string) bool {
-		return suppressed(d, []directive{{file: file, line: line, analyzer: analyzer, reason: "r"}})
+		s := &suite{
+			sups: []directive{{file: file, line: line, analyzer: analyzer, reason: "r"}},
+			used: make([]bool, 1),
+		}
+		return s.consume("mapiter", "d.go", 10)
 	}
 	if !cover(10, "mapiter", "d.go") {
 		t.Error("same-line directive must suppress")

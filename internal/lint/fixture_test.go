@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -22,6 +23,32 @@ func repoRoot(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return root
+}
+
+// The repo-wide `./...` load is the expensive half of every tree-level
+// lint test: parsing and type-checking the whole module costs far more
+// than any analysis that runs over it. The tests that need the full
+// tree share one memoized unit set — safe because Run treats units as
+// read-only (directives are re-parsed per run, findings accumulate in
+// the pass, nothing writes back into a Unit).
+var (
+	repoLoadOnce  sync.Once
+	repoLoadUnits []*Unit
+	repoLoadErr   error
+)
+
+// loadRepo returns the shared type-checked unit set for the whole
+// module, loading it on first use.
+func loadRepo(t *testing.T) []*Unit {
+	t.Helper()
+	root := repoRoot(t)
+	repoLoadOnce.Do(func() {
+		repoLoadUnits, repoLoadErr = Load(root, []string{"./..."})
+	})
+	if repoLoadErr != nil {
+		t.Fatal(repoLoadErr)
+	}
+	return repoLoadUnits
 }
 
 // wantRx matches expectation comments in fixtures: `// want "substring"`.
@@ -108,10 +135,7 @@ func coreFixture(pkgs ...string) []string {
 // on: `./...` expansion must never pick up testdata packages, or the
 // deliberately broken fixtures would fail the repo-wide ecllint run.
 func TestFixturesStayHidden(t *testing.T) {
-	units, err := Load(repoRoot(t), []string{"./..."})
-	if err != nil {
-		t.Fatal(err)
-	}
+	units := loadRepo(t)
 	for _, u := range units {
 		if strings.Contains(u.Path, "testdata") {
 			t.Errorf("wildcard load picked up fixture package %s", u.Path)

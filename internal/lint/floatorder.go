@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The floatorder analyzer guards the bit-reproducibility of floating-
+// point aggregates. Float addition is not associative: summing the same
+// multiset of values in two different orders can differ in the last ulp,
+// which the determinism digest (internal/sim) amplifies into a full
+// hash mismatch. The analyzer flags two feeding patterns:
+//
+//  1. A float accumulator (x += v, or x = x + v) updated inside a range
+//     over a map — iteration order is randomized per run.
+//  2. A float accumulator updated while ranging over a slice that was
+//     filled by appending inside a map range earlier in the same
+//     function, with no sort call on the slice in between — the slice
+//     is just map order captured.
+//
+// The mapiter analyzer flags map ranges in core packages wholesale;
+// floatorder is narrower (only float accumulation) and runs everywhere,
+// because a nondeterministic sum in a cmd/ report corrupts published
+// figures just as surely. Suppress with //ecllint:allow floatorder
+// <reason> when the accumulation provably commutes (e.g. integer-valued
+// floats below 2^53).
+
+// floatOrderAnalyzer is constructed in analyzers.go.
+func floatOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floatorder",
+		Doc:  "float accumulation must not depend on map-iteration order",
+		Run:  runFloatOrder,
+	}
+}
+
+func runFloatOrder(pass *Pass) {
+	u := pass.Unit
+	for _, f := range u.Files {
+		if f.Test {
+			continue
+		}
+		for _, d := range f.AST.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			checkFuncFloatOrder(pass, decl.Body)
+		}
+	}
+}
+
+// mapFill records a slice variable appended to inside a map range.
+type mapFill struct {
+	v   *types.Var
+	pos token.Pos // position of the append
+}
+
+func checkFuncFloatOrder(pass *Pass, body *ast.BlockStmt) {
+	u := pass.Unit
+
+	// Pass A: direct accumulation inside map ranges, and collection of
+	// slices filled in map order.
+	var fills []mapFill
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(u, rng.X) {
+			return true
+		}
+		for _, acc := range floatAccumulations(u, rng) {
+			pass.Reportf(acc, "float accumulation in map-iteration order; sum bits vary run to run")
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			if v, pos := appendTarget(u, m, rng); v != nil {
+				fills = append(fills, mapFill{v: v, pos: pos})
+			}
+			return true
+		})
+		return true
+	})
+
+	if len(fills) == 0 {
+		return
+	}
+
+	// Pass B: sort calls referencing a filled slice launder it from that
+	// point on.
+	sortedAfter := map[*types.Var]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(u, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok {
+					if v, ok := u.Info.Uses[id].(*types.Var); ok {
+						if prev, seen := sortedAfter[v]; !seen || call.Pos() > prev {
+							sortedAfter[v] = call.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Pass C: float accumulation while ranging over a map-order slice
+	// that no sort call preceded.
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(rng.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := u.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		filled := token.NoPos
+		for _, fl := range fills {
+			if fl.v == v && fl.pos < rng.Pos() {
+				filled = fl.pos
+			}
+		}
+		if !filled.IsValid() {
+			return true
+		}
+		if sp, ok := sortedAfter[v]; ok && sp > filled && sp < rng.Pos() {
+			return true
+		}
+		for _, acc := range floatAccumulations(u, rng) {
+			pass.Reportf(acc, "float accumulation over %q, which holds map keys in iteration order; sort it first", v.Name())
+		}
+		return true
+	})
+}
+
+// floatAccumulations returns the positions of float compound updates
+// (x += v, x -= v, x = x + v) inside rng.Body whose accumulator is
+// declared outside the loop — i.e. a sum that survives the iteration
+// and therefore depends on its order.
+func floatAccumulations(u *Unit, rng *ast.RangeStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := u.Info.Uses[lhs].(*types.Var)
+		if !ok || !isFloatType(v.Type()) {
+			return true
+		}
+		if v.Pos() >= rng.Pos() && v.Pos() <= rng.End() {
+			return true // loop-local: reset each iteration
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			out = append(out, as.Pos())
+		case token.ASSIGN:
+			if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok &&
+				(bin.Op == token.ADD || bin.Op == token.SUB) &&
+				(usesVar(u, bin.X, v) || usesVar(u, bin.Y, v)) {
+				out = append(out, as.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// appendTarget recognizes `s = append(s, ...)` where s is declared
+// outside rng, returning the slice variable and the append position.
+func appendTarget(u *Unit, n ast.Node, rng *ast.RangeStmt) (*types.Var, token.Pos) {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, token.NoPos
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, token.NoPos
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil, token.NoPos
+	}
+	if _, isBuiltin := u.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return nil, token.NoPos
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil, token.NoPos
+	}
+	v, ok := u.Info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, token.NoPos
+	}
+	if v.Pos() >= rng.Pos() && v.Pos() <= rng.End() {
+		return nil, token.NoPos
+	}
+	return v, as.Pos()
+}
+
+// isSortCall reports whether call invokes anything in package sort.
+func isSortCall(u *Unit, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := u.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		return fn.Pkg().Path() == "sort"
+	}
+	return false
+}
+
+// isMapType reports whether expr has map underlying type.
+func isMapType(u *Unit, e ast.Expr) bool {
+	tv, ok := u.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isFloatType reports whether t (or its underlying type — defined unit
+// types like units.Joule count) is a floating-point type.
+func isFloatType(t types.Type) bool {
+	bt, ok := t.Underlying().(*types.Basic)
+	return ok && bt.Info()&types.IsFloat != 0
+}
+
+// usesVar reports whether expression e references variable v.
+func usesVar(u *Unit, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && u.Info.Uses[id] == v {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -162,9 +162,10 @@ func buildUnit(p listPackage, goFiles, testFiles []string, path string, exports,
 		return nil, fmt.Errorf("no export data for %q", ipath)
 	}
 	u.Info = &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Uses:  map[*ast.Ident]types.Object{},
-		Defs:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
 	var files []*ast.File

@@ -1,0 +1,87 @@
+// Package bad exercises the floatorder analyzer: float accumulators fed
+// in map-iteration order directly, through a captured key slice, and the
+// accepted forms (sorted keys, loop-local sums, integer counters,
+// justified suppressions).
+package bad
+
+import "sort"
+
+func SumMap(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation in map-iteration order"
+	}
+	return total
+}
+
+func SumMapSpelledOut(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation in map-iteration order"
+	}
+	return total
+}
+
+// SumKeysUnsorted captures the keys in iteration order and sums later —
+// laundering the order through a slice does not help.
+func SumKeysUnsorted(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	var total float64
+	for _, k := range keys {
+		total += m[k] // want "holds map keys in iteration order"
+	}
+	return total
+}
+
+// SumKeysSorted is the canonical deterministic form.
+func SumKeysSorted(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// SumInner only accumulates into loop-local sums: each iteration starts
+// from zero, so map order cannot leak into the bits.
+func SumInner(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		sub := 0.0
+		for _, v := range vs {
+			sub += v
+		}
+		if sub > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// CountMap accumulates an integer — exact arithmetic commutes.
+func CountMap(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SumMapAllowed carries a justification: integral values below 2^53 add
+// exactly, so the order genuinely cannot change the result.
+func SumMapAllowed(counts map[string]float64) float64 {
+	var total float64
+	for _, v := range counts {
+		//ecllint:allow floatorder every value is an integral event count below 2^53, so addition is exact and commutes
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,55 @@
+// Package graph is the call-graph conservatism fixture: callgraph_test
+// builds the graph over it and asserts that interface dispatch, function
+// values, and method values all over-approximate to the full candidate
+// set — and that functions whose value is never taken stay out of it.
+package graph
+
+type Iface interface {
+	Do()
+}
+
+type ValueImpl struct{}
+
+func (ValueImpl) Do() {}
+
+type PointerImpl struct{}
+
+func (*PointerImpl) Do() {}
+
+// NotAnImpl has a Do-shaped method under a different name and must not
+// appear among the interface call's candidates.
+type NotAnImpl struct{}
+
+func (NotAnImpl) DoOther() {}
+
+// CallIface dispatches through the interface: conservatively, both
+// implementations are callees.
+func CallIface(i Iface) {
+	i.Do()
+}
+
+func target() {}
+
+// never has the same signature as target but its value is never taken:
+// no function-value call can reach it.
+func never() {}
+
+// taken puts target into the value-taken pool.
+var taken = target
+
+// CallValue calls through a function value: every value-taken function
+// (and literal) of matching signature is a candidate.
+func CallValue(f func()) {
+	f()
+}
+
+// MethodValue binds a method as a value — conservatively the bound
+// method joins the value-taken pool too.
+func MethodValue(v ValueImpl) func() {
+	return v.Do
+}
+
+// use keeps the package vars referenced.
+func use() {
+	_ = taken
+}

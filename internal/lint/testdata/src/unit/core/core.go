@@ -1,0 +1,62 @@
+// Package core exercises the unit analyzer: raw conversions in both
+// directions, same-unit products and quotients, smuggled raw-float
+// quantities in exported API, and the accepted forms (constructors,
+// accessors, helpers, constant scaling, justified suppressions).
+package core
+
+import (
+	"time"
+
+	"ecldb/internal/units"
+)
+
+// Meter mixes a properly typed field with a smuggled one.
+type Meter struct {
+	Power units.Watt
+	RawW  float64 // want "smuggling a physical quantity"
+}
+
+func Convert(x float64) units.Watt {
+	return units.Watt(x) // want "raw conversion to units.Watt"
+}
+
+func Strip(w units.Watt) float64 {
+	return float64(w) // want "strips the units.Watt dimension"
+}
+
+func Square(a, b units.Watt) units.Watt {
+	return a * b // want "multiplying two units.Watt"
+}
+
+func Ratio(a, b units.Hertz) units.Hertz {
+	return a / b // want "dividing two units.Hertz"
+}
+
+func Smuggle(powerW float64) float64 { // want "parameter powerW is a bare float64"
+	return powerW
+}
+
+func SmuggledResult(w units.Watt) (energyJ float64) { // want "result energyJ is a bare float64"
+	return w.Watts()
+}
+
+// Scale is fine: untyped constants carry no unit.
+func Scale(w units.Watt) units.Watt {
+	return 2 * w
+}
+
+// Add is fine: same-unit sums keep the dimension.
+func Add(a, b units.Joule) units.Joule {
+	return a + b
+}
+
+// Integrate is the blessed route between dimensions.
+func Integrate(w units.Watt, d time.Duration) units.Joule {
+	return w.Over(d)
+}
+
+// Calibrate carries a justification for a raw conversion at a measured
+// boundary.
+func Calibrate(reading float64) units.Watt {
+	return units.Watt(reading) //ecllint:allow unit fixture stands in for a sensor boundary where the raw reading is definitionally Watts
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// The unit analyzer enforces the physical-quantity discipline of
+// internal/units inside the deterministic core. The defined types
+// (units.Joule, units.Watt, units.Hertz, units.VirtualNanos) make the
+// compiler reject most dimensional nonsense, but three holes remain
+// open in plain Go, and this analyzer closes them:
+//
+//  1. Raw type conversions. units.Watt(x) and float64(w) bypass the
+//     explicit constructors (units.WattsOf) and accessors (.Watts())
+//     that mark every boundary where a number enters or leaves the unit
+//     system. Outside internal/units both directions are findings.
+//  2. Same-unit multiplication and division. w1 * w2 type-checks as a
+//     Watt but is physically W² — the compiler cannot object because
+//     both operands have the same defined type. Scaling by a constant
+//     (2 * w) is fine: untyped constants carry no unit.
+//  3. Unit smuggling. An exported field or parameter `PowerW float64`
+//     reintroduces the raw-float convention the refactor removed. The
+//     analyzer applies a name heuristic (…W, …J, …Hz, …Watts, …Joules)
+//     to exported API of core packages and demands the units type.
+//
+// internal/units itself is exempt: it is the one place raw conversions
+// are definitionally correct. Suppress elsewhere with
+// //ecllint:allow unit <reason> — e.g. model coefficients whose product
+// with a dimensionless factor is intentional.
+
+// unitsPkgPath is where the defined quantity types live.
+const unitsPkgPath = modulePath + "/internal/units"
+
+// NewUnit returns the unit-discipline analyzer fenced to the given
+// packages (the deterministic core plus internal/units, which is
+// skipped explicitly).
+func NewUnit(fence []string) *Analyzer {
+	in := map[string]bool{}
+	for _, p := range fence {
+		in[p] = true
+	}
+	a := &Analyzer{
+		Name: "unit",
+		Doc:  "physical quantities must flow through internal/units constructors, accessors, and helpers",
+	}
+	a.Run = func(pass *Pass) {
+		path := strings.TrimSuffix(pass.Unit.Path, "_test")
+		if !in[path] || path == unitsPkgPath {
+			return
+		}
+		runUnit(pass)
+	}
+	return a
+}
+
+func runUnit(pass *Pass) {
+	u := pass.Unit
+	for _, f := range u.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkUnitConversion(pass, n)
+			case *ast.BinaryExpr:
+				checkUnitArithmetic(pass, n)
+			}
+			return true
+		})
+		if !f.Test {
+			checkUnitNames(pass, f.AST)
+		}
+	}
+}
+
+// unitTypeName returns the name of the units-package defined type t is
+// (or ""): "Watt", "Joule", "Hertz", "VirtualNanos".
+func unitTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPkgPath {
+		return ""
+	}
+	return obj.Name()
+}
+
+// checkUnitConversion flags raw type conversions into or out of a unit
+// type.
+func checkUnitConversion(pass *Pass, call *ast.CallExpr) {
+	u := pass.Unit
+	tv, ok := u.Info.Types[ast.Unparen(call.Fun)]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := tv.Type
+	src := u.Info.Types[call.Args[0]].Type
+	if src == nil || types.Identical(dst, src) {
+		return
+	}
+	if name := unitTypeName(dst); name != "" {
+		pass.Reportf(call.Pos(), "raw conversion to units.%s; construct it with the explicit units constructor", name)
+		return
+	}
+	if name := unitTypeName(src); name != "" {
+		pass.Reportf(call.Pos(), "raw conversion strips the units.%s dimension; use its accessor method", name)
+	}
+}
+
+// checkUnitArithmetic flags multiplying or dividing two values of the
+// same unit type — the result type-checks but the dimension is wrong.
+func checkUnitArithmetic(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.MUL && bin.Op != token.QUO {
+		return
+	}
+	u := pass.Unit
+	xv, yv := u.Info.Types[bin.X], u.Info.Types[bin.Y]
+	if xv.Value != nil || yv.Value != nil {
+		return // constant scaling carries no unit
+	}
+	if xv.Type == nil || yv.Type == nil {
+		return
+	}
+	name := unitTypeName(xv.Type)
+	if name == "" || !types.Identical(xv.Type, yv.Type) {
+		return
+	}
+	op := "multiplying"
+	if bin.Op == token.QUO {
+		op = "dividing"
+	}
+	pass.Reportf(bin.Pos(), "%s two units.%s values leaves the %s dimension; use an internal/units helper (Scale, Div, ...)", op, name, name)
+}
+
+// checkUnitNames applies the smuggling heuristic to exported API: a
+// bare float64 field, parameter, or result whose name announces a
+// physical quantity should carry the units type instead.
+func checkUnitNames(pass *Pass, file *ast.File) {
+	u := pass.Unit
+	for _, d := range file.Decls {
+		switch d := d.(type) {
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						if name.IsExported() {
+							checkSmuggledName(pass, u, name, field.Type, "field")
+						}
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			for _, p := range d.Type.Params.List {
+				for _, name := range p.Names {
+					checkSmuggledName(pass, u, name, p.Type, "parameter")
+				}
+			}
+			if d.Type.Results != nil {
+				for _, r := range d.Type.Results.List {
+					for _, name := range r.Names {
+						checkSmuggledName(pass, u, name, r.Type, "result")
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkSmuggledName(pass *Pass, u *Unit, name *ast.Ident, typ ast.Expr, kind string) {
+	want := unitForName(name.Name)
+	if want == "" {
+		return
+	}
+	tv, ok := u.Info.Types[typ]
+	if !ok || tv.Type == nil {
+		return
+	}
+	bt, ok := tv.Type.(*types.Basic)
+	if !ok || bt.Info()&types.IsFloat == 0 {
+		return
+	}
+	pass.Reportf(name.Pos(), "%s %s is a bare %s smuggling a physical quantity; type it units.%s", kind, name.Name, bt.Name(), want)
+}
+
+// unitForName maps a quantity-announcing identifier to the units type it
+// should carry, or "". Matches: a lowercase letter followed by a final
+// W or J ("PowerW", "idleJ"), an Hz suffix, or Watts/Joules anywhere.
+func unitForName(name string) string {
+	if len(name) >= 2 {
+		last := name[len(name)-1]
+		prev := rune(name[len(name)-2])
+		if unicode.IsLower(prev) {
+			switch last {
+			case 'W':
+				return "Watt"
+			case 'J':
+				return "Joule"
+			}
+		}
+	}
+	if strings.HasSuffix(name, "Hz") {
+		return "Hertz"
+	}
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "watts") {
+		return "Watt"
+	}
+	if strings.Contains(lower, "joules") {
+		return "Joule"
+	}
+	return ""
+}

@@ -75,6 +75,7 @@ type queue struct {
 
 func (q *queue) len() int { return len(q.msgs) - q.head }
 
+//ecllint:allow hotpath amortized growth; compaction in pop reuses the backing array
 func (q *queue) push(m *Message) { q.msgs = append(q.msgs, m) }
 
 func (q *queue) pop() *Message {
@@ -151,9 +152,12 @@ func (h *Hub) Partitions() []int { return h.order }
 func (h *Hub) Pending() int { return h.pending }
 
 // EnqueueLocal delivers a message to a partition homed on this hub.
+//
+//ecllint:hotpath one call per operation message
 func (h *Hub) EnqueueLocal(m *Message) error {
 	q := h.q(m.Partition)
 	if q == nil {
+		//ecllint:allow hotpath cold error path; routing is validated when partitions are installed
 		return fmt.Errorf("msg: partition %d not homed on socket %d", m.Partition, h.socket)
 	}
 	q.push(m)
@@ -183,6 +187,7 @@ func (h *Hub) DrainOutbound(remoteSocket int, max int) []*Message {
 	if len(rest) == 0 {
 		delete(h.outbound, remoteSocket)
 	} else {
+		//ecllint:allow hotpath only a bandwidth-capped partial drain re-buffers the remainder; a full drain (the steady state) frees the slot without copying
 		h.outbound[remoteSocket] = append([]*Message(nil), rest...)
 	}
 	return out
@@ -196,6 +201,8 @@ func (h *Hub) OutboundLen(remoteSocket int) int { return len(h.outbound[remoteSo
 // owned, takes ownership for the worker token, and returns the partition.
 // It returns (-1, false) if no partition is available. Scanning rotates so
 // partitions are served fairly.
+//
+//ecllint:hotpath runs once per worker scheduling decision
 func (h *Hub) Acquire(worker int) (partition int, ok bool) {
 	n := len(h.scan)
 	i := h.scanCursor
@@ -239,9 +246,11 @@ func (h *Hub) Owner(partition int) int {
 func (h *Hub) Release(worker, partition int) error {
 	q := h.q(partition)
 	if q == nil {
+		//ecllint:allow hotpath cold error path; routing is validated when partitions are installed
 		return fmt.Errorf("msg: partition %d not homed on socket %d", partition, h.socket)
 	}
 	if q.owner != worker {
+		//ecllint:allow hotpath cold error path; release always follows a successful Acquire
 		return fmt.Errorf("msg: worker %d releasing partition %d owned by %d", worker, partition, q.owner)
 	}
 	q.owner = NoOwner
@@ -252,12 +261,16 @@ func (h *Hub) Release(worker, partition int) error {
 // the queue is empty. The caller must hold ownership. This is the
 // engine's per-message hot path; unlike Dequeue it never allocates a
 // batch slice.
+//
+//ecllint:hotpath one call per executed operation
 func (h *Hub) DequeueOne(worker, partition int) (*Message, error) {
 	q := h.q(partition)
 	if q == nil {
+		//ecllint:allow hotpath cold error path; routing is validated when partitions are installed
 		return nil, fmt.Errorf("msg: partition %d not homed on socket %d", partition, h.socket)
 	}
 	if q.owner != worker {
+		//ecllint:allow hotpath cold error path; ownership is enforced by Acquire before any dequeue
 		return nil, fmt.Errorf("msg: worker %d dequeuing partition %d owned by %d", worker, partition, q.owner)
 	}
 	m := q.pop()

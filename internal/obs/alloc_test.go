@@ -4,6 +4,8 @@ import (
 	"io"
 	"testing"
 	"time"
+
+	"ecldb/internal/units"
 )
 
 // TestDisabledPathsAllocateNothing pins the zero-allocation contract of
@@ -15,7 +17,7 @@ func TestDisabledPathsAllocateNothing(t *testing.T) {
 	var g *Gauge
 	var h *Histogram
 	var r *Registry
-	e := Event{At: time.Second, Type: EvDemandUpdate, Socket: 1, A: 1, B: 2, C: 3}
+	e := Event{At: units.Virtual(time.Second), Type: EvDemandUpdate, Socket: 1, A: 1, B: 2, C: 3}
 	cases := []struct {
 		name string
 		fn   func()
@@ -41,7 +43,7 @@ func TestDisabledPathsAllocateNothing(t *testing.T) {
 // buffer reaches capacity, emitting a value event allocates nothing.
 func TestEnabledEmitStaysCheap(t *testing.T) {
 	l := NewLog(64)
-	e := Event{At: time.Second, Type: EvQueryAdmit, Socket: 0, A: 1}
+	e := Event{At: units.Virtual(time.Second), Type: EvQueryAdmit, Socket: 0, A: 1}
 	for i := 0; i < 64; i++ {
 		l.Emit(e)
 	}
@@ -56,7 +58,7 @@ func TestEnabledEmitStaysCheap(t *testing.T) {
 
 func BenchmarkEmitDisabled(b *testing.B) {
 	var l *Log
-	e := Event{At: time.Second, Type: EvDemandUpdate, A: 1, B: 2}
+	e := Event{At: units.Virtual(time.Second), Type: EvDemandUpdate, A: 1, B: 2}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		l.Emit(e)
@@ -65,7 +67,7 @@ func BenchmarkEmitDisabled(b *testing.B) {
 
 func BenchmarkEmitEnabledRing(b *testing.B) {
 	l := NewLog(1024)
-	e := Event{At: time.Second, Type: EvDemandUpdate, A: 1, B: 2}
+	e := Event{At: units.Virtual(time.Second), Type: EvDemandUpdate, A: 1, B: 2}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		l.Emit(e)
@@ -99,7 +101,7 @@ func BenchmarkHistogramObserve(b *testing.B) {
 func BenchmarkWriteJSONL(b *testing.B) {
 	l := NewLog(0)
 	for i := 0; i < 10000; i++ {
-		l.Emit(Event{At: time.Duration(i), Type: Type(i % numTypes), Socket: i % 4,
+		l.Emit(Event{At: units.Virtual(time.Duration(i)), Type: Type(i % numTypes), Socket: i % 4,
 			A: float64(i), B: 0.5, S: "c4t2f2.8"})
 	}
 	b.ReportAllocs()

@@ -1,6 +1,6 @@
 package obs
 
-import "time"
+import "ecldb/internal/units"
 
 // Type identifies the kind of a decision event. The set mirrors the
 // control actions of DESIGN.md §5: demand estimation, zone transitions,
@@ -100,10 +100,12 @@ func (t Type) String() string {
 // Event is one control-plane decision. It is a fixed-size value struct so
 // that emitting an event performs no allocation: the three float payload
 // slots A, B, C and the string slot S are interpreted per Type (see the
-// Type constants). At is virtual time; Socket is the owning socket or -1
-// for system-scope events.
+// Type constants). At is a virtual-clock timestamp — the event stream is
+// a serialization boundary, so the "these nanoseconds are virtual" fact
+// is carried in the type. Socket is the owning socket or -1 for
+// system-scope events.
 type Event struct {
-	At      time.Duration
+	At      units.VirtualNanos
 	Type    Type
 	Socket  int
 	A, B, C float64

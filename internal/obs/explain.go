@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
+
+	"ecldb/internal/units"
 )
 
 // modeChar maps a ZoneTransition mode string to its one-character strip
@@ -38,7 +39,7 @@ func modeChar(mode string) byte {
 type socketStats struct {
 	id        int
 	strip     []byte
-	lastTick  time.Duration // timestamp of the last DemandUpdate
+	lastTick  units.VirtualNanos // timestamp of the last DemandUpdate
 	mode      byte
 	residency map[byte]int
 	resOrder  []byte
@@ -98,7 +99,7 @@ func Report(l *Log) string {
 		ttvViolations   uint64
 		workerSleeps    uint64
 		workerWakes     uint64
-		firstAt, lastAt time.Duration
+		firstAt, lastAt units.VirtualNanos
 	)
 	for i, e := range events {
 		if i == 0 {
@@ -160,7 +161,7 @@ func Report(l *Log) string {
 	fmt.Fprintf(&b, "  events: %d buffered, %d emitted, %d dropped\n",
 		len(events), l.Total(), l.Dropped())
 	if len(events) > 0 {
-		fmt.Fprintf(&b, "  span:   %v .. %v\n", firstAt, lastAt)
+		fmt.Fprintf(&b, "  span:   %v .. %v\n", firstAt.Duration(), lastAt.Duration())
 	}
 	fmt.Fprintf(&b, "  legend: b bootstrap · . race-to-idle · o optimal\n")
 	fmt.Fprintf(&b, "          O over-util · u under-util · ! safety valve\n")

@@ -4,14 +4,16 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ecldb/internal/units"
 )
 
 // emitTick emulates one socket-ECL tick: a DemandUpdate always, followed
 // by a same-timestamp ZoneTransition when the mode changed.
 func emitTick(l *Log, at time.Duration, socket int, util float64, mode string) {
-	l.Emit(Event{At: at, Type: EvDemandUpdate, Socket: socket, A: 1e9, B: util, C: -1})
+	l.Emit(Event{At: units.Virtual(at), Type: EvDemandUpdate, Socket: socket, A: 1e9, B: util, C: -1})
 	if mode != "" {
-		l.Emit(Event{At: at, Type: EvZoneTransition, Socket: socket, S: mode})
+		l.Emit(Event{At: units.Virtual(at), Type: EvZoneTransition, Socket: socket, S: mode})
 	}
 }
 
@@ -42,20 +44,20 @@ func TestReportStripAndResidency(t *testing.T) {
 func TestReportCountsSections(t *testing.T) {
 	l := NewLog(0)
 	emitTick(l, 1*time.Second, 0, 0.99, "") // discovery tick (util >= 0.98)
-	l.Emit(Event{At: 1 * time.Second, Type: EvSafetyValve, Socket: 0, A: 3, S: "cfg-max"})
-	l.Emit(Event{At: 1 * time.Second, Type: EvZoneTransition, Socket: 0, S: "safety"})
-	l.Emit(Event{At: 1 * time.Second, Type: EvConfigApply, Socket: 0, A: 1e-5, B: 16, S: "cfg-max"})
-	l.Emit(Event{At: 2 * time.Second, Type: EvConfigApply, Socket: 0, A: 1e-5, B: 16, S: "cfg-max"})
-	l.Emit(Event{At: 3 * time.Second, Type: EvConfigApply, Socket: 0, A: 1e-5, B: 8, S: "cfg-opt"})
-	l.Emit(Event{At: 2 * time.Second, Type: EvRTICycle, Socket: 0, A: 0.5, B: 10, C: 0.1})
-	l.Emit(Event{At: 2 * time.Second, Type: EvProfileMeasure, Socket: 0, A: 40, B: 1e9, S: "cfg-opt"})
-	l.Emit(Event{At: 2 * time.Second, Type: EvDriftRescale, Socket: 0, A: 1.2, B: 1.1})
-	l.Emit(Event{At: 2 * time.Second, Type: EvTTVBroadcast, Socket: -1, A: 0.5, B: 12})
-	l.Emit(Event{At: 3 * time.Second, Type: EvTTVBroadcast, Socket: -1, A: -1, B: 3})
-	l.Emit(Event{At: 2 * time.Second, Type: EvWorkerSleep, Socket: 1, A: 3, B: 4})
-	l.Emit(Event{At: 2 * time.Second, Type: EvWorkerWake, Socket: 1, A: 4, B: 3})
-	l.Emit(Event{At: 2 * time.Second, Type: EvQueryAdmit, Socket: 0, A: 1})
-	l.Emit(Event{At: 2 * time.Second, Type: EvQueryComplete, Socket: -1, A: 5, B: 0})
+	l.Emit(Event{At: units.Virtual(1 * time.Second), Type: EvSafetyValve, Socket: 0, A: 3, S: "cfg-max"})
+	l.Emit(Event{At: units.Virtual(1 * time.Second), Type: EvZoneTransition, Socket: 0, S: "safety"})
+	l.Emit(Event{At: units.Virtual(1 * time.Second), Type: EvConfigApply, Socket: 0, A: 1e-5, B: 16, S: "cfg-max"})
+	l.Emit(Event{At: units.Virtual(2 * time.Second), Type: EvConfigApply, Socket: 0, A: 1e-5, B: 16, S: "cfg-max"})
+	l.Emit(Event{At: units.Virtual(3 * time.Second), Type: EvConfigApply, Socket: 0, A: 1e-5, B: 8, S: "cfg-opt"})
+	l.Emit(Event{At: units.Virtual(2 * time.Second), Type: EvRTICycle, Socket: 0, A: 0.5, B: 10, C: 0.1})
+	l.Emit(Event{At: units.Virtual(2 * time.Second), Type: EvProfileMeasure, Socket: 0, A: 40, B: 1e9, S: "cfg-opt"})
+	l.Emit(Event{At: units.Virtual(2 * time.Second), Type: EvDriftRescale, Socket: 0, A: 1.2, B: 1.1})
+	l.Emit(Event{At: units.Virtual(2 * time.Second), Type: EvTTVBroadcast, Socket: -1, A: 0.5, B: 12})
+	l.Emit(Event{At: units.Virtual(3 * time.Second), Type: EvTTVBroadcast, Socket: -1, A: -1, B: 3})
+	l.Emit(Event{At: units.Virtual(2 * time.Second), Type: EvWorkerSleep, Socket: 1, A: 3, B: 4})
+	l.Emit(Event{At: units.Virtual(2 * time.Second), Type: EvWorkerWake, Socket: 1, A: 4, B: 3})
+	l.Emit(Event{At: units.Virtual(2 * time.Second), Type: EvQueryAdmit, Socket: 0, A: 1})
+	l.Emit(Event{At: units.Virtual(2 * time.Second), Type: EvQueryComplete, Socket: -1, A: 5, B: 0})
 
 	rep := Report(l)
 	for _, want := range []string{

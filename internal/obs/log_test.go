@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ecldb/internal/units"
 )
 
 func TestNilLogIsNoOp(t *testing.T) {
@@ -32,9 +34,9 @@ func TestNilLogIsNoOp(t *testing.T) {
 func TestLogCountsAndOrder(t *testing.T) {
 	l := NewLog(0)
 	for i := 0; i < 5; i++ {
-		l.Emit(Event{At: time.Duration(i) * time.Second, Type: EvDemandUpdate, Socket: 0})
+		l.Emit(Event{At: units.Virtual(time.Duration(i) * time.Second), Type: EvDemandUpdate, Socket: 0})
 	}
-	l.Emit(Event{At: 5 * time.Second, Type: EvSafetyValve, Socket: 1, A: 3})
+	l.Emit(Event{At: units.Virtual(5 * time.Second), Type: EvSafetyValve, Socket: 1, A: 3})
 	if l.Len() != 6 || l.Total() != 6 {
 		t.Fatalf("len=%d total=%d", l.Len(), l.Total())
 	}
@@ -52,7 +54,7 @@ func TestLogCountsAndOrder(t *testing.T) {
 func TestLogRingEviction(t *testing.T) {
 	l := NewLog(3)
 	for i := 0; i < 7; i++ {
-		l.Emit(Event{At: time.Duration(i), Type: EvQueryAdmit, A: float64(i)})
+		l.Emit(Event{At: units.Virtual(time.Duration(i)), Type: EvQueryAdmit, A: float64(i)})
 	}
 	if l.Len() != 3 {
 		t.Fatalf("len = %d, want 3", l.Len())
@@ -98,8 +100,8 @@ func TestLogSampling(t *testing.T) {
 
 func TestWriteJSONLFormat(t *testing.T) {
 	l := NewLog(0)
-	l.Emit(Event{At: 1500 * time.Millisecond, Type: EvConfigApply, Socket: 1, A: 1e-05, B: 16, S: `c8"x`})
-	l.Emit(Event{At: 2 * time.Second, Type: EvTTVBroadcast, Socket: -1, A: -1})
+	l.Emit(Event{At: units.Virtual(1500 * time.Millisecond), Type: EvConfigApply, Socket: 1, A: 1e-05, B: 16, S: `c8"x`})
+	l.Emit(Event{At: units.Virtual(2 * time.Second), Type: EvTTVBroadcast, Socket: -1, A: -1})
 	var buf bytes.Buffer
 	if err := l.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
@@ -116,7 +118,7 @@ func TestWriteJSONLDeterministic(t *testing.T) {
 	build := func() string {
 		l := NewLog(0)
 		for i := 0; i < 100; i++ {
-			l.Emit(Event{At: time.Duration(i) * time.Millisecond, Type: Type(i % numTypes),
+			l.Emit(Event{At: units.Virtual(time.Duration(i) * time.Millisecond), Type: Type(i % numTypes),
 				Socket: i % 2, A: float64(i) * 0.1, B: float64(i) * 0.01, S: "k"})
 		}
 		var buf bytes.Buffer

@@ -159,6 +159,7 @@ func (t *Tracer) AddQuery(s QuerySpan) {
 	if t == nil {
 		return
 	}
+	//ecllint:allow hotpath amortized span-buffer growth; tracing is off in measured runs
 	t.queries = append(t.queries, s)
 }
 

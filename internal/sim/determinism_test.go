@@ -62,8 +62,8 @@ func digestRun(t *testing.T, opts Options) ([sha256.Size]byte, *Sim) {
 			writeF64(h, series.Values[i])
 		}
 	}
-	writeF64(h, res.EnergyJ)
-	writeF64(h, res.PSUEnergyJ)
+	writeF64(h, res.EnergyJ.Joules())
+	writeF64(h, res.PSUEnergyJ.Joules())
 	writeU64(h, uint64(res.Completed))
 	writeU64(h, uint64(res.Submitted))
 	writeU64(h, uint64(res.Violations))
@@ -83,8 +83,8 @@ func digestRun(t *testing.T, opts Options) ([sha256.Size]byte, *Sim) {
 		tpc := s.Machine().Topology().ThreadsPerCore
 		for _, e := range s.Controller().Socket(0).Profile().Skyline() {
 			fmt.Fprintln(h, e.Config.Key(tpc))
-			writeF64(h, e.PowerW)
-			writeF64(h, e.Score)
+			writeF64(h, e.PowerW.Watts())
+			writeF64(h, e.Score.PerSecond())
 			writeU64(h, uint64(e.LastEval))
 		}
 	}

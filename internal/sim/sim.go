@@ -21,6 +21,7 @@ import (
 	"ecldb/internal/obs"
 	"ecldb/internal/perfmodel"
 	"ecldb/internal/trace"
+	"ecldb/internal/units"
 	"ecldb/internal/vtime"
 	"ecldb/internal/workload"
 )
@@ -114,9 +115,9 @@ type Result struct {
 	Rec *trace.Recorder
 	// EnergyJ is the total RAPL-visible energy of the run (all sockets,
 	// package + DRAM).
-	EnergyJ float64
+	EnergyJ units.Joule
 	// PSUEnergyJ is the wall energy of the run.
-	PSUEnergyJ float64
+	PSUEnergyJ units.Joule
 	// Completed and Submitted count queries.
 	Completed, Submitted int64
 	// AvgLatency and P99Latency summarize all windowed observations at
@@ -183,8 +184,8 @@ type Sim struct {
 	// Sampling state: power samples are averages over the sampling
 	// window (instantaneous samples alias with RTI switching).
 	lastSampleAt   time.Duration
-	lastSampleJ    float64
-	lastSamplePSUJ float64
+	lastSampleJ    units.Joule
+	lastSamplePSUJ units.Joule
 
 	// Observability gauges refreshed at each trace sample (nil when
 	// disabled).
@@ -323,7 +324,10 @@ func (s *Sim) Prewarm() {
 			}
 		}
 		s.advanceSynthetic(settle)
-		type snap struct{ e0, i0 float64 }
+		type snap struct {
+			e0 units.Joule
+			i0 float64
+		}
 		snaps := make([]snap, s.topo.Sockets)
 		for sock := range snaps {
 			snaps[sock] = snap{
@@ -338,7 +342,7 @@ func (s *Sim) Prewarm() {
 			e1 := s.machine.ReadEnergy(sock, hw.DomainPackage) + s.machine.ReadEnergy(sock, hw.DomainDRAM)
 			i1 := s.machine.SocketInstructions(sock)
 			sec := window.Seconds()
-			if _, err := prof.Update(e.Config, (e1-snaps[sock].e0)/sec, (i1-snaps[sock].i0)/sec, s.clock.Now()); err != nil {
+			if _, err := prof.Update(e.Config, (e1 - snaps[sock].e0).PerSeconds(sec), units.HertzOf((i1-snaps[sock].i0)/sec), s.clock.Now()); err != nil {
 				panic(err)
 			}
 		}
@@ -447,6 +451,8 @@ func (s *Sim) initKernels() {
 }
 
 // kernelFor returns the socket's kernel, refreshing it if any epoch moved.
+//
+//ecllint:hotpath the step-kernel cache lookup, consulted every quantum per socket
 func (s *Sim) kernelFor(sock int) *stepKernel {
 	k := &s.kernels[sock]
 	ce := s.machine.StateEpoch(sock)
@@ -454,6 +460,7 @@ func (s *Sim) kernelFor(sock int) *stepKernel {
 	if k.valid && k.cfgEpoch == ce && k.chEpoch == we {
 		return k
 	}
+	//ecllint:allow hotpath cache-miss slow path, amortized across configuration epochs; the hit path above allocates nothing
 	s.refreshKernel(sock, k, ce, we)
 	return k
 }
@@ -621,7 +628,7 @@ func (s *Sim) Run() (*Result, error) {
 			t += time.Duration(k-1) * q
 			continue
 		}
-		if err := s.engine.OfferLoad(s.opts.Load.QPS(t), q, now); err != nil {
+		if err := s.engine.OfferLoad(units.HertzOf(s.opts.Load.QPS(t)), q, now); err != nil {
 			return nil, err
 		}
 		s.step(q)
@@ -921,10 +928,10 @@ func (s *Sim) sample(t time.Duration) {
 	now := s.clock.Now()
 	totalJ := s.totalEnergy()
 	psuJ := s.machine.PSUEnergy()
-	var raplW, psuW float64
+	var raplW, psuW units.Watt
 	if window := (now - s.lastSampleAt).Seconds(); window > 0 {
-		raplW = (totalJ - s.lastSampleJ) / window
-		psuW = (psuJ - s.lastSamplePSUJ) / window
+		raplW = (totalJ - s.lastSampleJ).PerSeconds(window)
+		psuW = (psuJ - s.lastSamplePSUJ).PerSeconds(window)
 	} else {
 		pkg, dram, psu := s.machine.LastPower()
 		for i := range pkg {
@@ -934,8 +941,8 @@ func (s *Sim) sample(t time.Duration) {
 	}
 	s.lastSampleAt, s.lastSampleJ, s.lastSamplePSUJ = now, totalJ, psuJ
 	s.rec.Add("load_qps", t, s.opts.Load.QPS(t))
-	s.rec.Add("power_rapl_w", t, raplW)
-	s.rec.Add("power_psu_w", t, psuW)
+	s.rec.Add("power_rapl_w", t, raplW.Watts())
+	s.rec.Add("power_psu_w", t, psuW.Watts())
 	lt := s.engine.Latency()
 	s.rec.Add("latency_avg_ms", t, float64(lt.Average(now))/float64(time.Millisecond))
 	s.rec.Add("latency_p99_ms", t, float64(lt.Percentile(now, 0.99))/float64(time.Millisecond))
@@ -959,15 +966,15 @@ func (s *Sim) sample(t time.Duration) {
 		max := s.controller.Socket(0).Profile().MaxScore()
 		perf := 0.0
 		if max > 0 {
-			perf = s.controller.Socket(0).Demand() / max
+			perf = s.controller.Socket(0).Demand().Div(max)
 		}
 		s.rec.Add("perf0", t, perf)
 	}
 }
 
 // totalEnergy sums true RAPL energy over all sockets and domains.
-func (s *Sim) totalEnergy() float64 {
-	total := 0.0
+func (s *Sim) totalEnergy() units.Joule {
+	var total units.Joule
 	for sock := 0; sock < s.topo.Sockets; sock++ {
 		total += s.machine.TrueEnergy(sock, hw.DomainPackage)
 		total += s.machine.TrueEnergy(sock, hw.DomainDRAM)
@@ -1030,7 +1037,7 @@ func MeasureCapacity(wl workload.Workload, seed int64) (float64, error) {
 	var doneAtWarm int64
 	for t := time.Duration(0); t < warm+window; t += q {
 		if s.engine.InFlight() < 50000 {
-			burst := 2000.0 / q.Seconds() // refill quickly
+			burst := units.HertzOf(2000.0 / q.Seconds()) // refill quickly
 			if err := s.engine.OfferLoad(burst, q, s.clock.Now()); err != nil {
 				return 0, err
 			}

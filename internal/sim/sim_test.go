@@ -73,7 +73,7 @@ func TestECLSavesEnergyAtPartialLoad(t *testing.T) {
 	if float64(eclRes.Completed) < 0.99*float64(eclRes.Submitted) {
 		t.Fatalf("ECL dropped queries: %d of %d", eclRes.Completed, eclRes.Submitted)
 	}
-	saving := 1 - eclRes.EnergyJ/base.EnergyJ
+	saving := 1 - eclRes.EnergyJ.Div(base.EnergyJ)
 	if saving < 0.10 {
 		t.Errorf("ECL saving at partial load = %.1f%%, want >= 10%%", saving*100)
 	}

@@ -5,8 +5,9 @@
 #   gofmt      formatting (testdata fixtures included)
 #   build      everything compiles
 #   vet        standard static checks
-#   ecllint    the project's determinism + layering contract
-#              (internal/lint; see DESIGN.md "Determinism contract")
+#   ecllint    the project's determinism, layering, hot-path, float-
+#              order, and unit contract (internal/lint; DESIGN.md §8 +
+#              §13), with stale-suppression detection
 #   tests      the short suite (the full figure sweep takes tens of
 #              minutes; heavy regenerators honor -short)
 #   race       the byte-identical determinism test under the race
@@ -32,7 +33,15 @@ echo "== go vet"
 go vet ./...
 
 echo "== ecllint"
-go run ./cmd/ecllint ./...
+# -unused-directives: a suppression that no longer suppresses anything
+# is a stale justification and fails the gate too.
+go run ./cmd/ecllint -unused-directives ./...
+
+echo "== ecllint on internal/lint"
+# The analyzer package holds itself to its own contract. ./... above
+# already covers it; this separate invocation keeps the self-check
+# visible even if the tree-wide run ever narrows its patterns.
+go run ./cmd/ecllint -unused-directives ./internal/lint ./cmd/ecllint
 
 echo "== go test -short"
 go test -short -count=1 ./...
