@@ -32,10 +32,13 @@ func CorePackages() []string {
 }
 
 // WalltimeAllowed lists where wall-clock use is legal: the virtual clock
-// itself and the CLIs, which report real elapsed time to humans.
+// itself, the CLIs (which report real elapsed time to humans), and the
+// serving layer (which paces virtual time against the wall clock and
+// runs SSE keepalive timers — all outside the fence).
 func WalltimeAllowed() []string {
 	return []string{
 		modulePath + "/internal/vtime",
+		modulePath + "/internal/serve",
 		modulePath + "/cmd/",
 		modulePath + "/examples/",
 	}
@@ -99,6 +102,25 @@ func DefaultLayering() LayeringConfig {
 	}
 }
 
+// FenceForbidsServing extends a layering config with the serving fence:
+// no core package may import net/http or the serving layer. The serving
+// surface (internal/serve, cmd/eclserve) observes the core through
+// immutable snapshots only; a fence package reaching for HTTP — or for
+// serve's goroutine-ful machinery — would put nondeterminism inside a
+// simulation. DefaultLayering applies it to CorePackages; the servelike
+// fixture pins the boundary from both sides.
+func FenceForbidsServing(cfg LayeringConfig, core []string) LayeringConfig {
+	forbid := []string{"net/http", modulePath + "/internal/serve"}
+	for _, pkg := range core {
+		cfg.Rules = append(cfg.Rules, LayerRule{
+			Pkg:    pkg,
+			Forbid: forbid,
+			Reason: "the determinism fence must not reach the serving surface; serve consumes snapshots from outside",
+		})
+	}
+	return cfg
+}
+
 // Default returns the analyzer suite with the repository's configuration
 // — what cmd/ecllint runs.
 func Default() []*Analyzer {
@@ -108,7 +130,7 @@ func Default() []*Analyzer {
 		NewGlobalrand(),
 		NewNoconc(core),
 		NewMapiter(core),
-		NewLayering(DefaultLayering()),
+		NewLayering(FenceForbidsServing(DefaultLayering(), core)),
 		hotPathAnalyzer(),
 		floatOrderAnalyzer(),
 		NewUnit(core),

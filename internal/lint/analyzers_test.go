@@ -115,6 +115,58 @@ func TestLayeringFixture(t *testing.T) {
 		"layering/obslike", "layering/obstracelike", "layering/vtimelike")
 }
 
+// TestServeFixture pins the serving fence from both sides with one
+// fixture pair: fencelike (configured core) importing net/http and the
+// srvlike serving layer is two findings; srvlike itself — goroutines,
+// channels, locks, wall-clock sleeps, net/http, exactly the machinery
+// internal/serve uses — analyzed outside the core and inside the
+// walltime allowance, must be silent under the full construct suite.
+func TestServeFixture(t *testing.T) {
+	base := fixtureBase + "/servelike/"
+	cfg := FenceForbidsServing(LayeringConfig{
+		Rules: []LayerRule{{
+			Pkg:    base + "fencelike",
+			Forbid: []string{base + "srvlike"},
+			Reason: "fixture: fence-like must not import the serving surface",
+		}},
+	}, []string{base + "fencelike"})
+	runFixture(t, []*Analyzer{
+		NewWalltime([]string{base + "srvlike"}),
+		NewGlobalrand(),
+		NewNoconc([]string{base + "fencelike"}),
+		NewMapiter([]string{base + "fencelike"}),
+		NewLayering(cfg),
+	}, "servelike/fencelike", "servelike/srvlike")
+}
+
+// TestFenceForbidsServe guards the production configuration the fixture
+// only mirrors: every core package must carry a layering rule forbidding
+// both net/http and internal/serve. Dropping a package from the fence —
+// or the whole FenceForbidsServing call from Default — fails here even
+// though the tree itself is clean.
+func TestFenceForbidsServe(t *testing.T) {
+	cfg := FenceForbidsServing(DefaultLayering(), CorePackages())
+	for _, core := range CorePackages() {
+		var http, srv bool
+		for _, r := range cfg.Rules {
+			if r.Pkg != core {
+				continue
+			}
+			for _, f := range r.Forbid {
+				if f == "net/http" {
+					http = true
+				}
+				if f == modulePath+"/internal/serve" {
+					srv = true
+				}
+			}
+		}
+		if !http || !srv {
+			t.Errorf("%s: fence rule incomplete (net/http forbidden: %v, internal/serve forbidden: %v)", core, http, srv)
+		}
+	}
+}
+
 // TestSuiteCleanOnRepo is the contract itself: the default suite must
 // stay clean on the whole tree. A red run here means a change broke the
 // determinism or layering contract (or needs an inline justification).

@@ -1,0 +1,18 @@
+// Package fencelike stands in for a deterministic-core package that
+// reaches for the serving surface. Configured as core, both imports are
+// findings: net/http (wall-clock-driven listeners, goroutine-per-
+// connection) and the srvlike serving layer are unreachable from inside
+// the determinism fence — serving observes the core through immutable
+// snapshots, never the reverse.
+package fencelike
+
+import (
+	"net/http" // want "must not import"
+
+	"ecldb/internal/lint/testdata/src/servelike/srvlike" // want "must not import"
+)
+
+// Serve would put an HTTP listener inside a simulation.
+func Serve() error {
+	return http.ListenAndServe(":0", srvlike.Handler())
+}

@@ -1,0 +1,36 @@
+// Package srvlike is the shape of the live serving surface — net/http
+// handlers, goroutines, channels, locks, wall-clock keepalives —
+// compiled as a fixture. Like internal/serve it sits OUTSIDE the
+// configured core and inside the walltime allowance, so every analyzer
+// must stay silent here; the same machinery reached from a fence
+// package is a finding (see fencelike). This pins the boundary from the
+// legal side, the way noconc/sweeplike does for the bench orchestrator.
+package srvlike
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Handler streams frames to one subscriber, serve-style: a guarded
+// subscriber table, a buffered channel, a goroutine on the wall clock.
+func Handler() http.Handler {
+	var mu sync.Mutex
+	subs := map[int]chan []byte{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		ch := make(chan []byte, 1)
+		mu.Lock()
+		subs[len(subs)] = ch
+		mu.Unlock()
+		go func() {
+			time.Sleep(time.Millisecond)
+			close(ch)
+		}()
+		for b := range ch {
+			_, _ = w.Write(b)
+		}
+	})
+	return mux
+}

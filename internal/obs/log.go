@@ -24,6 +24,11 @@ type Log struct {
 	cap     int
 	counts  [numTypes]uint64
 	dropped uint64
+	// buffered counts events ever stored in the buffer — ring overwrites
+	// included, sampling drops excluded — monotonically. Consumers that
+	// stream the log incrementally (the serving layer) use it as a delta
+	// cursor that survives ring eviction, which Len() does not.
+	buffered uint64
 	// sampleEvery[t] > 1 keeps only every Nth event of type t in the
 	// buffer (counters still count all). sampleSeen is the deterministic
 	// modulo state.
@@ -81,6 +86,7 @@ func (l *Log) Emit(e Event) {
 			return
 		}
 	}
+	l.buffered++
 	if l.cap > 0 && len(l.events) >= l.cap {
 		// Overwrite the oldest slot.
 		l.events[l.start] = e
@@ -123,6 +129,18 @@ func (l *Log) Total() uint64 {
 		n += l.counts[i]
 	}
 	return n
+}
+
+// Buffered returns how many events were ever stored in the buffer,
+// including ones the ring has since evicted. The sequence is monotonic,
+// so two snapshots' Buffered values bound exactly how many of the newer
+// snapshot's Events() are unseen: the last Buffered(new)-Buffered(old)
+// of them (clamped to Len when eviction outran the consumer).
+func (l *Log) Buffered() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.buffered
 }
 
 // Dropped returns how many emissions were not buffered (ring eviction or

@@ -132,15 +132,40 @@ func (h *Histogram) Sum() float64 {
 }
 
 // register indexes a new full name exactly once.
-func (r *Registry) register(name string, kind byte, help string) {
+func (r *Registry) register(name string, kind byte) {
 	if _, dup := r.kinds[name]; dup {
 		return
 	}
 	r.kinds[name] = kind
 	r.names = append(r.names, name)
-	if help != "" {
-		r.help[name] = help
+}
+
+// SetHelp attaches a HELP string to a metric family (the name without the
+// label block). WriteProm emits it once per family, before the TYPE line,
+// with backslashes and line feeds escaped per the text exposition format.
+// Nil-safe; an empty help string clears nothing and registers nothing.
+func (r *Registry) SetHelp(family, help string) {
+	if r == nil || help == "" {
+		return
 	}
+	r.help[family] = help
+}
+
+// Value returns the current value of the named counter or gauge, and
+// whether the name is registered as one. Histograms are not scalar and
+// report false. Read-only: unlike Counter/Gauge, a miss registers
+// nothing, so probing a snapshot cannot grow it.
+func (r *Registry) Value(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	if c, ok := r.counters[name]; ok {
+		return c.v, true
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g.v, true
+	}
+	return 0, false
 }
 
 // Counter returns the counter registered under the full name, creating
@@ -154,7 +179,7 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	c := &Counter{}
 	r.counters[name] = c
-	r.register(name, 'c', "")
+	r.register(name, 'c')
 	return c
 }
 
@@ -169,7 +194,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	}
 	g := &Gauge{}
 	r.gauges[name] = g
-	r.register(name, 'g', "")
+	r.register(name, 'g')
 	return g
 }
 
@@ -190,7 +215,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	sort.Float64s(b)
 	h := &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
 	r.histograms[name] = h
-	r.register(name, 'h', "")
+	r.register(name, 'h')
 	return h
 }
 
@@ -236,6 +261,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		buf = buf[:0]
 		if base != lastFamily {
 			lastFamily = base
+			if help := r.help[base]; help != "" {
+				buf = append(buf, "# HELP "...)
+				buf = append(buf, base...)
+				buf = append(buf, ' ')
+				buf = appendEscapedHelp(buf, help)
+				buf = append(buf, '\n')
+			}
 			buf = append(buf, "# TYPE "...)
 			buf = append(buf, base...)
 			switch kind {
@@ -260,6 +292,23 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// appendEscapedHelp escapes a HELP string per the text exposition format:
+// backslash and line feed are the only characters that need escaping in
+// help text.
+func appendEscapedHelp(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, `\\`...)
+		case '\n':
+			buf = append(buf, `\n`...)
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
 }
 
 func appendSample(buf []byte, name string, v float64) []byte {

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"ecldb/internal/obs/trace"
+	"ecldb/internal/units"
+)
+
+// fillObserver builds an observer with representative state in all three
+// sinks: counters, gauges, a labeled histogram, ring-buffered events of
+// several types, and query + control spans.
+func fillObserver(n int) *Observer {
+	ob := New(8) // small ring so wrap state is exercised too
+	ob.Trace = trace.New(1)
+	for i := 0; i < n; i++ {
+		ob.Metrics.Counter("snap_ops_total").Inc()
+		ob.Metrics.Gauge(`snap_depth{socket="0"}`).Set(float64(i))
+		ob.Metrics.Histogram("snap_lat_ms", []float64{1, 10, 100}).Observe(float64(i % 20))
+		ob.Log.Emit(Event{At: units.Virtual(time.Duration(i)), Type: Type(i % numTypes), Socket: i % 2, A: float64(i)})
+		ob.Trace.AddQuery(trace.QuerySpan{QID: uint64(i + 1), Start: time.Duration(i), End: time.Duration(i + 5), Exec: 5})
+		ob.Trace.AddCtl(trace.CtlSpan{Kind: trace.CtlSettle, Socket: 0, Start: time.Duration(i), End: time.Duration(i + 1)})
+	}
+	return ob
+}
+
+// readObserver walks every exported surface of an observer, forcing reads
+// of all the memory a snapshot could share with its source.
+func readObserver(t *testing.T, ob *Observer) (int, uint64) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ob.Metrics.WriteProm(&buf); err != nil {
+		t.Error(err)
+	}
+	if err := ob.Log.WriteJSONL(&buf); err != nil {
+		t.Error(err)
+	}
+	evs := ob.Log.Events()
+	for _, e := range evs {
+		_ = e.Type.String()
+	}
+	var spanNs uint64
+	for _, q := range ob.Trace.Queries() {
+		spanNs += uint64(q.Latency())
+	}
+	for _, c := range ob.Trace.Ctl() {
+		spanNs += uint64(c.End - c.Start)
+	}
+	return len(evs), spanNs
+}
+
+// TestSnapshotSharesNothing is the serving layer's torn-read guard: a
+// snapshot taken on the mutating thread must afterwards share no mutable
+// memory with its source. One goroutine keeps mutating the original
+// (what the sim thread does between publishes) while others read the
+// snapshot's full surface; under -race any residual sharing — a shallow
+// slice copy, an aliased histogram counts array, a shared map — is a
+// reported data race, and the value checks below catch silent divergence
+// even in non-race runs.
+func TestSnapshotSharesNothing(t *testing.T) {
+	ob := fillObserver(100)
+	snap := ob.Snapshot()
+
+	wantProm := new(bytes.Buffer)
+	if err := snap.Metrics.WriteProm(wantProm); err != nil {
+		t.Fatal(err)
+	}
+	wantEvents := snap.Log.Len()
+	wantSpans := len(snap.Trace.Queries())
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // the "sim thread": keeps mutating the original
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			ob.Metrics.Counter("snap_ops_total").Inc()
+			ob.Metrics.Gauge(`snap_depth{socket="0"}`).Add(1)
+			ob.Metrics.Histogram("snap_lat_ms", nil).Observe(float64(i))
+			ob.Metrics.Gauge("snap_new_gauge").Set(1) // grows the name index
+			ob.Log.Emit(Event{At: units.Virtual(time.Duration(i)), Type: EvQueryAdmit, S: "x"})
+			ob.Trace.AddQuery(trace.QuerySpan{QID: uint64(i)})
+			ob.Trace.AddCtl(trace.CtlSpan{Kind: trace.CtlRTISleep})
+		}
+	}()
+	for r := 0; r < 2; r++ { // the "HTTP side": reads the snapshot
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				readObserver(t, snap)
+			}
+		}()
+	}
+	wg.Wait()
+
+	gotProm := new(bytes.Buffer)
+	if err := snap.Metrics.WriteProm(gotProm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantProm.Bytes(), gotProm.Bytes()) {
+		t.Errorf("snapshot exposition changed while the original mutated:\nbefore:\n%s\nafter:\n%s", wantProm, gotProm)
+	}
+	if got := snap.Log.Len(); got != wantEvents {
+		t.Errorf("snapshot event count changed: %d -> %d", wantEvents, got)
+	}
+	if got := len(snap.Trace.Queries()); got != wantSpans {
+		t.Errorf("snapshot span count changed: %d -> %d", wantSpans, got)
+	}
+}
+
+// TestSnapshotDeepValues pins the copy semantics without concurrency:
+// every sink's values survive in the snapshot and later mutations of the
+// original are invisible to it.
+func TestSnapshotDeepValues(t *testing.T) {
+	ob := fillObserver(12)
+	snap := ob.Snapshot()
+
+	if got, want := snap.Log.Len(), ob.Log.Len(); got != want {
+		t.Fatalf("snapshot buffered %d events, original %d", got, want)
+	}
+	if got, want := snap.Log.Total(), ob.Log.Total(); got != want {
+		t.Fatalf("snapshot total %d, original %d", got, want)
+	}
+	if v, ok := snap.Metrics.Value("snap_ops_total"); !ok || v != 12 {
+		t.Fatalf("snapshot counter = %v, %v; want 12, true", v, ok)
+	}
+	if _, ok := snap.Metrics.Value("snap_lat_ms"); ok {
+		t.Fatal("Value reported a histogram as a scalar")
+	}
+	if got, want := snap.Trace.SampleEvery(), 1; got != want {
+		t.Fatalf("snapshot sampling %d, want %d", got, want)
+	}
+
+	before := snap.Log.Events()
+	ob.Log.Emit(Event{Type: EvSafetyValve, S: "post-snapshot"})
+	ob.Metrics.Counter("snap_ops_total").Inc()
+	ob.Trace.AddQuery(trace.QuerySpan{QID: 999})
+	after := snap.Log.Events()
+	if len(before) != len(after) {
+		t.Fatal("mutating the original changed the snapshot's event buffer")
+	}
+	if v, _ := snap.Metrics.Value("snap_ops_total"); v != 12 {
+		t.Fatalf("mutating the original changed the snapshot counter to %v", v)
+	}
+	if len(snap.Trace.Queries()) != 12 {
+		t.Fatal("mutating the original changed the snapshot's spans")
+	}
+
+	// Nil safety: every snapshot is a no-op on nil receivers.
+	var nilObs *Observer
+	if nilObs.Snapshot() != nil {
+		t.Fatal("nil Observer must snapshot to nil")
+	}
+	var nilLog *Log
+	var nilReg *Registry
+	var nilTr *trace.Tracer
+	if nilLog.Snapshot() != nil || nilReg.Snapshot() != nil || nilTr.Snapshot() != nil {
+		t.Fatal("nil sinks must snapshot to nil")
+	}
+}
+
+// TestWritePromHelpEscaping pins HELP emission: set on the family, emitted
+// once before TYPE, backslashes and newlines escaped.
+func TestWritePromHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge(`esc_g{socket="0"}`).Set(1)
+	r.Gauge(`esc_g{socket="1"}`).Set(2)
+	r.SetHelp("esc_g", "line one\nback\\slash")
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP esc_g line one\\nback\\\\slash\n" +
+		"# TYPE esc_g gauge\n" +
+		"esc_g{socket=\"0\"} 1\n" +
+		"esc_g{socket=\"1\"} 2\n"
+	if buf.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

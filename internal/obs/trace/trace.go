@@ -171,6 +171,24 @@ func (t *Tracer) AddCtl(s CtlSpan) {
 	t.ctl = append(t.ctl, s)
 }
 
+// Snapshot returns a deep copy of the tracer: the sampling state and the
+// recorded query and control spans (span structs are plain values). The
+// copy must be taken on the simulation thread — the tracer carries no
+// locks — but once returned it shares no mutable memory with the
+// original, so other goroutines may read it while the original keeps
+// recording. Nil-safe: a nil tracer snapshots to nil.
+func (t *Tracer) Snapshot() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{
+		every:   t.every,
+		seen:    t.seen,
+		queries: append([]QuerySpan(nil), t.queries...),
+		ctl:     append([]CtlSpan(nil), t.ctl...),
+	}
+}
+
 // Queries returns the recorded query spans in emission order. The slice
 // is the tracer's own storage; callers must not modify it.
 func (t *Tracer) Queries() []QuerySpan {

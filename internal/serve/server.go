@@ -1,0 +1,524 @@
+package serve
+
+import (
+	"bytes"
+	"embed"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"ecldb/internal/obs"
+)
+
+//go:embed ui.html
+var uiFS embed.FS
+
+// Meta describes the run being served; it rides in the hello frame so the
+// dashboard needs no second endpoint to label itself.
+type Meta struct {
+	// Title is the human run label, e.g. "fig 13 — twitter day".
+	Title string `json:"title"`
+	// Workload and Level echo the driving flags.
+	Workload string `json:"workload"`
+	Level    string `json:"level"`
+	// Sockets and Threads describe the simulated topology (threads is the
+	// machine total across sockets).
+	Sockets int `json:"sockets"`
+	Threads int `json:"threads"`
+	// DurationNs is the virtual run length, Pace the virtual-to-wall speed
+	// ratio (0 = unpaced), Seed the workload seed, QTraceEvery the query
+	// span sampling period (0 = tracing off).
+	DurationNs  int64   `json:"duration_ns"`
+	Pace        float64 `json:"pace"`
+	Seed        uint64  `json:"seed"`
+	QTraceEvery int     `json:"qtrace_every"`
+}
+
+// samplePoint is one dashboard time-series point, derived from the gauge
+// values of a snapshot's registry.
+type samplePoint struct {
+	AtNs     int64     `json:"at_ns"`
+	RaplW    float64   `json:"rapl_w"`
+	PSUW     float64   `json:"psu_w"`
+	QPS      float64   `json:"qps"`
+	P50Ms    float64   `json:"p50_ms"`
+	P95Ms    float64   `json:"p95_ms"`
+	P99Ms    float64   `json:"p99_ms"`
+	Threads  float64   `json:"threads"`
+	Inflight float64   `json:"inflight"`
+	CoreMHz  []float64 `json:"core_mhz"`
+}
+
+// zoneSeg is one residency segment of a socket's zone strip: the mode the
+// socket ECL entered at FromNs and stayed in until the next segment.
+type zoneSeg struct {
+	Mode   string `json:"mode"`
+	FromNs int64  `json:"from_ns"`
+}
+
+// eventJSON mirrors obs.Event for the SSE stream.
+type eventJSON struct {
+	AtNs   int64   `json:"t_ns"`
+	Type   string  `json:"type"`
+	Socket int     `json:"socket"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	C      float64 `json:"c"`
+	S      string  `json:"s,omitempty"`
+}
+
+// spanJSON mirrors trace.QuerySpan for the SSE stream.
+type spanJSON struct {
+	QID     uint64 `json:"qid"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	RouteNs int64  `json:"route_ns"`
+	WakeNs  int64  `json:"wake_ns"`
+	QueueNs int64  `json:"queue_ns"`
+	ExecNs  int64  `json:"exec_ns"`
+	Origin  int    `json:"origin"`
+	Home    int    `json:"home"`
+	Worker  int    `json:"worker"`
+	Hop     bool   `json:"hop"`
+	Ops     int    `json:"ops"`
+}
+
+// ctlJSON mirrors trace.CtlSpan for the SSE stream.
+type ctlJSON struct {
+	Kind    string `json:"kind"`
+	Socket  int    `json:"socket"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+}
+
+// countJSON is one row of the decision-count table, in event-type
+// declaration order.
+type countJSON struct {
+	Type string `json:"type"`
+	N    uint64 `json:"n"`
+}
+
+// helloFrame is the first SSE frame of every subscription: run metadata
+// plus everything the server has accumulated so far, so a late-joining
+// dashboard renders the full picture immediately.
+type helloFrame struct {
+	Meta    Meta          `json:"meta"`
+	Seq     uint64        `json:"seq"`
+	AtNs    int64         `json:"at_ns"`
+	Done    bool          `json:"done"`
+	History []samplePoint `json:"history"`
+	Zones   [][]zoneSeg   `json:"zones"`
+	Counts  []countJSON   `json:"counts"`
+	Spans   []spanJSON    `json:"spans"`
+	Ctl     []ctlJSON     `json:"ctl"`
+}
+
+// sampleFrame rides once per snapshot: the new time-series point plus the
+// always-cheap aggregates (zone state and exact per-type counts).
+type sampleFrame struct {
+	Seq    uint64      `json:"seq"`
+	AtNs   int64       `json:"at_ns"`
+	Done   bool        `json:"done"`
+	Point  samplePoint `json:"point"`
+	Zones  [][]zoneSeg `json:"zones"`
+	Counts []countJSON `json:"counts"`
+}
+
+// decisionsFrame carries the delta of buffered decision events since the
+// previous snapshot (admission/completion events are excluded — they are
+// load, not decisions). Skipped counts events the cap or ring dropped.
+type decisionsFrame struct {
+	Seq     uint64      `json:"seq"`
+	Events  []eventJSON `json:"events"`
+	Skipped uint64      `json:"skipped"`
+}
+
+// spansFrame carries the delta of sampled query and control spans since
+// the previous snapshot.
+type spansFrame struct {
+	Seq     uint64     `json:"seq"`
+	Queries []spanJSON `json:"queries"`
+	Ctl     []ctlJSON  `json:"ctl"`
+	Skipped int        `json:"skipped"`
+}
+
+const (
+	// historyCap bounds the server-side sample history (hello replays it).
+	historyCap = 4096
+	// zoneHistCap bounds the per-socket residency strip.
+	zoneHistCap = 1024
+	// frameEventCap bounds decision events per SSE frame.
+	frameEventCap = 256
+	// frameSpanCap bounds query spans per SSE frame; hello replays up to
+	// the same number of most-recent spans.
+	frameSpanCap = 256
+	// subBuf is the per-subscriber frame buffer; a subscriber that falls
+	// this far behind loses frames (latest state rides in every sample
+	// frame, so a drop degrades smoothness, not correctness).
+	subBuf = 64
+)
+
+// Server consumes the Publisher's snapshot stream and serves the three
+// endpoints: GET / (embedded dashboard), GET /metrics (Prometheus text
+// exposition of the latest snapshot), GET /events (SSE stream). All
+// handler state is derived from immutable snapshots under one mutex;
+// nothing reaches back into the simulation.
+type Server struct {
+	meta Meta
+	mux  *http.ServeMux
+
+	mu      sync.Mutex
+	latest  *Snapshot
+	done    bool
+	history []samplePoint
+	zones   [][]zoneSeg
+	counts  []countJSON
+	// spanTail / ctlTail retain the most recent spans for hello replay.
+	spanTail []spanJSON
+	ctlTail  []ctlJSON
+
+	// evCursor is the Buffered() position already streamed; qCursor and
+	// cCursor index the tracer's span slices.
+	evCursor uint64
+	qCursor  int
+	cCursor  int
+
+	subs   map[uint64]chan []byte
+	nextID uint64
+}
+
+// NewServer builds a server for a run described by meta. Wire it with
+// go srv.Run(pub.Snapshots()) and http.Serve(l, srv.Handler()).
+func NewServer(meta Meta) *Server {
+	s := &Server{
+		meta:  meta,
+		zones: make([][]zoneSeg, meta.Sockets),
+		subs:  make(map[uint64]chan []byte),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	return s
+}
+
+// Handler returns the HTTP handler serving /, /metrics, and /events.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run consumes snapshots until the channel closes, updating the derived
+// state and broadcasting SSE frames. Call it on its own goroutine; it
+// returns after the final (Done) snapshot is ingested and broadcast.
+func (s *Server) Run(ch <-chan *Snapshot) {
+	for snap := range ch {
+		s.ingest(snap)
+	}
+	s.mu.Lock()
+	s.done = true
+	for id, sub := range s.subs {
+		close(sub)
+		delete(s.subs, id)
+	}
+	s.mu.Unlock()
+}
+
+// ingest derives dashboard state from one snapshot and broadcasts the
+// resulting frames. It is the only writer of the derived state.
+func (s *Server) ingest(snap *Snapshot) {
+	reg := snap.Obs.Reg()
+	log := snap.Obs.EventLog()
+	tr := snap.Obs.Tracer()
+
+	point := samplePoint{AtNs: snap.At.Nanoseconds()}
+	point.RaplW, _ = reg.Value("hw_power_rapl_w")
+	point.PSUW, _ = reg.Value("hw_power_psu_w")
+	point.QPS, _ = reg.Value("sim_load_qps")
+	point.P50Ms, _ = reg.Value("dodb_latency_p50_ms")
+	point.P95Ms, _ = reg.Value("dodb_latency_p95_ms")
+	point.P99Ms, _ = reg.Value("dodb_latency_p99_ms")
+	point.Threads, _ = reg.Value("hw_active_threads")
+	point.Inflight, _ = reg.Value("dodb_inflight")
+	point.CoreMHz = make([]float64, s.meta.Sockets)
+	for sock := 0; sock < s.meta.Sockets; sock++ {
+		point.CoreMHz[sock], _ = reg.Value(`hw_core_mhz{socket="` + itoa(sock) + `"}`)
+	}
+
+	// Delta of buffered events since the last ingest. Buffered() is
+	// monotonic across ring eviction; if eviction outran us the clamp
+	// records the gap as skipped.
+	evs := log.Events()
+	newCount := log.Buffered() - s.evCursor
+	s.evCursor = log.Buffered()
+	var evSkipped uint64
+	if newCount > uint64(len(evs)) {
+		evSkipped = newCount - uint64(len(evs))
+		newCount = uint64(len(evs))
+	}
+	tail := evs[uint64(len(evs))-newCount:]
+
+	decisions := make([]eventJSON, 0, min(len(tail), frameEventCap))
+	for _, e := range tail {
+		if e.Type == obs.EvQueryAdmit || e.Type == obs.EvQueryComplete {
+			continue
+		}
+		if len(decisions) == frameEventCap {
+			evSkipped++
+			continue
+		}
+		decisions = append(decisions, eventJSON{
+			AtNs: e.At.Nanos(), Type: e.Type.String(), Socket: e.Socket,
+			A: e.A, B: e.B, C: e.C, S: e.S,
+		})
+	}
+
+	counts := make([]countJSON, 0, len(obs.Types()))
+	for _, t := range obs.Types() {
+		counts = append(counts, countJSON{Type: t.String(), N: log.Count(t)})
+	}
+
+	var qNew []spanJSON
+	var cNew []ctlJSON
+	spanSkipped := 0
+	if tr.Enabled() {
+		qs := tr.Queries()
+		if len(qs) > s.qCursor {
+			fresh := qs[s.qCursor:]
+			s.qCursor = len(qs)
+			if len(fresh) > frameSpanCap {
+				spanSkipped = len(fresh) - frameSpanCap
+				fresh = fresh[len(fresh)-frameSpanCap:]
+			}
+			qNew = make([]spanJSON, 0, len(fresh))
+			for _, q := range fresh {
+				qNew = append(qNew, spanJSON{
+					QID: q.QID, StartNs: q.Start.Nanoseconds(), EndNs: q.End.Nanoseconds(),
+					RouteNs: q.Route.Nanoseconds(), WakeNs: q.Wake.Nanoseconds(),
+					QueueNs: q.Queue.Nanoseconds(), ExecNs: q.Exec.Nanoseconds(),
+					Origin: q.Origin, Home: q.Home, Worker: q.Worker, Hop: q.Hop, Ops: q.Ops,
+				})
+			}
+		}
+		cs := tr.Ctl()
+		if len(cs) > s.cCursor {
+			fresh := cs[s.cCursor:]
+			s.cCursor = len(cs)
+			if len(fresh) > frameSpanCap {
+				spanSkipped += len(fresh) - frameSpanCap
+				fresh = fresh[len(fresh)-frameSpanCap:]
+			}
+			cNew = make([]ctlJSON, 0, len(fresh))
+			for _, c := range fresh {
+				cNew = append(cNew, ctlJSON{
+					Kind: c.Kind.String(), Socket: c.Socket,
+					StartNs: c.Start.Nanoseconds(), EndNs: c.End.Nanoseconds(),
+				})
+			}
+		}
+	}
+
+	s.mu.Lock()
+	s.latest = snap
+	s.history = append(s.history, point)
+	if len(s.history) > historyCap {
+		s.history = s.history[len(s.history)-historyCap:]
+	}
+	for _, e := range decisions {
+		switch e.Type {
+		case "ZoneTransition":
+			if e.Socket >= 0 && e.Socket < len(s.zones) {
+				s.zones[e.Socket] = append(s.zones[e.Socket], zoneSeg{Mode: e.S, FromNs: e.AtNs})
+				if len(s.zones[e.Socket]) > zoneHistCap {
+					s.zones[e.Socket] = s.zones[e.Socket][len(s.zones[e.Socket])-zoneHistCap:]
+				}
+			}
+		}
+	}
+	s.counts = counts
+	s.spanTail = appendTail(s.spanTail, qNew, frameSpanCap)
+	s.ctlTail = appendTail(s.ctlTail, cNew, frameSpanCap)
+
+	frames := make([][]byte, 0, 3)
+	frames = append(frames, frame("sample", sampleFrame{
+		Seq: snap.Seq, AtNs: point.AtNs, Done: snap.Done,
+		Point: point, Zones: s.zonesLocked(), Counts: counts,
+	}))
+	if len(decisions) > 0 || evSkipped > 0 {
+		frames = append(frames, frame("decisions", decisionsFrame{
+			Seq: snap.Seq, Events: decisions, Skipped: evSkipped,
+		}))
+	}
+	if len(qNew) > 0 || len(cNew) > 0 {
+		frames = append(frames, frame("spans", spansFrame{
+			Seq: snap.Seq, Queries: qNew, Ctl: cNew, Skipped: spanSkipped,
+		}))
+	}
+	for _, sub := range s.subs {
+		for _, f := range frames {
+			select {
+			case sub <- f:
+			default: // subscriber too slow: drop, never block ingest
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// zonesLocked deep-copies the residency strips (callers hold s.mu; the
+// copy is marshaled after the lock is released).
+func (s *Server) zonesLocked() [][]zoneSeg {
+	out := make([][]zoneSeg, len(s.zones))
+	for i, z := range s.zones {
+		out[i] = append([]zoneSeg(nil), z...)
+	}
+	return out
+}
+
+// subscribe registers an SSE consumer and builds its hello frame from the
+// current derived state. The returned channel is closed when the run
+// finishes (or immediately, after hello, if it already has).
+func (s *Server) subscribe() (id uint64, ch chan []byte, hello []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := helloFrame{
+		Meta:    s.meta,
+		Done:    s.done,
+		History: append([]samplePoint(nil), s.history...),
+		Zones:   s.zonesLocked(),
+		Counts:  append([]countJSON(nil), s.counts...),
+		Spans:   append([]spanJSON(nil), s.spanTail...),
+		Ctl:     append([]ctlJSON(nil), s.ctlTail...),
+	}
+	if s.latest != nil {
+		h.Seq, h.AtNs = s.latest.Seq, s.latest.At.Nanoseconds()
+	}
+	ch = make(chan []byte, subBuf)
+	if s.done {
+		close(ch)
+		return 0, ch, frame("hello", h)
+	}
+	s.nextID++
+	id = s.nextID
+	s.subs[id] = ch
+	return id, ch, frame("hello", h)
+}
+
+// unsubscribe drops a consumer registered by subscribe.
+func (s *Server) unsubscribe(id uint64) {
+	s.mu.Lock()
+	if ch, ok := s.subs[id]; ok {
+		delete(s.subs, id)
+		close(ch)
+	}
+	s.mu.Unlock()
+}
+
+// handleIndex serves the embedded dashboard at exactly "/".
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	page, err := uiFS.ReadFile("ui.html")
+	if err != nil {
+		http.Error(w, "dashboard not embedded", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	_, _ = w.Write(page)
+}
+
+// handleMetrics serves the latest snapshot's registry in the Prometheus
+// text exposition format. Before the first snapshot the exposition is
+// empty — a scraper sees a healthy target with no samples yet.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	snap := s.latest
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if snap == nil {
+		return
+	}
+	_ = snap.Obs.Reg().WriteProm(w)
+}
+
+// handleEvents serves the SSE stream: a hello frame with the accumulated
+// state, then sample/decisions/spans frames per snapshot, with a comment
+// keepalive while the stream idles.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	id, ch, hello := s.subscribe()
+	defer s.unsubscribe(id)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(hello); err != nil {
+		return
+	}
+	fl.Flush()
+
+	keep := time.NewTicker(15 * time.Second)
+	defer keep.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case f, open := <-ch:
+			if !open {
+				_, _ = w.Write(frame("done", struct{}{}))
+				fl.Flush()
+				return
+			}
+			if _, err := w.Write(f); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-keep.C:
+			if _, err := w.Write([]byte(": keepalive\n\n")); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// frame renders one SSE frame: an event name and a single JSON data line.
+// json.Marshal of the frame structs never emits raw newlines, so the
+// single-data-line form is always valid.
+func frame(event string, payload any) []byte {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		// Frame payloads are plain structs; marshal cannot fail on them.
+		data = []byte("{}")
+	}
+	var b bytes.Buffer
+	b.Grow(len(event) + len(data) + 16)
+	b.WriteString("event: ")
+	b.WriteString(event)
+	b.WriteString("\ndata: ")
+	b.Write(data)
+	b.WriteString("\n\n")
+	return b.Bytes()
+}
+
+// appendTail appends fresh items to a retained tail, keeping the most
+// recent limit entries.
+func appendTail[T any](tail, fresh []T, limit int) []T {
+	tail = append(tail, fresh...)
+	if len(tail) > limit {
+		tail = tail[len(tail)-limit:]
+	}
+	return tail
+}
+
+// itoa is a tiny strconv.Itoa for small non-negative socket indices.
+func itoa(n int) string {
+	if n < 10 {
+		return string([]byte{byte('0' + n)})
+	}
+	return itoa(n/10) + string([]byte{byte('0' + n%10)})
+}

@@ -94,6 +94,34 @@ type Options struct {
 	// full per-quantum loop even through idle valleys of the load
 	// profile. Byte-identical results; kept as the reference path.
 	NoMacro bool
+	// Hook, when non-nil, observes the run from outside the determinism
+	// fence (see StepHook). The hook is invoked with the virtual clock's
+	// position only — it must treat every reachable structure as
+	// read-only, so attaching one never changes a run's behavior or its
+	// determinism digest (internal/serve's neutrality test proves it).
+	Hook StepHook
+}
+
+// StepHook is the pluggable pacing/observation hook of a run: the serving
+// layer implements it to pace virtual time against the wall clock and to
+// publish observability snapshots, without internal/sim ever importing
+// anything outside the fence (the interface is satisfied structurally).
+//
+// All three methods run on the simulation thread. Implementations may
+// block (that is how pacing works) and may read the observer wired into
+// the run via Options.Obs — at these boundaries the sim thread is parked,
+// so snapshotting obs state here is race-free — but must mutate nothing
+// the simulation can observe.
+type StepHook interface {
+	// OnQuantum fires after every advanced quantum of the run loop
+	// (macro-stepped quanta included), with the new virtual now.
+	OnQuantum(now time.Duration)
+	// OnSample fires after each trace sample, when the observability
+	// gauges have just been refreshed.
+	OnSample(now time.Duration)
+	// OnDone fires once, after the run loop finished and the controller
+	// stopped.
+	OnDone(now time.Duration)
 }
 
 // naiveDefault forces NoMemo+NoMacro on every new Sim; set once at
@@ -196,6 +224,10 @@ type Sim struct {
 	obsLatP99    *obs.Gauge
 	obsQueueDep  []*obs.Gauge // per socket
 	obsDebtInstr []*obs.Gauge // per socket
+	obsPowerRapl *obs.Gauge
+	obsPowerPSU  *obs.Gauge
+	obsLoadQPS   *obs.Gauge
+	obsCoreMHz   []*obs.Gauge // per socket
 }
 
 // New builds a simulation.
@@ -276,7 +308,18 @@ func (s *Sim) attachObserver(ob *obs.Observer) {
 	s.obsLatP50 = reg.Gauge("dodb_latency_p50_ms")
 	s.obsLatP95 = reg.Gauge("dodb_latency_p95_ms")
 	s.obsLatP99 = reg.Gauge("dodb_latency_p99_ms")
-	s.obsQueueDep, s.obsDebtInstr = nil, nil
+	// Per-sample machine/load gauges: the live serving surface reads
+	// these from snapshots, and a stock Prometheus scrapes them from
+	// /metrics. Power is the windowed average over the last sample
+	// window, like the recorded series.
+	s.obsPowerRapl = reg.Gauge("hw_power_rapl_w")
+	s.obsPowerPSU = reg.Gauge("hw_power_psu_w")
+	s.obsLoadQPS = reg.Gauge("sim_load_qps")
+	reg.SetHelp("hw_power_rapl_w", "RAPL power (package+DRAM, all sockets), averaged over the last trace-sample window, in watts.")
+	reg.SetHelp("hw_power_psu_w", "Wall (PSU) power averaged over the last trace-sample window, in watts.")
+	reg.SetHelp("sim_load_qps", "Offered load at the last trace sample, in queries per second.")
+	reg.SetHelp("hw_core_mhz", "Mean clock of the socket's active physical cores at the last trace sample, in MHz (0 when idle).")
+	s.obsQueueDep, s.obsDebtInstr, s.obsCoreMHz = nil, nil, nil
 	if reg != nil {
 		for sock := 0; sock < s.topo.Sockets; sock++ {
 			id := fmt.Sprintf("%d", sock)
@@ -284,6 +327,8 @@ func (s *Sim) attachObserver(ob *obs.Observer) {
 				reg.Gauge(`dodb_queue_depth{socket="`+id+`"}`))
 			s.obsDebtInstr = append(s.obsDebtInstr,
 				reg.Gauge(`dodb_budget_debt_instr{socket="`+id+`"}`))
+			s.obsCoreMHz = append(s.obsCoreMHz,
+				reg.Gauge(`hw_core_mhz{socket="`+id+`"}`))
 		}
 	}
 }
@@ -610,6 +655,7 @@ func (s *Sim) Run() (*Result, error) {
 	q := s.opts.Quantum
 	nextSample := time.Duration(0)
 	switched := false
+	hook := s.opts.Hook
 
 	for t := time.Duration(0); t < dur; t += q {
 		now := s.clock.Now()
@@ -632,12 +678,21 @@ func (s *Sim) Run() (*Result, error) {
 			return nil, err
 		}
 		s.step(q)
+		if hook != nil {
+			hook.OnQuantum(s.clock.Now())
+		}
 		if t >= nextSample {
 			s.sample(t)
 			nextSample += s.opts.SampleEvery
+			if hook != nil {
+				hook.OnSample(s.clock.Now())
+			}
 		}
 	}
 	s.sample(dur)
+	if hook != nil {
+		hook.OnSample(s.clock.Now())
+	}
 
 	if s.controller != nil {
 		s.controller.Stop()
@@ -660,6 +715,9 @@ func (s *Sim) Run() (*Result, error) {
 	res.P99Latency = time.Duration(int64(s.rec.Series("latency_p99_ms").Max() * float64(time.Millisecond)))
 	res.MostApplied = s.mostApplied()
 	res.Obs = s.opts.Obs
+	if hook != nil {
+		hook.OnDone(s.clock.Now())
+	}
 	return res, nil
 }
 
@@ -758,6 +816,9 @@ func (s *Sim) macroStep(k int) {
 	for i := 0; i < k; i++ {
 		s.machine.Step(q, s.idleActs)
 		s.clock.Advance(q)
+		if s.opts.Hook != nil {
+			s.opts.Hook.OnQuantum(s.clock.Now())
+		}
 	}
 	s.macroWindows++
 	s.macroQuanta += int64(k)
@@ -948,13 +1009,20 @@ func (s *Sim) sample(t time.Duration) {
 	s.rec.Add("latency_p99_ms", t, float64(lt.Percentile(now, 0.99))/float64(time.Millisecond))
 	activeThreads := 0
 	for sock := 0; sock < s.topo.Sockets; sock++ {
-		activeThreads += s.machine.Effective(sock).ActiveThreads()
+		eff := s.machine.Effective(sock)
+		activeThreads += eff.ActiveThreads()
+		if sock < len(s.obsCoreMHz) {
+			s.obsCoreMHz[sock].Set(eff.AvgCoreMHz(s.topo.ThreadsPerCore))
+		}
 	}
 	s.rec.Add("active_threads", t, float64(activeThreads))
 	s.rec.Add("util0", t, s.engine.Utilization(0))
 	s.rec.Add("inflight", t, float64(s.engine.InFlight()))
 	s.obsInflight.Set(float64(s.engine.InFlight()))
 	s.obsThreads.Set(float64(activeThreads))
+	s.obsPowerRapl.Set(raplW.Watts())
+	s.obsPowerPSU.Set(psuW.Watts())
+	s.obsLoadQPS.Set(s.opts.Load.QPS(t))
 	s.obsLatP50.Set(float64(lt.EstimatedPercentile(now, 0.50)) / float64(time.Millisecond))
 	s.obsLatP95.Set(float64(lt.EstimatedPercentile(now, 0.95)) / float64(time.Millisecond))
 	s.obsLatP99.Set(float64(lt.EstimatedPercentile(now, 0.99)) / float64(time.Millisecond))

@@ -48,4 +48,18 @@ END {
     printf "}\n"
 }' "$raw" > "$out"
 
-echo "bench.sh: wrote $out ($(grep -c '"name"' "$out") benchmarks)"
+# Fail loudly when the artifact didn't materialize: CI keeps this step
+# non-blocking (continue-on-error), but a silent empty snapshot would
+# archive as "everything fine" and poison trend diffs.
+if [ ! -s "$out" ]; then
+    echo "bench.sh: ERROR: failed to write $out" >&2
+    exit 1
+fi
+count=$(grep -c '"name"' "$out" || true)
+if [ "$count" -eq 0 ]; then
+    rm -f "$out"
+    echo "bench.sh: ERROR: no benchmark results parsed; removed empty $out" >&2
+    exit 1
+fi
+
+echo "bench.sh: wrote $out ($count benchmarks)"

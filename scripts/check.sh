@@ -63,6 +63,16 @@ echo "== query trace validity + byte-identity under -race"
 # also folds the export and the phase-breakdown table in.
 go test -race -count=1 -run 'TestQueryTrace' ./internal/sim
 
+echo "== live serving surface under -race"
+# cmd/eclserve must build, and the serve package's tests run a short
+# simulation with the full HTTP stack attached: the golden Prometheus
+# exposition over HTTP, an SSE subscriber asserting at least one typed
+# decision event streamed, and the neutrality proof that a served run's
+# determinism digest is byte-identical to a headless run (unpaced and
+# paced). -race covers the snapshot handoff across the fence.
+go build -o /dev/null ./cmd/eclserve
+go test -race -count=1 -run 'TestServ' ./internal/serve
+
 echo "== parallel sweep byte-identity under -race"
 # Not -short: the comparison regenerates a sized-down figure three times
 # (sequential, 2 workers, 4 workers) and diffs tables, JSONL event
