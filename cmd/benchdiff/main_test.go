@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"text/tabwriter"
+)
+
+func writeSnapshot(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldSnap = `{
+  "date": "2026-08-07",
+  "go": "go1.24.0",
+  "benchtime": "100ms",
+  "benchmarks": [
+    {"name": "BenchmarkA", "iterations": 100, "ns_per_op": 1000, "bytes_per_op": 64, "allocs_per_op": 2},
+    {"name": "BenchmarkB", "iterations": 100, "ns_per_op": 2000},
+    {"name": "BenchmarkGone", "iterations": 100, "ns_per_op": 5}
+  ]
+}`
+
+const newSnap = `{
+  "date": "2026-08-08",
+  "go": "go1.24.0",
+  "benchtime": "100ms",
+  "benchmarks": [
+    {"name": "BenchmarkA", "iterations": 100, "ns_per_op": 1500, "bytes_per_op": 64, "allocs_per_op": 0},
+    {"name": "BenchmarkB", "iterations": 100, "ns_per_op": 1000},
+    {"name": "BenchmarkNew", "iterations": 100, "ns_per_op": 7}
+  ]
+}`
+
+// TestDiffTable pins the delta computation: a regression shows its
+// percentage and feeds the worst-regression return, an improvement is
+// negative, added and removed benchmarks are labeled, and an allocs/op
+// transition is spelled out.
+func TestDiffTable(t *testing.T) {
+	dir := t.TempDir()
+	oldS, err := load(writeSnapshot(t, dir, "old.json", oldSnap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newS, err := load(writeSnapshot(t, dir, "new.json", newSnap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 0, 4, 2, ' ', 0)
+	worst := diff(w, oldS, newS)
+	w.Flush()
+	out := buf.String()
+
+	if worst != 50 {
+		t.Errorf("worst regression = %.1f, want 50 (BenchmarkA 1000 -> 1500)", worst)
+	}
+	for _, want := range []string{"+50.0%", "-50.0%", "2 -> 0", "new", "removed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffBenchtimeChange asserts that snapshots taken under different
+// benchtimes do not report regressions: single-shot and amortized
+// numbers are not comparable, so the worst-regression signal must stay
+// quiet and the rows must carry the annotation.
+func TestDiffBenchtimeChange(t *testing.T) {
+	dir := t.TempDir()
+	oldS, err := load(writeSnapshot(t, dir, "old.json", strings.Replace(oldSnap, `"100ms"`, `"1x"`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newS, err := load(writeSnapshot(t, dir, "new.json", newSnap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 0, 4, 2, ' ', 0)
+	worst := diff(w, oldS, newS)
+	w.Flush()
+	if worst != 0 {
+		t.Errorf("worst regression = %.1f across a benchtime change, want 0", worst)
+	}
+	if !strings.Contains(buf.String(), "benchtime changed") {
+		t.Errorf("table missing the benchtime-change annotation:\n%s", buf.String())
+	}
+}
+
+// TestPickNewestTwo asserts the date-stamped names sort chronologically
+// and the newest two win, and that fewer than two snapshots is a clean
+// nothing-to-diff.
+func TestPickNewestTwo(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, dir, "BENCH_2026-07-30.json", oldSnap)
+	older := writeSnapshot(t, dir, "BENCH_2026-08-07.json", oldSnap)
+	newer := writeSnapshot(t, dir, "BENCH_2026-08-08.json", newSnap)
+	gotOld, gotNew, err := pick(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOld != older || gotNew != newer {
+		t.Errorf("pick = (%s, %s), want (%s, %s)", gotOld, gotNew, older, newer)
+	}
+
+	solo := t.TempDir()
+	writeSnapshot(t, solo, "BENCH_2026-08-08.json", newSnap)
+	gotOld, gotNew, err = pick(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOld != "" || gotNew != "" {
+		t.Errorf("pick with one snapshot = (%s, %s), want empty", gotOld, gotNew)
+	}
+}

@@ -95,9 +95,14 @@ type SocketStats struct {
 
 // Engine is the database runtime.
 type Engine struct {
-	cfg       Config
-	topo      hw.Topology
-	wl        workload.Workload
+	cfg  Config
+	topo hw.Topology
+	wl   workload.Workload
+	// batchQ is wl's BatchQuerier view when it has one (nil otherwise):
+	// query generation then writes into opScratch instead of allocating a
+	// fresh op slice and closure per query.
+	batchQ    workload.BatchQuerier
+	opScratch []workload.Op
 	rng       *rand.Rand
 	router    *msg.Router
 	parts     []workload.PartitionState
@@ -217,6 +222,7 @@ func New(cfg Config) (*Engine, error) {
 // install wires a workload: partition data, homes, and the message router.
 func (e *Engine) install(wl workload.Workload) error {
 	e.wl = wl
+	e.batchQ, _ = wl.(workload.BatchQuerier)
 	e.charEpoch++
 	e.parts = make([]workload.PartitionState, e.cfg.Partitions)
 	e.partHome = make([]int, e.cfg.Partitions)
@@ -411,8 +417,11 @@ func (e *Engine) SwitchWorkload(wl workload.Workload) error {
 
 // OfferLoad submits load according to a query rate sustained over dt,
 // carrying fractional queries across calls so low rates are exact.
+//
+//ecllint:hotpath the admission path, runs every ground quantum of the run loop
 func (e *Engine) OfferLoad(qps units.Hertz, dt time.Duration, now time.Duration) error {
 	if qps < 0 {
+		//ecllint:allow hotpath error path, never taken for a well-formed load profile
 		return fmt.Errorf("dodb: negative load %v", qps.PerSecond())
 	}
 	e.loadCarry += qps.Over(dt)
@@ -427,8 +436,15 @@ func (e *Engine) OfferLoad(qps units.Hertz, dt time.Duration, now time.Duration)
 
 // SubmitQuery generates and routes one query.
 func (e *Engine) SubmitQuery(now time.Duration) error {
-	ops := e.wl.NewQuery(e.rng, e.cfg.Partitions)
+	var ops []workload.Op
+	if e.batchQ != nil {
+		e.opScratch = e.batchQ.AppendQuery(e.opScratch[:0], e.rng, e.cfg.Partitions)
+		ops = e.opScratch
+	} else {
+		ops = e.wl.NewQuery(e.rng, e.cfg.Partitions)
+	}
 	if len(ops) == 0 {
+		//ecllint:allow hotpath error path, never taken by a well-formed workload
 		return fmt.Errorf("dodb: workload %s generated an empty query", e.wl.Name())
 	}
 	q := e.freeQuery
@@ -436,6 +452,7 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 		e.freeQuery = q.next
 		*q = query{submitted: now, remaining: len(ops)}
 	} else {
+		//ecllint:allow hotpath freelist growth is amortized; completed queries recycle their nodes
 		q = &query{submitted: now, remaining: len(ops)}
 	}
 	if e.inFlight != nil {
@@ -478,6 +495,7 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 			e.freeMsgs[n-1] = nil
 			e.freeMsgs = e.freeMsgs[:n-1]
 		} else {
+			//ecllint:allow hotpath freelist growth is amortized; executed messages recycle their nodes
 			m = &msg.Message{}
 		}
 		m.Partition = op.Partition
@@ -491,7 +509,11 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 			m.DeliveredAt = now
 			m.SleepAtDeliver = e.asleepNS[origin]
 		}
-		if op.Exec != nil {
+		if op.ExecFn != nil {
+			m.ExecCtxFn = op.ExecFn
+			m.ExecCtx = op.ExecCtx
+			m.ExecSt = e.parts[op.Partition]
+		} else if op.Exec != nil {
 			m.ExecFn = op.Exec
 			m.ExecSt = e.parts[op.Partition]
 		}
@@ -723,7 +745,10 @@ func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64
 					if m == nil {
 						break
 					}
-					if m.ExecFn != nil {
+					if m.ExecCtxFn != nil {
+						//ecllint:allow hotpath dispatch boundary: scalar-parameterized op functions belong to the workload package, whose steady-state allocation behavior is pinned by the AllocsPerRun benchmarks
+						m.ExecCtxFn(m.ExecSt, m.ExecCtx)
+					} else if m.ExecFn != nil {
 						//ecllint:allow hotpath dispatch boundary: op closures belong to the workload package, whose steady-state allocation behavior is pinned by the AllocsPerRun benchmarks
 						m.ExecFn(m.ExecSt)
 					} else if m.Exec != nil {
@@ -788,6 +813,69 @@ func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64
 		e.lastUtil[s] = stats[s].Utilization
 	}
 	return stats
+}
+
+// IdleQuantum advances the engine's cumulative accounting by one quantum
+// in which the engine provably does nothing. Preconditions (the caller's
+// to guarantee): Quiescent() holds and no load is offered this quantum.
+// Under them, a full Step degenerates to bookkeeping — the communication
+// round is a no-op, no worker acquires a partition, every busy fraction
+// is zero — and the only state Step would change is reproduced here with
+// Step's exact arithmetic, in Step's order:
+//
+//   - the worker-elasticity observation fires: a socket whose active
+//     worker count (activeCount[s]) differs from the previous step's
+//     emits one wake/sleep event and records the new count, exactly as
+//     Step does — this matters in the one-quantum window after a settle
+//     commit wakes or parks threads, before any full Step observes it;
+//   - activeSec gains one dt.Seconds() term per active worker with a
+//     positive budget (eligible[s] counts them), as sequential float adds;
+//   - busySec gains only +0.0 terms (zero busy fraction), which are
+//     dropped: busySec is never negative zero, so x + 0.0 == x exactly;
+//   - the tracer's per-socket asleep clocks accrue for sockets with no
+//     active worker, and the step frame advances;
+//   - utilization stays exactly zero (Step would recompute 0/budget).
+//
+// The discrete-event run loop calls this for every quantum inside an
+// engine-quiescent stretch, replacing Step's hub and budget scans.
+//
+//ecllint:hotpath runs every quantum of an engine-quiescent stretch
+func (e *Engine) IdleQuantum(now, dt time.Duration, eligible, activeCount []int) {
+	if e.obsOn {
+		for s, n := range activeCount {
+			if prev := e.prevActive[s]; n != prev {
+				t := obs.EvWorkerWake
+				if n < prev {
+					t = obs.EvWorkerSleep
+				}
+				e.obsLog.Emit(obs.Event{
+					At:     units.Virtual(now),
+					Type:   t,
+					Socket: s,
+					A:      float64(n),
+					B:      float64(prev),
+				})
+				if s < len(e.obsWorkerMove) {
+					e.obsWorkerMove[s].Inc()
+				}
+				e.prevActive[s] = n
+			}
+		}
+	}
+	if e.tracer.Enabled() {
+		e.stepStart, e.stepEnd = now-dt, now
+		for s, n := range activeCount {
+			if n == 0 {
+				e.asleepNS[s] += dt
+			}
+		}
+	}
+	ds := dt.Seconds()
+	for s, n := range eligible {
+		for i := 0; i < n; i++ {
+			e.activeSec[s] += ds
+		}
+	}
 }
 
 // acquireFor acquires the next serveable partition for a worker. Under

@@ -19,6 +19,7 @@ package msg
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 )
 
@@ -38,7 +39,14 @@ type Message struct {
 	// one shared function use this pair instead of allocating a capturing
 	// closure per message.
 	ExecFn func(st any)
-	// ExecSt is the state argument passed to ExecFn.
+	// ExecCtxFn with ExecSt and ExecCtx is the fully scalar-parameterized
+	// form: the processor calls ExecCtxFn(ExecSt, ExecCtx). Workloads
+	// whose sampled work depends only on a few packed scalars use it so
+	// neither the sender nor the workload allocates per message.
+	ExecCtxFn func(st any, ctx uint64)
+	// ExecCtx is the packed argument passed to ExecCtxFn.
+	ExecCtx uint64
+	// ExecSt is the state argument passed to ExecFn / ExecCtxFn.
 	ExecSt any
 	// Ctx is an opaque completion context owned by the sender. The message
 	// layer never touches it; the sender's processing loop uses it to find
@@ -68,6 +76,7 @@ type Message struct {
 // queue is a FIFO of messages for one partition with an ownership flag.
 type queue struct {
 	partition int
+	scanIdx   int // index in the hub's scan order (ready-bitmask bit)
 	msgs      []*Message
 	head      int
 	owner     int // worker token holding the partition, or -1
@@ -107,7 +116,15 @@ type Hub struct {
 	order      []int    // partition scan order for fairness
 	scanCursor int
 	outbound   map[int][]*Message // per remote socket
+	outTotal   int                // messages across all outbound buffers
 	pending    int                // local messages waiting
+	// ready is a bitmask over scan indices: bit i is set exactly when
+	// scan[i] is unowned and has pending messages, so Acquire finds the
+	// next serveable partition with two bit scans instead of a loop over
+	// every queue. Only maintained when the hub has at most 64 partitions
+	// (useReady); larger hubs fall back to the linear scan.
+	ready    uint64
+	useReady bool
 }
 
 // NewHub creates the hub of one socket with the given homed partitions.
@@ -115,6 +132,7 @@ func NewHub(socket int, partitions []int) *Hub {
 	h := &Hub{
 		socket:   socket,
 		outbound: make(map[int][]*Message),
+		useReady: len(partitions) <= 64,
 	}
 	maxPart := -1
 	for _, p := range partitions {
@@ -125,13 +143,28 @@ func NewHub(socket int, partitions []int) *Hub {
 	// Partition ids are small and dense, so a direct-mapped slice replaces
 	// a hash map on the per-message hot paths (enqueue, acquire, dequeue).
 	h.byPart = make([]*queue, maxPart+1)
-	for _, p := range partitions {
-		q := &queue{partition: p, owner: NoOwner}
+	for i, p := range partitions {
+		q := &queue{partition: p, scanIdx: i, owner: NoOwner}
 		h.byPart[p] = q
 		h.scan = append(h.scan, q)
 		h.order = append(h.order, p)
 	}
 	return h
+}
+
+// markReady sets a queue's ready bit if it is serveable (unowned with
+// pending messages).
+func (h *Hub) markReady(q *queue) {
+	if h.useReady && q.owner == NoOwner && q.len() > 0 {
+		h.ready |= 1 << uint(q.scanIdx)
+	}
+}
+
+// clearReady clears a queue's ready bit.
+func (h *Hub) clearReady(q *queue) {
+	if h.useReady {
+		h.ready &^= 1 << uint(q.scanIdx)
+	}
 }
 
 // q returns the queue of a partition, or nil when it is not homed here.
@@ -162,13 +195,16 @@ func (h *Hub) EnqueueLocal(m *Message) error {
 	}
 	q.push(m)
 	h.pending++
+	h.markReady(q)
 	return nil
 }
 
 // EnqueueRemote buffers a message for the communication endpoint toward a
 // remote socket.
 func (h *Hub) EnqueueRemote(remoteSocket int, m *Message) {
+	//ecllint:allow hotpath outbound buffer growth is amortized; DrainOutbound keeps the backing array
 	h.outbound[remoteSocket] = append(h.outbound[remoteSocket], m)
+	h.outTotal++
 }
 
 // DrainOutbound removes and returns up to max buffered messages for a
@@ -182,6 +218,7 @@ func (h *Hub) DrainOutbound(remoteSocket int, max int) []*Message {
 	if max > 0 && max < n {
 		n = max
 	}
+	h.outTotal -= n
 	out := buf[:n:n]
 	rest := buf[n:]
 	if len(rest) == 0 {
@@ -197,6 +234,11 @@ func (h *Hub) DrainOutbound(remoteSocket int, max int) []*Message {
 // socket.
 func (h *Hub) OutboundLen(remoteSocket int) int { return len(h.outbound[remoteSocket]) }
 
+// OutboundTotal returns the number of messages buffered toward all remote
+// sockets. O(1); the communication endpoints consult it to skip empty
+// rounds.
+func (h *Hub) OutboundTotal() int { return h.outTotal }
+
 // Acquire finds the next partition with pending messages that is not
 // owned, takes ownership for the worker token, and returns the partition.
 // It returns (-1, false) if no partition is available. Scanning rotates so
@@ -204,6 +246,30 @@ func (h *Hub) OutboundLen(remoteSocket int) int { return len(h.outbound[remoteSo
 //
 //ecllint:hotpath runs once per worker scheduling decision
 func (h *Hub) Acquire(worker int) (partition int, ok bool) {
+	if h.useReady {
+		// The bitmask mirrors the linear scan exactly: the first set bit
+		// at or after the cursor (wrapping) is the first queue the loop
+		// below would pick, because a bit is set iff the queue is unowned
+		// with pending messages.
+		if h.ready == 0 {
+			return -1, false
+		}
+		m := h.ready >> uint(h.scanCursor)
+		var idx int
+		if m != 0 {
+			idx = h.scanCursor + bits.TrailingZeros64(m)
+		} else {
+			idx = bits.TrailingZeros64(h.ready)
+		}
+		q := h.scan[idx]
+		q.owner = worker
+		h.ready &^= 1 << uint(idx)
+		h.scanCursor = idx + 1
+		if h.scanCursor == len(h.scan) {
+			h.scanCursor = 0
+		}
+		return q.partition, true
+	}
 	n := len(h.scan)
 	i := h.scanCursor
 	for c := 0; c < n; c++ {
@@ -230,6 +296,7 @@ func (h *Hub) AcquireSpecific(worker, partition int) bool {
 		return false
 	}
 	q.owner = worker
+	h.clearReady(q)
 	return true
 }
 
@@ -254,6 +321,7 @@ func (h *Hub) Release(worker, partition int) error {
 		return fmt.Errorf("msg: worker %d releasing partition %d owned by %d", worker, partition, q.owner)
 	}
 	q.owner = NoOwner
+	h.markReady(q)
 	return nil
 }
 

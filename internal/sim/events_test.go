@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refEvent is the model the property tests check the heap against: a
+// plain slice popped by linear minimum scan on (at, insertion order).
+type refEvent struct {
+	at   time.Duration
+	seq  int
+	kind eventKind
+}
+
+func refPop(evs []refEvent) (refEvent, []refEvent) {
+	min := 0
+	for i := 1; i < len(evs); i++ {
+		if evs[i].at < evs[min].at || (evs[i].at == evs[min].at && evs[i].seq < evs[min].seq) {
+			min = i
+		}
+	}
+	e := evs[min]
+	return e, append(evs[:min], evs[min+1:]...)
+}
+
+// TestEventQueueOrdering drives the heap through random push/pop
+// interleavings and checks every pop against the reference model: pops
+// must come out in (at, insertion-order) order regardless of the shape
+// the heap grew into.
+func TestEventQueueOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var q eventQueue
+		var ref []refEvent
+		seq := 0
+		steps := 1 + rng.Intn(64)
+		for i := 0; i < steps; i++ {
+			if len(ref) == 0 || rng.Intn(3) != 0 {
+				// Coarse times force collisions so the tie-break is exercised.
+				at := time.Duration(rng.Intn(8)) * time.Millisecond
+				kind := eventKind(rng.Intn(4))
+				q.push(at, kind)
+				ref = append(ref, refEvent{at: at, seq: seq, kind: kind})
+				seq++
+			} else {
+				at, kind, ok := q.pop()
+				if !ok {
+					t.Fatalf("trial %d: pop failed with %d events queued", trial, len(ref))
+				}
+				var want refEvent
+				want, ref = refPop(ref)
+				if at != want.at || kind != want.kind {
+					t.Fatalf("trial %d: popped (%v, %d), reference says (%v, %d)", trial, at, kind, want.at, want.kind)
+				}
+			}
+		}
+		// Drain: the remainder must come out fully ordered too.
+		for len(ref) > 0 {
+			at, kind, ok := q.pop()
+			if !ok {
+				t.Fatalf("trial %d: queue drained early, %d events missing", trial, len(ref))
+			}
+			var want refEvent
+			want, ref = refPop(ref)
+			if at != want.at || kind != want.kind {
+				t.Fatalf("trial %d drain: popped (%v, %d), reference says (%v, %d)", trial, at, kind, want.at, want.kind)
+			}
+		}
+		if _, _, ok := q.pop(); ok {
+			t.Fatalf("trial %d: pop succeeded on an empty queue", trial)
+		}
+	}
+}
+
+// TestEventQueueTieBreak pins the determinism contract: events pushed at
+// the same virtual instant pop in exactly their push order. Pop order
+// must be a pure function of the push sequence — no pointer values or
+// map iteration may leak into scheduling.
+func TestEventQueueTieBreak(t *testing.T) {
+	var q eventQueue
+	const n = 32
+	for i := 0; i < n; i++ {
+		q.push(5*time.Millisecond, eventKind(i%4))
+	}
+	// A later push at an earlier time still wins on the primary key.
+	q.push(time.Millisecond, evEnd)
+	if at, kind, _ := q.pop(); at != time.Millisecond || kind != evEnd {
+		t.Fatalf("earlier-time event did not pop first: got (%v, %d)", at, kind)
+	}
+	for i := 0; i < n; i++ {
+		at, kind, ok := q.pop()
+		if !ok || at != 5*time.Millisecond || kind != eventKind(i%4) {
+			t.Fatalf("tie %d: got (%v, %d, %v), want (5ms, %d, true)", i, at, kind, ok, i%4)
+		}
+	}
+}
+
+// TestEventQueueRoundTrip pushes a batch, pops it dry, and repeats with
+// the recycled freelist: field values must survive the node reuse.
+func TestEventQueueRoundTrip(t *testing.T) {
+	var q eventQueue
+	for round := 0; round < 3; round++ {
+		for i := 5; i > 0; i-- {
+			q.push(time.Duration(i)*time.Second, eventKind(i%4))
+		}
+		if q.len() != 5 {
+			t.Fatalf("round %d: len %d after 5 pushes", round, q.len())
+		}
+		if at, ok := q.peek(); !ok || at != time.Second {
+			t.Fatalf("round %d: peek %v, %v", round, at, ok)
+		}
+		for i := 1; i <= 5; i++ {
+			at, kind, ok := q.pop()
+			if !ok || at != time.Duration(i)*time.Second || kind != eventKind(i%4) {
+				t.Fatalf("round %d pop %d: got (%v, %d, %v)", round, i, at, kind, ok)
+			}
+		}
+		if q.len() != 0 {
+			t.Fatalf("round %d: len %d after drain", round, q.len())
+		}
+	}
+}
+
+// TestEventQueueSteadyStateAllocatesNothing locks the freelist design:
+// once the node pool and heap backing array have grown to the working
+// set, push/pop traffic allocates nothing. The run loop's spine churns
+// one sample event per boundary for the whole run, so an allocating
+// queue would show up on every profile.
+func TestEventQueueSteadyStateAllocatesNothing(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 16; i++ { // grow pool and heap to the working set
+		q.push(time.Duration(i)*time.Millisecond, evSample)
+	}
+	for q.len() > 0 {
+		q.pop()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 8; i++ {
+			q.push(time.Duration(i)*time.Millisecond, evSample)
+		}
+		for q.len() > 0 {
+			q.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state event queue allocates %.1f allocs/op, want 0", allocs)
+	}
+}

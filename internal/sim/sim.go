@@ -94,6 +94,11 @@ type Options struct {
 	// full per-quantum loop even through idle valleys of the load
 	// profile. Byte-identical results; kept as the reference path.
 	NoMacro bool
+	// NoEvents disables the discrete-event run loop, falling back to the
+	// per-quantum walk that inspects every 1 ms quantum for boundaries.
+	// Byte-identical results; kept as the reference path the event
+	// scheduler is proved against.
+	NoEvents bool
 	// Hook, when non-nil, observes the run from outside the determinism
 	// fence (see StepHook). The hook is invoked with the virtual clock's
 	// position only — it must treat every reachable structure as
@@ -124,15 +129,16 @@ type StepHook interface {
 	OnDone(now time.Duration)
 }
 
-// naiveDefault forces NoMemo+NoMacro on every new Sim; set once at
-// process start by the eclsim -nomemo flag (before any runs) so even
+// naiveDefault forces NoMemo+NoMacro+NoEvents on every new Sim; set once
+// at process start by the eclsim -nomemo flag (before any runs) so even
 // multi-run sweeps take the reference path.
 var naiveDefault bool
 
 // SetNaiveStep switches the process-wide default step path to the naive
-// reference implementation (both the kernel cache and macro-stepping
-// off). Call it before building any Sim; it exists for the CLI's -nomemo
-// flag and must not be toggled while runs are in progress.
+// reference implementation (the kernel cache, macro-stepping, and the
+// event-driven run loop all off). Call it before building any Sim; it
+// exists for the CLI's -nomemo flag and must not be toggled while runs
+// are in progress.
 func SetNaiveStep(on bool) { naiveDefault = on }
 
 // Result is the outcome of a run.
@@ -209,6 +215,17 @@ type Sim struct {
 	macroWindows int64
 	macroQuanta  int64
 
+	// Discrete-event run loop state: the event queue, the active-stretch
+	// buffers (constant per-quantum activity, per-socket eligible worker
+	// and active worker counts), and stretch accounting (test
+	// introspection).
+	events          eventQueue
+	stretchActs     []hw.SocketActivity
+	stretchEligible []int
+	stretchActive   []int
+	stretchWindows  int64
+	stretchQuanta   int64
+
 	// Sampling state: power samples are averages over the sampling
 	// window (instantaneous samples alias with RTI switching).
 	lastSampleAt   time.Duration
@@ -242,7 +259,7 @@ func New(opts Options) (*Sim, error) {
 		opts.SampleEvery = 500 * time.Millisecond
 	}
 	if naiveDefault {
-		opts.NoMemo, opts.NoMacro = true, true
+		opts.NoMemo, opts.NoMacro, opts.NoEvents = true, true, true
 	}
 	pp := hw.DefaultPowerParams()
 	if opts.Power != nil {
@@ -652,42 +669,16 @@ func (s *Sim) Run() (*Result, error) {
 	s.lastSampleAt, s.lastSampleJ, s.lastSamplePSUJ = s.started, e0, psu0
 
 	dur := s.opts.Load.Duration()
-	q := s.opts.Quantum
-	nextSample := time.Duration(0)
-	switched := false
 	hook := s.opts.Hook
 
-	for t := time.Duration(0); t < dur; t += q {
-		now := s.clock.Now()
-		if !switched && s.opts.SwitchAt > 0 && t >= s.opts.SwitchAt && s.opts.SwitchTo != nil {
-			if err := s.engine.SwitchWorkload(s.opts.SwitchTo); err != nil {
-				return nil, err
-			}
-			switched = true
-		}
-		// Quiescent fast path: when nothing can happen for k quanta —
-		// zero offered load, idle hardware, empty engine, and no
-		// controller deadline, trace sample, or pending settle inside
-		// the window — run the machine straight through them.
-		if k := s.macroQuantaFrom(t, dur, nextSample, switched); k > 1 {
-			s.macroStep(k)
-			t += time.Duration(k-1) * q
-			continue
-		}
-		if err := s.engine.OfferLoad(units.HertzOf(s.opts.Load.QPS(t)), q, now); err != nil {
-			return nil, err
-		}
-		s.step(q)
-		if hook != nil {
-			hook.OnQuantum(s.clock.Now())
-		}
-		if t >= nextSample {
-			s.sample(t)
-			nextSample += s.opts.SampleEvery
-			if hook != nil {
-				hook.OnSample(s.clock.Now())
-			}
-		}
+	var loopErr error
+	if s.opts.NoEvents {
+		loopErr = s.runQuanta(dur)
+	} else {
+		loopErr = s.runEvents(dur)
+	}
+	if loopErr != nil {
+		return nil, loopErr
 	}
 	s.sample(dur)
 	if hook != nil {
@@ -719,6 +710,53 @@ func (s *Sim) Run() (*Result, error) {
 		hook.OnDone(s.clock.Now())
 	}
 	return res, nil
+}
+
+// runQuanta is the reference run loop (Options.NoEvents): a walk over
+// every 1 ms quantum that inspects each iteration for boundaries — the
+// workload switch, the quiescent macro window, the trace sample. The
+// discrete-event loop in runevents.go replaces the per-quantum boundary
+// inspection with a scheduled event queue and is proved byte-identical
+// against this path.
+func (s *Sim) runQuanta(dur time.Duration) error {
+	q := s.opts.Quantum
+	nextSample := time.Duration(0)
+	switched := false
+	hook := s.opts.Hook
+
+	for t := time.Duration(0); t < dur; t += q {
+		now := s.clock.Now()
+		if !switched && s.opts.SwitchAt > 0 && t >= s.opts.SwitchAt && s.opts.SwitchTo != nil {
+			if err := s.engine.SwitchWorkload(s.opts.SwitchTo); err != nil {
+				return err
+			}
+			switched = true
+		}
+		// Quiescent fast path: when nothing can happen for k quanta —
+		// zero offered load, idle hardware, empty engine, and no
+		// controller deadline, trace sample, or pending settle inside
+		// the window — run the machine straight through them.
+		if k := s.macroQuantaFrom(t, dur, nextSample, switched); k > 1 {
+			s.macroStep(k)
+			t += time.Duration(k-1) * q
+			continue
+		}
+		if err := s.engine.OfferLoad(units.HertzOf(s.opts.Load.QPS(t)), q, now); err != nil {
+			return err
+		}
+		s.step(q)
+		if hook != nil {
+			hook.OnQuantum(s.clock.Now())
+		}
+		if t >= nextSample {
+			s.sample(t)
+			nextSample += s.opts.SampleEvery
+			if hook != nil {
+				hook.OnSample(s.clock.Now())
+			}
+		}
+	}
+	return nil
 }
 
 // macroQuantaFrom computes how many consecutive quanta starting at

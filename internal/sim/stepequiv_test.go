@@ -38,27 +38,37 @@ func stepEquivOptions(noMemo, noMacro bool) Options {
 	}
 }
 
-// TestStepPathsByteIdentical is the identity proof for this package's two
+// TestStepPathsByteIdentical is the identity proof for this package's
 // step-loop optimizations: the epoch-keyed kernel cache (NoMemo toggles
-// it) and the quiescent macro-step fast path (NoMacro toggles it). All
-// four combinations must produce bit-identical digests over the full
-// observable surface — time-series float bits, energy counters, query
+// it), the quiescent macro-step fast path (NoMacro toggles it), and the
+// discrete-event run loop (NoEvents falls back to the per-quantum walk).
+// Every combination must produce a digest bit-identical to the naive
+// reference — the plain quantum walk with no cache — over the full
+// observable surface: time-series float bits, energy counters, query
 // counters, MostApplied, the rendered trace CSV, the profile skyline, the
-// JSONL event log, the Prometheus exposition, and the explain report.
-// scripts/check.sh runs this under the race detector.
+// JSONL event log, the Prometheus exposition, the explain report, and the
+// Perfetto query-trace export. scripts/check.sh runs this under the race
+// detector.
 func TestStepPathsByteIdentical(t *testing.T) {
 	combos := []struct {
-		name            string
-		noMemo, noMacro bool
+		name                      string
+		noMemo, noMacro, noEvents bool
 	}{
-		{"naive", true, true}, // the reference: no cache, no macro-stepping
-		{"memo-only", false, true},
-		{"macro-only", true, false},
-		{"default", false, false},
+		// The quantum walk, with and without the step optimizations.
+		{"naive", true, true, true}, // the reference: quantum walk, no cache, no macro
+		{"memo-only", false, true, true},
+		{"macro-only", true, false, true},
+		{"quantum-default", false, false, true},
+		// The event scheduler over the same optimization matrix.
+		{"events-naive", true, true, false},
+		{"events-macro", true, false, false},
+		{"events-default", false, false, false},
 	}
 	var ref [32]byte
 	for i, c := range combos {
-		sum, s := digestRun(t, stepEquivOptions(c.noMemo, c.noMacro))
+		opts := stepEquivOptions(c.noMemo, c.noMacro)
+		opts.NoEvents = c.noEvents
+		sum, s := digestRun(t, opts)
 		switch {
 		case c.noMacro && s.macroWindows != 0:
 			t.Errorf("%s: macro-stepped %d windows with the fast path disabled", c.name, s.macroWindows)
@@ -67,6 +77,15 @@ func TestStepPathsByteIdentical(t *testing.T) {
 		}
 		if !c.noMacro && s.macroQuanta < s.macroWindows {
 			t.Errorf("%s: %d macro windows cover only %d quanta", c.name, s.macroWindows, s.macroQuanta)
+		}
+		// The active stretch (quiescent engine, awake sockets) needs both
+		// the event loop and the kernel cache; anywhere else it must stay
+		// out of the way.
+		switch {
+		case (c.noEvents || c.noMemo || c.noMacro) && s.stretchWindows != 0:
+			t.Errorf("%s: active stretch engaged %d windows outside its licensing combination", c.name, s.stretchWindows)
+		case !c.noEvents && !c.noMemo && !c.noMacro && s.stretchWindows == 0:
+			t.Errorf("%s: the active stretch never engaged; the comparison is vacuous", c.name)
 		}
 		if i == 0 {
 			ref = sum
@@ -236,3 +255,36 @@ func benchStepKernel(b *testing.B, noMemo bool) {
 
 func BenchmarkStepKernel(b *testing.B)       { benchStepKernel(b, false) }
 func BenchmarkStepKernelNoMemo(b *testing.B) { benchStepKernel(b, true) }
+
+// benchIdleHeavy runs a full 60 s ECL simulation whose load profile is
+// two short bursts around a long zero plateau — the shape where the
+// discrete-event scheduler's quiescent stretches (idle macro-steps and
+// active-but-workless IdleQuantum windows) dominate the walk. The
+// NoEvents variant runs the identical scenario on the per-quantum
+// reference loop (kernel cache and macro-stepping still on), so the
+// pair reads the event scheduler's contribution directly off a
+// BENCH_*.json snapshot. No observer is attached: this measures the
+// headless sweep configuration the figure regenerators run in.
+func benchIdleHeavy(b *testing.B, noEvents bool) {
+	levels := make([]float64, 30)
+	levels[0], levels[len(levels)-1] = 4000, 4000
+	for i := 0; i < b.N; i++ {
+		s, err := New(Options{
+			Workload: workload.NewKV(true),
+			Load:     loadprofile.Step{Levels: levels, StepLen: 2 * time.Second},
+			Governor: GovernorBaseline,
+			Prewarm:  true,
+			Seed:     13,
+			NoEvents: noEvents,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIdleHeavyRun(b *testing.B)         { benchIdleHeavy(b, false) }
+func BenchmarkIdleHeavyRunNoEvents(b *testing.B) { benchIdleHeavy(b, true) }

@@ -106,6 +106,51 @@ func (h *HashIndex) Put(key, val uint64) bool {
 	}
 }
 
+// GetOrInsert returns the value stored under key, inserting val first if
+// the key is absent. It reports the resulting value and whether an insert
+// happened. One probe chain serves both outcomes — callers that would
+// otherwise Get and then Put (the KV store's upsert) save a full second
+// walk. The resulting table layout is identical to Get-followed-by-Put:
+// the growth check runs only once an insert is decided, with the same
+// occupancy predicate Put uses, and the insert re-probes after a grow
+// exactly as a fresh Put would.
+func (h *HashIndex) GetOrInsert(key, val uint64) (uint64, bool) {
+	pairs, states := h.pairs, h.states
+	mask := uint64(len(pairs) - 1)
+	hash := hashKey(key)
+	tag := tagOf(hash)
+	i := hash & mask
+	firstTomb := -1
+	for {
+		switch s := states[i]; {
+		case s == slotEmpty:
+			if (h.used+1)*maxLoadDen > len(pairs)*maxLoadNum {
+				h.grow()
+				h.Put(key, val)
+				return val, true
+			}
+			if firstTomb >= 0 {
+				i = uint64(firstTomb)
+			} else {
+				h.used++
+			}
+			pairs[i] = hpair{key: key, val: val}
+			states[i] = tag
+			h.live++
+			return val, true
+		case s == slotTombstone:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case s == tag:
+			if pairs[i].key == key {
+				return pairs[i].val, false
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
 // Get looks up a key.
 func (h *HashIndex) Get(key uint64) (uint64, bool) {
 	pairs, states := h.pairs, h.states

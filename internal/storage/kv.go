@@ -42,13 +42,17 @@ func (kv *KVStore) Len() int {
 // Put stores a key-value pair. Existing keys are overwritten.
 func (kv *KVStore) Put(key, value uint32) {
 	if kv.indexed {
-		if row, ok := kv.index.Get(uint64(key)); ok {
-			kv.values.Set(int(row), int64(value))
-			return
+		// Single probe chain for both outcomes: the row an insert would
+		// occupy is known before appending (columns append densely), so
+		// the index upsert and the existence check share one walk instead
+		// of Get-then-Put's two.
+		row := uint64(kv.values.Len())
+		if got, inserted := kv.index.GetOrInsert(uint64(key), row); inserted {
+			kv.keys.Append(int64(key))
+			kv.values.Append(int64(value))
+		} else {
+			kv.values.Set(int(got), int64(value))
 		}
-		kv.keys.Append(int64(key))
-		row := kv.values.Append(int64(value))
-		kv.index.Put(uint64(key), uint64(row))
 		return
 	}
 	// Non-indexed: scan for the key, overwrite or append.

@@ -92,6 +92,13 @@ func (k *KV) NewPartition(partition int, rng *rand.Rand) PartitionState {
 // uniformly chosen partition. The indexed variant probes the hash index
 // per key; the non-indexed variant answers the batch with a column scan.
 func (k *KV) NewQuery(rng *rand.Rand, parts int) []Op {
+	return k.AppendQuery(nil, rng, parts)
+}
+
+// AppendQuery implements BatchQuerier: the same query stream as NewQuery
+// (identical rng draws, in order), written into the caller's buffer with
+// closure-free sampled work.
+func (k *KV) AppendQuery(dst []Op, rng *rand.Rand, parts int) []Op {
 	p := rng.Intn(parts)
 	key := rng.Uint32()
 	isGet := rng.Float64() < kvGetFraction
@@ -99,27 +106,36 @@ func (k *KV) NewQuery(rng *rand.Rand, parts int) []Op {
 	if !k.indexed {
 		instr = kvScanInstrPerRow * kvRowsPerPartition
 	}
-	return []Op{{
-		Partition: p,
-		Instr:     instr,
-		Exec: func(st PartitionState) {
-			kp, ok := st.(*kvPartition)
-			if !ok {
-				panic(fmt.Sprintf("workload: kv op on foreign partition state %T", st))
-			}
-			if isGet {
-				// One multi-get batch: the store overlaps the probes'
-				// cache misses instead of serializing kvExecSample
-				// dependent lookups.
-				var keys, vals [kvExecSample]uint32
-				var ok [kvExecSample]bool
-				for i := range keys {
-					keys[i] = key + uint32(i)
-				}
-				kp.store.MultiGet(keys[:], vals[:], ok[:])
-			} else {
-				kp.store.Put(key, key^0x5a5a5a5a)
-			}
-		},
-	}}
+	fn := execKVPut
+	if isGet {
+		fn = execKVGet
+	}
+	return append(dst, Op{Partition: p, Instr: instr, ExecFn: fn, ExecCtx: uint64(key)})
+}
+
+// execKVGet performs the sampled read work of one multi-get batch: the
+// store overlaps the probes' cache misses instead of serializing
+// kvExecSample dependent lookups.
+func execKVGet(st PartitionState, ctx uint64) {
+	kp, ok := st.(*kvPartition)
+	if !ok {
+		panic(fmt.Sprintf("workload: kv op on foreign partition state %T", st))
+	}
+	key := uint32(ctx)
+	var keys, vals [kvExecSample]uint32
+	var hit [kvExecSample]bool
+	for i := range keys {
+		keys[i] = key + uint32(i)
+	}
+	kp.store.MultiGet(keys[:], vals[:], hit[:])
+}
+
+// execKVPut performs the sampled write work of one multi-put batch.
+func execKVPut(st PartitionState, ctx uint64) {
+	kp, ok := st.(*kvPartition)
+	if !ok {
+		panic(fmt.Sprintf("workload: kv op on foreign partition state %T", st))
+	}
+	key := uint32(ctx)
+	kp.store.Put(key, key^0x5a5a5a5a)
 }

@@ -55,10 +55,10 @@ func TestSplitQueriesTargetCorrectSockets(t *testing.T) {
 			} else {
 				sawOdd = true
 			}
-			if op.Exec != nil {
+			if op.HasExec() {
 				// Partition states must match the op's sub-workload:
 				// executing against the wrong state would panic.
-				op.Exec(states[op.Partition])
+				op.Run(states[op.Partition])
 			}
 		}
 	}

@@ -33,7 +33,28 @@ type Op struct {
 	// Exec optionally performs a bounded sample of real work against
 	// the partition's data structures.
 	Exec func(PartitionState)
+	// ExecFn with ExecCtx is the closure-free form of Exec: the engine
+	// calls ExecFn(state, ExecCtx). Workloads whose sampled work is
+	// parameterized by a few packed scalars use this pair so the
+	// per-query generation path allocates no capturing closure.
+	ExecFn func(st PartitionState, ctx uint64)
+	// ExecCtx is the packed argument passed to ExecFn.
+	ExecCtx uint64
 }
+
+// Run executes the op's sampled work against st, dispatching to
+// whichever exec form the op carries (ExecFn preferred). It is a no-op
+// for ops without sampled work.
+func (op *Op) Run(st PartitionState) {
+	if op.ExecFn != nil {
+		op.ExecFn(st, op.ExecCtx)
+	} else if op.Exec != nil {
+		op.Exec(st)
+	}
+}
+
+// HasExec reports whether the op carries sampled work in either form.
+func (op *Op) HasExec() bool { return op.ExecFn != nil || op.Exec != nil }
 
 // Workload is a benchmark workload.
 type Workload interface {
@@ -49,6 +70,18 @@ type Workload interface {
 	// NewQuery emits the operations of the next query over a database
 	// with parts partitions.
 	NewQuery(rng *rand.Rand, parts int) []Op
+}
+
+// BatchQuerier is implemented by workloads that can emit a query's
+// operations into a caller-owned buffer. AppendQuery must draw exactly
+// the same random values in exactly the same order as NewQuery and
+// produce equivalent operations; the only difference is that the caller
+// provides the storage, so the steady-state submit path allocates
+// nothing. Workloads whose sampled work cannot be expressed without a
+// capturing closure (e.g. SSB's scans, which draw from the engine rng at
+// execution time) simply do not implement it.
+type BatchQuerier interface {
+	AppendQuery(dst []Op, rng *rand.Rand, parts int) []Op
 }
 
 // Versioned is implemented by workloads whose Characteristics drift at

@@ -61,8 +61,8 @@ func TestQueriesExecuteAgainstOwnPartitions(t *testing.T) {
 					if op.Instr <= 0 {
 						t.Fatalf("op has non-positive cost %v", op.Instr)
 					}
-					if op.Exec != nil {
-						op.Exec(states[op.Partition])
+					if op.HasExec() {
+						op.Run(states[op.Partition])
 					}
 				}
 			}

@@ -63,23 +63,39 @@ func (y *YCSB) NewPartition(partition int, rng *rand.Rand) PartitionState {
 // NewQuery implements Workload: one batch of point operations with the
 // mix's read share.
 func (y *YCSB) NewQuery(rng *rand.Rand, parts int) []Op {
+	return y.AppendQuery(nil, rng, parts)
+}
+
+// AppendQuery implements BatchQuerier: the same query stream as NewQuery
+// (identical rng draws, in order) with closure-free sampled work.
+func (y *YCSB) AppendQuery(dst []Op, rng *rand.Rand, parts int) []Op {
 	p := rng.Intn(parts)
 	key := rng.Uint32()
 	isRead := rng.Float64() < y.readFrac
-	return []Op{{
+	fn := execYCSBWrite
+	if isRead {
+		fn = execYCSBRead
+	}
+	return append(dst, Op{
 		Partition: p,
 		Instr:     float64(kvIndexedAccessInstr * kvMultiGet),
-		Exec: func(st PartitionState) {
-			kp := st.(*kvPartition)
-			if isRead {
-				for i := 0; i < kvExecSample; i++ {
-					kp.store.Get(key + uint32(i))
-				}
-			} else {
-				for i := 0; i < kvExecSample; i++ {
-					kp.store.Put(key+uint32(i), key^uint32(i))
-				}
-			}
-		},
-	}}
+		ExecFn:    fn,
+		ExecCtx:   uint64(key),
+	})
+}
+
+func execYCSBRead(st PartitionState, ctx uint64) {
+	kp := st.(*kvPartition)
+	key := uint32(ctx)
+	for i := 0; i < kvExecSample; i++ {
+		kp.store.Get(key + uint32(i))
+	}
+}
+
+func execYCSBWrite(st PartitionState, ctx uint64) {
+	kp := st.(*kvPartition)
+	key := uint32(ctx)
+	for i := 0; i < kvExecSample; i++ {
+		kp.store.Put(key+uint32(i), key^uint32(i))
+	}
 }

@@ -44,7 +44,7 @@ func TestYCSBQueriesExecute(t *testing.T) {
 			if op.Instr <= 0 || op.Partition < 0 || op.Partition >= 4 {
 				t.Fatal("bad op")
 			}
-			op.Exec(states[op.Partition])
+			op.Run(states[op.Partition])
 		}
 	}
 }

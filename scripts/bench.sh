@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
 # bench.sh — machine-readable benchmark snapshot. Runs every benchmark
-# once in -short mode (the full-simulation figure regenerators skip
+# in -short mode (the full-simulation figure regenerators skip
 # themselves; the model-based figures and the micro-benchmarks run) and
-# writes BENCH_<date>.json mapping each benchmark to its ns/op, so
-# successive snapshots can be diffed for performance regressions.
+# writes BENCH_<date>.json mapping each benchmark to its ns/op,
+# bytes/op, and allocs/op, so successive snapshots can be diffed for
+# performance regressions (scripts/benchdiff.sh).
+#
+# The benchtime is a duration, not an iteration count, on purpose: with
+# -benchtime=1x every benchmark reports a single cold iteration, and for
+# micro-benchmarks (tens of microseconds) that one-shot number is
+# dominated by cold caches and scheduler jitter — it once reported the
+# step-kernel cache as a 2.6x slowdown when the steady-state number is a
+# 2x speedup. A duration budget lets Go's benchmark harness amortize
+# micro-benchmarks over thousands of iterations while the multi-second
+# full-simulation benchmarks still run just once.
 #
 # Orchestrated sweep timing is part of the snapshot: the
 # BenchmarkProfileSweepSequential / BenchmarkProfileSweepParallel pair
@@ -18,32 +28,47 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+benchtime="${BENCHTIME:-100ms}"
 date_tag=$(date -u +%Y-%m-%d)
 out="BENCH_${date_tag}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run=NONE -bench=. -benchtime=1x -short ./... | tee "$raw"
+go test -run=NONE -bench=. -benchtime="$benchtime" -benchmem -short ./... | tee "$raw"
 
 # One JSON object per benchmark line: strip the -<GOMAXPROCS> suffix
-# from the name and keep the ns/op column.
-awk -v date="$date_tag" -v goversion="$(go env GOVERSION)" '
+# from the name and keep the iteration count and the ns/op, B/op, and
+# allocs/op columns (the memory columns come from -benchmem; custom
+# ReportMetric columns would shift them, so they are keyed by their unit
+# tokens, not their positions).
+awk -v date="$date_tag" -v goversion="$(go env GOVERSION)" -v benchtime="$benchtime" '
 BEGIN { n = 0 }
 $1 ~ /^Benchmark/ && $4 == "ns/op" {
     name = $1
     sub(/-[0-9]+$/, "", name)
     names[n] = name
+    iters[n] = $2
     ns[n] = $3
+    bytes[n] = ""
+    allocs[n] = ""
+    for (i = 5; i < NF; i++) {
+        if ($(i + 1) == "B/op") bytes[n] = $i
+        if ($(i + 1) == "allocs/op") allocs[n] = $i
+    }
     n++
 }
 END {
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
-    printf "  \"benchtime\": \"1x\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"benchmarks\": [\n"
-    for (i = 0; i < n; i++)
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n", names[i], ns[i], (i < n - 1 ? "," : "")
+    for (i = 0; i < n; i++) {
+        line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", names[i], iters[i], ns[i])
+        if (bytes[i] != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes[i])
+        if (allocs[i] != "") line = line sprintf(", \"allocs_per_op\": %s", allocs[i])
+        printf "%s}%s\n", line, (i < n - 1 ? "," : "")
+    }
     printf "  ]\n"
     printf "}\n"
 }' "$raw" > "$out"
