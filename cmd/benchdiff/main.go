@@ -32,8 +32,19 @@ import (
 type snapshot struct {
 	Date       string      `json:"date"`
 	Go         string      `json:"go"`
+	Commit     string      `json:"commit"`
 	Benchtime  string      `json:"benchtime"`
 	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// label names a snapshot for the header line: its date plus, when the
+// snapshot records one (bench.sh stamps git rev-parse since PR 9), the
+// commit it was taken at.
+func (s *snapshot) label() string {
+	if s.Commit == "" {
+		return s.Date
+	}
+	return s.Date + " @" + s.Commit
 }
 
 type benchmark struct {
@@ -171,7 +182,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("benchdiff: %s (%s) -> %s (%s)\n", oldPath, oldS.Date, newPath, newS.Date)
+	fmt.Printf("benchdiff: %s (%s) -> %s (%s)\n", oldPath, oldS.label(), newPath, newS.label())
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	worst := diff(w, oldS, newS)
 	w.Flush()

@@ -136,7 +136,7 @@ func main() {
 	fig := flag.Int("fig", 0, "figure number (11, 13, 14, 15/16)")
 	table := flag.Int("table", 0, "table number (1)")
 	wlName := flag.String("workload", "", "custom run: workload name")
-	loadName := flag.String("load", "spike", "custom run: load profile (spike, twitter, constant, replay)")
+	loadName := flag.String("load", "spike", "custom run: load profile (spike, twitter, constant, idleburst, replay)")
 	traceFile := flag.String("trace", "", "custom run with -load replay: CSV trace with t_seconds,qps columns")
 	level := flag.Float64("level", 0.5, "custom run: constant-load level relative to capacity")
 	duration := flag.Duration("duration", 2*time.Minute, "custom run: profile duration")
@@ -145,6 +145,8 @@ func main() {
 	capW := flag.Float64("cap", 0, "custom run: per-socket power cap in W for the ECL (0 = none)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for multi-run sweeps (<1 = GOMAXPROCS); results are identical at any setting")
 	nomemo := flag.Bool("nomemo", false, "take the naive reference step path (no epoch-keyed kernel cache, no macro-stepping); results are identical, just slower")
+	nobatch := flag.Bool("nobatch", false, "per-quantum reference float grouping (no closed-form stretch integration); integer observables are identical, float energies differ only in summation grouping (DESIGN.md §16)")
+	runLen := flag.Duration("len", 0, "override the experiment length for -fig 13/14/15 and -table 1 (0 = the figure's default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	var oo obsOut
@@ -156,6 +158,7 @@ func main() {
 	flag.Parse()
 	bench.SetParallelism(*parallel)
 	sim.SetNaiveStep(*nomemo)
+	sim.SetBatchOff(*nobatch)
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	exitOn(err)
 	defer stopProfiles()
@@ -163,7 +166,7 @@ func main() {
 	switch {
 	case *table == 1:
 		warnNoObs(oo)
-		r, err := bench.Table1()
+		r, err := bench.Table1Sized(orDefault(*runLen, 2*time.Minute))
 		exitOn(err)
 		fmt.Println(r.Render())
 	case *fig == 11:
@@ -173,19 +176,20 @@ func main() {
 		fmt.Println(r.Render())
 	case *fig == 13:
 		ob := oo.observer()
-		r, err := bench.Figure13Observed(3*time.Minute, ob)
+		r, err := bench.Figure13Observed(orDefault(*runLen, 3*time.Minute), ob)
 		exitOn(err)
 		fmt.Println(r.Render())
 		exitOn(oo.flush(ob))
 	case *fig == 14:
 		ob := oo.observer()
-		r, err := bench.Figure14Observed(3*time.Minute, ob)
+		r, err := bench.Figure14Observed(orDefault(*runLen, 3*time.Minute), ob)
 		exitOn(err)
 		fmt.Println(r.Render())
 		exitOn(oo.flush(ob))
 	case *fig == 15, *fig == 16:
 		warnNoObs(oo)
-		r, err := bench.FigureAdaptation()
+		d := orDefault(*runLen, 160*time.Second)
+		r, err := bench.FigureAdaptationSized(d/4, d)
 		exitOn(err)
 		fmt.Println(r.Render())
 	case *wlName != "":
@@ -194,6 +198,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// orDefault substitutes the figure's default length when -len is unset.
+func orDefault(v, def time.Duration) time.Duration {
+	if v > 0 {
+		return v
+	}
+	return def
 }
 
 func customRun(wlName, loadName, traceFile string, level float64, duration time.Duration, seed int64, csvPrefix string, capW float64, oo obsOut) error {
@@ -213,6 +225,14 @@ func customRun(wlName, loadName, traceFile string, level float64, duration time.
 		load = loadprofile.Twitter{BaseQps: capacity * 0.8, Len: duration}
 	case "constant":
 		load = loadprofile.Constant{Qps: capacity * level, Len: duration}
+	case "idleburst":
+		// Two short bursts around a long zero plateau: the shape of
+		// BenchmarkIdleHeavyRun, and the one that exercises the
+		// closed-form stretch integration (DESIGN.md §16) hardest.
+		levels := make([]float64, 30)
+		levels[0] = capacity * level
+		levels[len(levels)-1] = capacity * level
+		load = loadprofile.Step{Levels: levels, StepLen: duration / 30}
 	case "replay":
 		if traceFile == "" {
 			return fmt.Errorf("-load replay needs -trace <csv>")

@@ -1,0 +1,64 @@
+// Command semdiff compares two regenerated artifact trees (or two single
+// files) with the re-lock rules of DESIGN.md §16: non-numeric text and
+// integer-rendered observables must match byte for byte; float-rendered
+// values must agree within a tight relative epsilon or one unit in their
+// last printed decimal place. scripts/relock.sh drives it over the old-
+// and new-grouping regenerations of every figure and table.
+//
+// Usage:
+//
+//	semdiff [-eps 1e-9] [-abs 1e-12] old-dir new-dir
+//	semdiff [-eps 1e-9] [-abs 1e-12] old-file new-file
+//
+// The exit status is 0 when every pair agrees semantically, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecldb/internal/relock"
+)
+
+func main() {
+	eps := flag.Float64("eps", 1e-9, "maximum relative difference between float-rendered values")
+	abs := flag.Float64("abs", 1e-12, "absolute difference floor below which floats always agree")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: semdiff [-eps 1e-9] [-abs 1e-12] <old> <new>")
+		os.Exit(2)
+	}
+	opts := relock.Options{RelEps: *eps, AbsFloor: *abs}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+
+	oldInfo, err := os.Stat(oldPath)
+	exitOn(err)
+	newInfo, err := os.Stat(newPath)
+	exitOn(err)
+	if oldInfo.IsDir() != newInfo.IsDir() {
+		fmt.Fprintln(os.Stderr, "semdiff: one argument is a directory and the other a file")
+		os.Exit(2)
+	}
+
+	var reports []relock.FileReport
+	if oldInfo.IsDir() {
+		reports, err = relock.CompareTrees(oldPath, newPath, opts)
+		exitOn(err)
+	} else {
+		r, err := relock.CompareFiles(oldPath, newPath, opts)
+		exitOn(err)
+		reports = []relock.FileReport{r}
+	}
+	relock.Render(os.Stdout, reports)
+	if !relock.AllOK(reports) {
+		os.Exit(1)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semdiff:", err)
+		os.Exit(1)
+	}
+}

@@ -842,25 +842,7 @@ func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64
 //ecllint:hotpath runs every quantum of an engine-quiescent stretch
 func (e *Engine) IdleQuantum(now, dt time.Duration, eligible, activeCount []int) {
 	if e.obsOn {
-		for s, n := range activeCount {
-			if prev := e.prevActive[s]; n != prev {
-				t := obs.EvWorkerWake
-				if n < prev {
-					t = obs.EvWorkerSleep
-				}
-				e.obsLog.Emit(obs.Event{
-					At:     units.Virtual(now),
-					Type:   t,
-					Socket: s,
-					A:      float64(n),
-					B:      float64(prev),
-				})
-				if s < len(e.obsWorkerMove) {
-					e.obsWorkerMove[s].Inc()
-				}
-				e.prevActive[s] = n
-			}
-		}
+		e.observeWorkers(now, activeCount)
 	}
 	if e.tracer.Enabled() {
 		e.stepStart, e.stepEnd = now-dt, now
@@ -874,6 +856,70 @@ func (e *Engine) IdleQuantum(now, dt time.Duration, eligible, activeCount []int)
 	for s, n := range eligible {
 		for i := 0; i < n; i++ {
 			e.activeSec[s] += ds
+		}
+	}
+}
+
+// observeWorkers emits the worker-elasticity observation: one wake/sleep
+// event per socket whose active worker count moved since the previous
+// step, with Step's exact payload.
+func (e *Engine) observeWorkers(now time.Duration, activeCount []int) {
+	for s, n := range activeCount {
+		if prev := e.prevActive[s]; n != prev {
+			t := obs.EvWorkerWake
+			if n < prev {
+				t = obs.EvWorkerSleep
+			}
+			e.obsLog.Emit(obs.Event{
+				At:     units.Virtual(now),
+				Type:   t,
+				Socket: s,
+				A:      float64(n),
+				B:      float64(prev),
+			})
+			if s < len(e.obsWorkerMove) {
+				e.obsWorkerMove[s].Inc()
+			}
+			e.prevActive[s] = n
+		}
+	}
+}
+
+// IdleStretch batches n consecutive IdleQuantum calls whose eligible and
+// activeCount inputs are constant across the stretch; first is the `now`
+// of the first batched quantum (quantum i of the stretch ends at
+// first + i·dt). Relative to n per-quantum calls:
+//
+//   - the wake/sleep observation can only fire on the first quantum —
+//     the counts are constant afterwards — so emitting it once at first
+//     leaves the event stream byte-identical;
+//   - the tracer's asleep clocks accrue n·dt in one add (Duration sums
+//     are exact integers) and the step frame jumps to the last quantum's;
+//   - activeSec gains one ds·n term per eligible worker instead of n
+//     sequential ds terms — the float regrouping the digest re-lock
+//     covers (DESIGN.md §16).
+//
+//ecllint:hotpath runs once per fast-forwarded stretch
+func (e *Engine) IdleStretch(first, dt time.Duration, n int, eligible, activeCount []int) {
+	if n <= 0 {
+		return
+	}
+	if e.obsOn {
+		e.observeWorkers(first, activeCount)
+	}
+	if e.tracer.Enabled() {
+		last := first + time.Duration(n-1)*dt
+		e.stepStart, e.stepEnd = last-dt, last
+		for s, c := range activeCount {
+			if c == 0 {
+				e.asleepNS[s] += time.Duration(n) * dt
+			}
+		}
+	}
+	ds := dt.Seconds()
+	for s, c := range eligible {
+		for i := 0; i < c; i++ {
+			e.activeSec[s] += ds * float64(n)
 		}
 	}
 }

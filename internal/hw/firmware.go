@@ -132,15 +132,22 @@ func (f *firmware) observe(socket int, busyAvg float64, dt time.Duration) {
 	if !f.autoUFS {
 		return
 	}
-	cur := f.ufsMHz[socket]
+	f.ufsMHz[socket] = ufsNext(f.ufsMHz[socket], busyAvg, dt)
+}
+
+// ufsNext returns the uncore clock automatic UFS chooses after observing
+// busyAvg over one step of length dt, starting from cur. It is the pure
+// transition function behind observe; Machine.StepStretch evaluates it to
+// prove a stretch sits at the decay fixed point (bit-equality matters, so
+// observe and the guard must share this exact float expression).
+func ufsNext(cur, busyAvg float64, dt time.Duration) float64 {
 	if busyAvg > 0.05 {
-		f.ufsMHz[socket] = MaxUncoreMHz
-		return
+		return MaxUncoreMHz
 	}
 	// Exponential decay toward the minimum clock.
 	decay := float64(dt) / float64(ufsDecayTau)
 	if decay > 1 {
 		decay = 1
 	}
-	f.ufsMHz[socket] = cur - (cur-MinUncoreMHz)*decay
+	return cur - (cur-MinUncoreMHz)*decay
 }

@@ -82,6 +82,14 @@ type Machine struct {
 	effEpoch []uint64
 	effValid []bool
 
+	// StepStretch scratch (per-socket powers computed during the guard
+	// phase, committed only when every guard passes) and the verification
+	// hook that makes the closed-form boundary-index computation walk
+	// indices one at a time instead.
+	stretchPkgW        []units.Watt
+	stretchDramW       []units.Watt
+	linearBoundaryScan bool
+
 	// Observability (nil when disabled; see internal/obs).
 	obsLog     *obs.Log
 	obsApplies []*obs.Counter // per socket
@@ -121,6 +129,8 @@ func NewMachine(topo Topology, pp PowerParams, seed int64) *Machine {
 		effEpoch:    make([]uint64, topo.Sockets),
 		effValid:    make([]bool, topo.Sockets),
 	}
+	m.stretchPkgW = make([]units.Watt, topo.Sockets)
+	m.stretchDramW = make([]units.Watt, topo.Sockets)
 	m.activeSec = make([]float64, topo.Sockets)
 	m.idleSec = make([]float64, topo.Sockets)
 	for s := 0; s < topo.Sockets; s++ {
@@ -405,6 +415,130 @@ func (m *Machine) Step(dt time.Duration, acts []SocketActivity) {
 	}
 }
 
+// StepStretch advances the machine by n quanta of length q under activity
+// that is constant across the stretch (acts is the per-quantum activity,
+// reused every quantum), integrating energy in closed form: one
+// P·(n·q) term per domain per socket instead of n per-quantum terms, the
+// RAPL snapshot advanced by direct boundary-index computation, and the
+// residency/instruction/PSU accumulators batched the same way.
+//
+// The closed form is only valid when the whole stretch is provably
+// constant-state, so StepStretch is all-or-nothing: it returns n after
+// committing the full stretch, or 0 — with the machine untouched — when
+// any guard fails, in which case the caller falls back to per-quantum
+// Step calls. The guards mirror, term by term, everything Step could do
+// besides integrating constant power:
+//
+//   - no pending apply may commit or become due inside the stretch
+//     (p.at < end bails; a settle exactly at the stretch end is fine —
+//     per-quantum Step would not have committed it either);
+//   - every throttle factor is 1 and stays 1: package power at or below
+//     TDP, which also makes the turbo-budget recharge linear and
+//     therefore closed-form;
+//   - outside the performance bias, the energy-efficient-turbo engaged
+//     count is identical at the first and last quantum start (the count
+//     is monotone between Applies, so equal endpoints pin every
+//     intermediate quantum);
+//   - automatic UFS sits at its decay fixed point under this activity:
+//     ufsNext must reproduce the current fractional state bit-for-bit,
+//     otherwise per-quantum observe calls would drift it.
+//
+// Under these guards StateEpoch cannot move during the stretch, the
+// effective configurations and power draw are constant, and firmware
+// observe is a no-op — so the only difference from n Step calls is the
+// float-sum regrouping, which the digest re-lock documents (DESIGN.md
+// §16).
+//
+//ecllint:hotpath runs once per fast-forwarded stretch
+func (m *Machine) StepStretch(n int, q time.Duration, acts []SocketActivity) int {
+	if n < 2 || q <= 0 {
+		return 0
+	}
+	if len(acts) != m.topo.Sockets {
+		//ecllint:allow hotpath cold panic path guarding a wiring bug, never taken in steady state
+		panic(fmt.Sprintf("hw: StepStretch got %d activities for %d sockets", len(acts), m.topo.Sockets))
+	}
+	dt := time.Duration(n) * q
+	end := m.now + dt
+	for s := range m.pending {
+		if p := m.pending[s]; p.valid && p.at < end {
+			return 0
+		}
+	}
+	for s := range m.throttle {
+		if m.throttle[s] != 1 {
+			return 0
+		}
+	}
+	if m.fw.epb != EPBPerformance {
+		lastTop := end - q
+		for s := 0; s < m.topo.Sockets; s++ {
+			if m.fw.eetEngaged(s, m.now) != m.fw.eetEngaged(s, lastTop) {
+				return 0
+			}
+		}
+	}
+	if m.fw.autoUFS {
+		for s := 0; s < m.topo.Sockets; s++ {
+			busy := avgBusy(acts[s].Busy, m.topo.ThreadsPerSocket())
+			if ufsNext(m.fw.ufsMHz[s], busy, q) != m.fw.ufsMHz[s] {
+				return 0
+			}
+		}
+	}
+	halted := m.UncoreHalted()
+	tdp := m.pp.TDPWatts
+	for s := 0; s < m.topo.Sockets; s++ {
+		eff := m.effectiveCached(s)
+		bwCap := BandwidthCapGBs(eff.UncoreMHz)
+		pkgW, dramW := m.pp.SocketPowerW(m.topo, s, *eff, acts[s], halted, bwCap)
+		if tdp > 0 && pkgW > tdp {
+			return 0
+		}
+		m.stretchPkgW[s], m.stretchDramW[s] = pkgW, dramW
+	}
+
+	// All guards passed: commit the whole stretch.
+	secs := dt.Seconds()
+	if halted {
+		m.deepSleepSec += secs
+	}
+	var totalW units.Watt
+	for s := 0; s < m.topo.Sockets; s++ {
+		eff := m.effectiveCached(s)
+		if eff.ActiveThreads() > 0 {
+			m.activeSec[s] += secs
+		} else if !halted {
+			m.idleSec[s] += secs
+		}
+		pkgW, dramW := m.stretchPkgW[s], m.stretchDramW[s]
+		if tdp > 0 {
+			// pkgW <= tdp on every quantum, so limitPower's recharge is
+			// linear in time and sums to one term over the stretch.
+			m.turboBudget[s] = m.pp.TurboBudgetJ.Min(m.turboBudget[s] + (tdp - pkgW).Over(dt).Scale(0.5))
+		}
+		m.lastPkgW[s], m.lastDramW[s] = pkgW, dramW
+		m.pkg[s].integrateStretch(m.now, dt, pkgW, m.boundarySalt(s, DomainPackage), m.linearBoundaryScan)
+		m.dram[s].integrateStretch(m.now, dt, dramW, m.boundarySalt(s, DomainDRAM), m.linearBoundaryScan)
+		totalW += pkgW + dramW
+		for lt, instr := range acts[s].Instr {
+			m.instr[m.topo.GlobalThread(s, lt)] += instr * float64(n)
+		}
+	}
+	m.lastPSUW = m.pp.PSUPowerW(totalW)
+	m.psuJ += m.lastPSUW.Over(dt)
+	m.now = end
+	return n
+}
+
+// SetBoundaryScanLinear is a verification hook: with it on, StepStretch
+// locates the last RAPL refresh boundary of a stretch by walking indices
+// one at a time instead of computing the index directly from the refresh
+// period. Both scans must produce bit-identical machines — the step-path
+// identity matrix proves it — so the direct computation is never trusted
+// on its own.
+func (m *Machine) SetBoundaryScanLinear(on bool) { m.linearBoundaryScan = on }
+
 // integrate accounts one constant-state segment of length seg; fullStep is
 // the Step length used to prorate the per-step activity totals.
 func (m *Machine) integrate(seg, fullStep time.Duration, acts []SocketActivity) {
@@ -507,9 +641,26 @@ func (m *Machine) counter(socket int, d Domain) *raplCounter {
 func (m *Machine) PSUEnergy() units.Joule { return m.psuJ }
 
 // LastPower returns the true power of the most recent step: per-socket
-// package and DRAM watts, and the PSU-level total.
+// package and DRAM watts, and the PSU-level total. It allocates two
+// slices per call; the per-sample trace path uses LastPowerInto instead.
 func (m *Machine) LastPower() (pkgW, dramW []units.Watt, psuW units.Watt) {
 	return append([]units.Watt(nil), m.lastPkgW...), append([]units.Watt(nil), m.lastDramW...), m.lastPSUW
+}
+
+// LastPowerInto copies the true power of the most recent step into the
+// caller's slices — each must hold one element per socket — and returns
+// the PSU-level total. Allocation-free counterpart of LastPower for the
+// per-sample hot path.
+//
+//ecllint:hotpath runs on every trace sample
+func (m *Machine) LastPowerInto(pkgW, dramW []units.Watt) units.Watt {
+	if len(pkgW) != m.topo.Sockets || len(dramW) != m.topo.Sockets {
+		//ecllint:allow hotpath cold panic path guarding a wiring bug, never taken in steady state
+		panic(fmt.Sprintf("hw: LastPowerInto got %d/%d slots for %d sockets", len(pkgW), len(dramW), m.topo.Sockets))
+	}
+	copy(pkgW, m.lastPkgW)
+	copy(dramW, m.lastDramW)
+	return m.lastPSUW
 }
 
 // Residency returns the C-state residency of a socket: seconds with at
@@ -586,6 +737,53 @@ func (r *raplCounter) integrate(t0, seg time.Duration, powerW units.Watt, salt u
 		r.nextIdx++
 	}
 	r.trueJ += powerW.Over(seg)
+}
+
+// integrateStretch adds powerW over a window of length dt starting at t0
+// in one closed step: trueJ gains a single powerW·dt term (where n
+// per-quantum integrate calls would each add powerW·q — the float
+// regrouping the digest re-lock covers), and the snapshot state jumps
+// straight to the last refresh boundary inside the window. With
+// linearScan the boundary index is found by walking forward one boundary
+// at a time (the reference the direct computation is verified against);
+// both produce bit-identical counters because only the last boundary's
+// snapshot survives a window either way.
+func (r *raplCounter) integrateStretch(t0, dt time.Duration, powerW units.Watt, salt uint64, linearScan bool) {
+	end := t0 + dt
+	last := r.nextIdx - 1
+	if linearScan {
+		for boundaryTime(last+1, salt) <= end {
+			last++
+		}
+	} else {
+		if k := lastBoundaryAtOrBefore(end, salt); k > last {
+			last = k
+		}
+	}
+	if last >= r.nextIdx {
+		if b := boundaryTime(last, salt); b > t0 {
+			r.snapJ = r.trueJ + powerW.Over(b-t0)
+		} else {
+			r.snapJ = r.trueJ
+		}
+		r.nextIdx = last + 1
+	}
+	r.trueJ += powerW.Over(dt)
+}
+
+// lastBoundaryAtOrBefore returns the largest boundary index k with
+// boundaryTime(k, salt) <= end, computed directly from the refresh
+// period instead of walking indices. Starting two periods past end/period
+// guarantees an over-estimate (jitter magnitude is below one period), and
+// strict monotonicity of the boundary sequence — consecutive instants are
+// at least (1−2·raplJitterFrac) of a period apart — makes the short
+// downward walk land on the unique answer.
+func lastBoundaryAtOrBefore(end time.Duration, salt uint64) int64 {
+	k := int64(end/raplUpdatePeriod) + 2
+	for k >= 0 && boundaryTime(k, salt) > end {
+		k--
+	}
+	return k
 }
 
 // boundaryTime returns the k-th jittered refresh instant.

@@ -1,0 +1,383 @@
+// Package relock implements the numeric-aware semantic differ behind
+// scripts/relock.sh and cmd/semdiff. A digest re-lock (DESIGN.md §16)
+// regenerates every figure and table under the old and the new float
+// grouping and must prove that nothing changed *semantically*: every
+// non-numeric byte and every integer-rendered observable is identical,
+// and every float-rendered value agrees within a tight relative epsilon
+// (or one unit in its last printed decimal place, for tables that round).
+//
+// The differ is layout-driven, not format-driven: it tokenizes each line
+// into numeric and non-numeric tokens and applies the comparison rule
+// per token. That one rule covers rendered tables, trace CSVs, JSONL
+// event streams, and Prometheus expositions alike — integer fields
+// (timestamps, counts, socket ids) stay bit-exact automatically because
+// they render without a decimal point, while energies and powers get the
+// epsilon.
+package relock
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Options tunes the comparison.
+type Options struct {
+	// RelEps is the maximum relative difference tolerated between two
+	// float-form tokens. Zero means the default 1e-9.
+	RelEps float64
+	// AbsFloor tolerates absolute differences below it regardless of
+	// relative size (guards tiny values whose relative error is
+	// meaningless). Zero means the default 1e-12.
+	AbsFloor float64
+}
+
+func (o Options) relEps() float64 {
+	if o.RelEps > 0 {
+		return o.RelEps
+	}
+	return 1e-9
+}
+
+func (o Options) absFloor() float64 {
+	if o.AbsFloor > 0 {
+		return o.AbsFloor
+	}
+	return 1e-12
+}
+
+// FileReport is the outcome of comparing one file pair.
+type FileReport struct {
+	Path      string // relative path within the compared trees
+	OldSHA256 string
+	NewSHA256 string
+	Identical bool    // byte-identical files
+	Floats    int     // float-form tokens compared
+	MaxRel    float64 // largest relative difference among accepted floats
+	Err       string  // first semantic mismatch, empty when the pair agrees
+}
+
+// OK reports whether the pair agrees semantically.
+func (r FileReport) OK() bool { return r.Err == "" }
+
+// CompareFiles compares two files token by token. The returned report's
+// Err field is empty when they agree semantically.
+func CompareFiles(oldPath, newPath string, opts Options) (FileReport, error) {
+	ob, err := os.ReadFile(oldPath)
+	if err != nil {
+		return FileReport{}, err
+	}
+	nb, err := os.ReadFile(newPath)
+	if err != nil {
+		return FileReport{}, err
+	}
+	r := compareBytes(ob, nb, opts)
+	r.Path = filepath.Base(oldPath)
+	return r, nil
+}
+
+func compareBytes(ob, nb []byte, opts Options) FileReport {
+	r := FileReport{
+		OldSHA256: fmt.Sprintf("%x", sha256.Sum256(ob)),
+		NewSHA256: fmt.Sprintf("%x", sha256.Sum256(nb)),
+	}
+	if r.OldSHA256 == r.NewSHA256 {
+		r.Identical = true
+		return r
+	}
+	os1 := bufio.NewScanner(strings.NewReader(string(ob)))
+	ns1 := bufio.NewScanner(strings.NewReader(string(nb)))
+	os1.Buffer(nil, 1<<24)
+	ns1.Buffer(nil, 1<<24)
+	line := 0
+	for {
+		oOK, nOK := os1.Scan(), ns1.Scan()
+		line++
+		if oOK != nOK {
+			r.Err = fmt.Sprintf("line %d: files have different line counts", line)
+			return r
+		}
+		if !oOK {
+			return r
+		}
+		if err := compareLine(os1.Text(), ns1.Text(), opts, &r); err != "" {
+			r.Err = fmt.Sprintf("line %d: %s", line, err)
+			return r
+		}
+	}
+}
+
+// compareLine tokenizes both lines and applies the per-token rule,
+// accumulating float statistics into r. It returns a description of the
+// first mismatch, or "".
+func compareLine(o, n string, opts Options, r *FileReport) string {
+	ot := tokenize(o)
+	nt := tokenize(n)
+	if len(ot) != len(nt) {
+		return fmt.Sprintf("token count differs (%d vs %d): %q vs %q", len(ot), len(nt), o, n)
+	}
+	for i := range ot {
+		a, b := ot[i], nt[i]
+		if a.numeric != b.numeric {
+			return fmt.Sprintf("token %d: %q vs %q (numeric shape differs)", i, a.text, b.text)
+		}
+		if !a.numeric || isIntForm(a.text) || isIntForm(b.text) {
+			// Non-numeric text and integer-rendered observables
+			// (timestamps, counts, ids) must match byte for byte.
+			if a.text != b.text {
+				return fmt.Sprintf("token %d: %q vs %q (exact-match token differs)", i, a.text, b.text)
+			}
+			continue
+		}
+		av, errA := strconv.ParseFloat(a.text, 64)
+		bv, errB := strconv.ParseFloat(b.text, 64)
+		if errA != nil || errB != nil {
+			if a.text != b.text {
+				return fmt.Sprintf("token %d: %q vs %q (unparseable numeric differs)", i, a.text, b.text)
+			}
+			continue
+		}
+		r.Floats++
+		rel, ok := floatsAgree(av, bv, a.text, b.text, opts)
+		if !ok {
+			return fmt.Sprintf("token %d: %q vs %q (rel delta %.3g exceeds eps %.3g)",
+				i, a.text, b.text, rel, opts.relEps())
+		}
+		if rel > r.MaxRel {
+			r.MaxRel = rel
+		}
+	}
+	return ""
+}
+
+// floatsAgree applies the float rule: equal, below the absolute floor,
+// within the relative epsilon, or within one unit in the last printed
+// decimal place (rendered tables round, so a regrouped sum may flip the
+// final digit while agreeing to far more precision internally).
+func floatsAgree(a, b float64, at, bt string, opts Options) (rel float64, ok bool) {
+	if a == b {
+		return 0, true
+	}
+	diff := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	rel = diff / m
+	if diff <= opts.absFloor() || rel <= opts.relEps() {
+		return rel, true
+	}
+	unit := math.Max(lastPlaceUnit(at), lastPlaceUnit(bt))
+	if unit > 0 && diff <= unit*(1+1e-9) {
+		return rel, true
+	}
+	return rel, false
+}
+
+// lastPlaceUnit returns the magnitude of one unit in the token's last
+// printed decimal place: 0.01 for "97.53", 1 for "97", 10 for "9.7e1"
+// style is approximated via the exponent. Returns 0 when the token has
+// no recognizable place value.
+func lastPlaceUnit(t string) float64 {
+	mant := t
+	exp := 0
+	if i := strings.IndexAny(t, "eE"); i >= 0 {
+		e, err := strconv.Atoi(t[i+1:])
+		if err != nil {
+			return 0
+		}
+		exp = e
+		mant = t[:i]
+	}
+	places := 0
+	if i := strings.IndexByte(mant, '.'); i >= 0 {
+		places = len(mant) - i - 1
+	}
+	return math.Pow(10, float64(exp-places))
+}
+
+// isIntForm reports whether a numeric token is integer-rendered: no
+// decimal point, no exponent.
+func isIntForm(t string) bool {
+	return !strings.ContainsAny(t, ".eE")
+}
+
+// token is one tokenizer output: a numeric candidate or a stretch of
+// surrounding text.
+type token struct {
+	text    string
+	numeric bool
+}
+
+// tokenize splits a line into numeric and non-numeric tokens. A numeric
+// token is an optional sign (only after a non-alphanumeric boundary),
+// digits with an optional fraction and exponent. Words containing digits
+// (identifiers like "socket0" or hex digests) stay non-numeric because
+// the digit run is flagged numeric only when it stands free of letters.
+func tokenize(s string) []token {
+	var out []token
+	i := 0
+	flushFrom := 0
+	for i < len(s) {
+		start := i
+		if c := s[i]; c == '+' || c == '-' {
+			if i+1 < len(s) && isDigit(s[i+1]) && !boundedByWord(s, start) {
+				i++
+			} else {
+				i++
+				continue
+			}
+		}
+		if i < len(s) && isDigit(s[i]) && !boundedByWord(s, start) {
+			j := i
+			for j < len(s) && isDigit(s[j]) {
+				j++
+			}
+			if j < len(s) && s[j] == '.' && j+1 < len(s) && isDigit(s[j+1]) {
+				j++
+				for j < len(s) && isDigit(s[j]) {
+					j++
+				}
+			}
+			if j < len(s) && (s[j] == 'e' || s[j] == 'E') {
+				k := j + 1
+				if k < len(s) && (s[k] == '+' || s[k] == '-') {
+					k++
+				}
+				if k < len(s) && isDigit(s[k]) {
+					for k < len(s) && isDigit(s[k]) {
+						k++
+					}
+					j = k
+				}
+			}
+			// A trailing word character makes this an identifier
+			// fragment ("100ms", "1e3x"), not a free-standing number —
+			// except the unit suffixes duration rendering glues on,
+			// which stay part of the non-numeric text while the digits
+			// still compare exactly (integer-form rule).
+			if j < len(s) && isWordChar(s[j]) {
+				i = j
+				continue
+			}
+			if flushFrom < start {
+				out = append(out, token{text: s[flushFrom:start]})
+			}
+			out = append(out, token{text: s[start:j], numeric: true})
+			i = j
+			flushFrom = i
+			continue
+		}
+		i++
+	}
+	if flushFrom < len(s) {
+		out = append(out, token{text: s[flushFrom:]})
+	}
+	return out
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// boundedByWord reports whether position i directly follows a word
+// character (letter or underscore), which marks the digits as part of an
+// identifier rather than a free-standing number.
+func boundedByWord(s string, i int) bool {
+	return i > 0 && isWordChar(s[i-1])
+}
+
+// CompareTrees walks two directory trees that must contain the same
+// relative file set and compares each pair. It returns one report per
+// file, sorted by path, plus an error for structural problems (missing
+// or extra files, unreadable directories).
+func CompareTrees(oldDir, newDir string, opts Options) ([]FileReport, error) {
+	oldSet, err := fileSet(oldDir)
+	if err != nil {
+		return nil, err
+	}
+	newSet, err := fileSet(newDir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for p := range oldSet {
+		if !newSet[p] {
+			return nil, fmt.Errorf("relock: %s exists under %s but not %s", p, oldDir, newDir)
+		}
+		paths = append(paths, p)
+	}
+	for p := range newSet {
+		if !oldSet[p] {
+			return nil, fmt.Errorf("relock: %s exists under %s but not %s", p, newDir, oldDir)
+		}
+	}
+	sort.Strings(paths)
+	reports := make([]FileReport, 0, len(paths))
+	for _, p := range paths {
+		r, err := CompareFiles(filepath.Join(oldDir, p), filepath.Join(newDir, p), opts)
+		if err != nil {
+			return nil, err
+		}
+		r.Path = p
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+func fileSet(dir string) (map[string]bool, error) {
+	set := make(map[string]bool)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		set[rel] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// Render writes the comparison as the re-lock digest table: one row per
+// file with both digests, the float statistics, and the verdict.
+func Render(w io.Writer, reports []FileReport) {
+	fmt.Fprintf(w, "%-32s  %-10s  %-10s  %7s  %9s  %s\n",
+		"file", "old", "new", "floats", "max rel", "verdict")
+	for _, r := range reports {
+		verdict := "ok"
+		switch {
+		case !r.OK():
+			verdict = "MISMATCH: " + r.Err
+		case r.Identical:
+			verdict = "identical"
+		}
+		fmt.Fprintf(w, "%-32s  %-10s  %-10s  %7d  %9.2e  %s\n",
+			r.Path, r.OldSHA256[:10], r.NewSHA256[:10], r.Floats, r.MaxRel, verdict)
+	}
+}
+
+// AllOK reports whether every file pair agrees.
+func AllOK(reports []FileReport) bool {
+	for _, r := range reports {
+		if !r.OK() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package relock
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func compareStrings(t *testing.T, a, b string, opts Options) FileReport {
+	t.Helper()
+	return compareBytes([]byte(a), []byte(b), opts)
+}
+
+func TestIdenticalFilesAreIdentical(t *testing.T) {
+	r := compareStrings(t, "energy 123.456 J\n", "energy 123.456 J\n", Options{})
+	if !r.Identical || !r.OK() {
+		t.Fatalf("identical bytes not reported identical: %+v", r)
+	}
+}
+
+func TestFloatWithinEpsilonAgrees(t *testing.T) {
+	r := compareStrings(t,
+		"ecl energy 35123.456789012 J psu 40333.123456789 J\n",
+		"ecl energy 35123.456789019 J psu 40333.123456780 J\n", Options{})
+	if !r.OK() {
+		t.Fatalf("within-eps floats rejected: %s", r.Err)
+	}
+	if r.Identical {
+		t.Fatal("different bytes reported identical")
+	}
+	if r.Floats != 2 {
+		t.Fatalf("expected 2 float tokens, compared %d", r.Floats)
+	}
+	if r.MaxRel == 0 {
+		t.Fatal("max rel delta not recorded")
+	}
+}
+
+func TestFloatBeyondEpsilonFails(t *testing.T) {
+	r := compareStrings(t, "energy 100.000000 J\n", "energy 100.100000 J\n", Options{})
+	if r.OK() {
+		t.Fatal("0.1% drift accepted by a 1e-9 epsilon")
+	}
+}
+
+func TestLastPlaceUnitToleratesTableRounding(t *testing.T) {
+	// Rendered tables round; a regrouped sum may flip the last printed
+	// digit (97.5 vs 97.6) while agreeing internally to 1e-12.
+	r := compareStrings(t, "savings 35.1%\n", "savings 35.2%\n", Options{})
+	if !r.OK() {
+		t.Fatalf("one-unit-in-last-place rejected: %s", r.Err)
+	}
+	// Two units in the last place is a real disagreement.
+	r = compareStrings(t, "savings 35.1%\n", "savings 35.3%\n", Options{})
+	if r.OK() {
+		t.Fatal("two units in the last place accepted")
+	}
+}
+
+func TestIntegerTokensMustBeExact(t *testing.T) {
+	r := compareStrings(t, "completed 123456 queries\n", "completed 123457 queries\n", Options{})
+	if r.OK() {
+		t.Fatal("integer observable drift accepted")
+	}
+	// Integer-form timestamps inside JSONL lines too.
+	r = compareStrings(t,
+		`{"t_ns":1000000,"type":"apply","socket":0,"a":1.5}`+"\n",
+		`{"t_ns":1000001,"type":"apply","socket":0,"a":1.5}`+"\n", Options{})
+	if r.OK() {
+		t.Fatal("t_ns drift accepted")
+	}
+}
+
+func TestJSONLFloatFieldGetsEpsilon(t *testing.T) {
+	r := compareStrings(t,
+		`{"t_ns":1000000,"powerW":97.50000000001}`+"\n",
+		`{"t_ns":1000000,"powerW":97.50000000002}`+"\n", Options{})
+	if !r.OK() {
+		t.Fatalf("within-eps JSONL float rejected: %s", r.Err)
+	}
+}
+
+func TestNonNumericDriftFails(t *testing.T) {
+	r := compareStrings(t, "most applied 28t@{14x2100}\n", "most applied 28t@{14x1900}\n", Options{})
+	if r.OK() {
+		t.Fatal("configuration-name drift accepted")
+	}
+}
+
+func TestStructuralDriftFails(t *testing.T) {
+	if r := compareStrings(t, "a 1 b\n", "a 1 b extra 2\n", Options{}); r.OK() {
+		t.Fatal("token-count drift accepted")
+	}
+	if r := compareStrings(t, "a 1\n", "a 1\nmore\n", Options{}); r.OK() {
+		t.Fatal("line-count drift accepted")
+	}
+}
+
+func TestIdentifiersWithDigitsCompareExactly(t *testing.T) {
+	// Hex digests, duration suffixes, config keys: digit runs glued to
+	// letters are identifier fragments, not floats.
+	r := compareStrings(t, "digest b524238adf latency 12.5ms\n", "digest b524238adf latency 12.5ms\n", Options{})
+	if !r.OK() || !r.Identical {
+		t.Fatalf("identical identifier line rejected: %+v", r)
+	}
+	r = compareStrings(t, "latency 100ms\n", "latency 101ms\n", Options{})
+	if r.OK() {
+		t.Fatal("duration drift accepted (durations are integer-exact)")
+	}
+}
+
+func TestScientificNotation(t *testing.T) {
+	r := compareStrings(t, "v 1.234567890123e+08\n", "v 1.234567890124e+08\n", Options{})
+	if !r.OK() {
+		t.Fatalf("within-eps scientific float rejected: %s", r.Err)
+	}
+	r = compareStrings(t, "v 1.23e+08\n", "v 1.26e+08\n", Options{})
+	if r.OK() {
+		t.Fatal("3-units-last-place scientific drift accepted")
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	r := compareStrings(t, "delta -0.5000000000001\n", "delta -0.5000000000002\n", Options{})
+	if !r.OK() {
+		t.Fatalf("within-eps negative float rejected: %s", r.Err)
+	}
+}
+
+func TestCompareTrees(t *testing.T) {
+	old := t.TempDir()
+	new := t.TempDir()
+	write := func(dir, name, content string) {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(old, "fig13.txt", "ecl 35123.4567890123 J\n")
+	write(new, "fig13.txt", "ecl 35123.4567890124 J\n")
+	write(old, "sub/events.jsonl", `{"t_ns":5,"w":1.5}`+"\n")
+	write(new, "sub/events.jsonl", `{"t_ns":5,"w":1.5}`+"\n")
+
+	reports, err := CompareTrees(old, new, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("expected 2 reports, got %d", len(reports))
+	}
+	if !AllOK(reports) {
+		t.Fatalf("agreeing trees rejected: %+v", reports)
+	}
+	var sb strings.Builder
+	Render(&sb, reports)
+	if !strings.Contains(sb.String(), "fig13.txt") {
+		t.Fatalf("render missing file row:\n%s", sb.String())
+	}
+
+	// Structural: a file missing on one side is an error, not a report.
+	write(old, "extra.txt", "x\n")
+	if _, err := CompareTrees(old, new, Options{}); err == nil {
+		t.Fatal("missing file pair not reported")
+	}
+}

@@ -28,7 +28,7 @@ func runDigest(t *testing.T, seed int64) [sha256.Size]byte {
 	t.Helper()
 	ob := obs.New(0)
 	ob.Trace = trace.New(3)
-	sum, _ := digestRun(t, Options{
+	sum, _, _ := digestRun(t, Options{
 		Workload: workload.NewKV(false),
 		Load:     loadprofile.Constant{Qps: 6000, Len: 15 * time.Second},
 		Governor: GovernorECL,
@@ -40,9 +40,10 @@ func runDigest(t *testing.T, seed int64) [sha256.Size]byte {
 }
 
 // digestRun builds and runs a simulation from opts and hashes every
-// exported observable (see runDigest). It returns the Sim too so callers
-// can inspect internals (e.g. macro-step counters) after the run.
-func digestRun(t *testing.T, opts Options) ([sha256.Size]byte, *Sim) {
+// exported observable (see runDigest). It returns the Sim and Result too
+// so callers can inspect internals (e.g. macro-step counters) and compare
+// observables across float groupings after the run.
+func digestRun(t *testing.T, opts Options) ([sha256.Size]byte, *Sim, *Result) {
 	t.Helper()
 	s, err := New(opts)
 	if err != nil {
@@ -112,7 +113,7 @@ func digestRun(t *testing.T, opts Options) ([sha256.Size]byte, *Sim) {
 
 	var sum [sha256.Size]byte
 	h.Sum(sum[:0])
-	return sum, s
+	return sum, s, res
 }
 
 func writeF64(h hash.Hash, v float64) {

@@ -300,6 +300,27 @@ func (s *Sim) stretchStep(k int) int {
 	}
 	done := 0
 	for done < k {
+		// Closed-form fast path: integrate the rest of the stretch in one
+		// StepStretch call when its guards prove the whole span is
+		// constant-state (no settle, below TDP, EET stable, UFS at its
+		// decay fixed point). A guard bail grinds exactly one per-quantum
+		// iteration — with the reference grouping and the per-quantum
+		// epoch check — and retries, so drift resolves at quantum
+		// granularity and batching re-engages the moment state stabilizes.
+		if !s.opts.NoBatch {
+			now := s.clock.Now()
+			if n := s.machine.StepStretch(k-done, q, s.stretchActs); n > 0 {
+				s.engine.IdleStretch(now+q, q, n, s.stretchEligible, s.stretchActive)
+				s.advanceQuanta(n)
+				done += n
+				s.batchWindows++
+				s.batchQuanta += int64(n)
+				// StepStretch's guards prove no machine epoch moved, and
+				// IdleStretch cannot move the characteristics epoch, so
+				// the kernels are still fresh.
+				continue
+			}
+		}
 		now := s.clock.Now()
 		s.engine.IdleQuantum(now+q, q, s.stretchEligible, s.stretchActive)
 		s.machine.Step(q, s.stretchActs)

@@ -99,6 +99,23 @@ type Options struct {
 	// Byte-identical results; kept as the reference path the event
 	// scheduler is proved against.
 	NoEvents bool
+	// NoBatch disables closed-form power integration over constant-state
+	// stretches (hw.Machine.StepStretch): the machine integrates quantum
+	// by quantum with the reference float grouping. Unlike the other
+	// No* reference paths this one is NOT byte-identical to the default —
+	// batching regroups float sums (P·(n·q) instead of n per-quantum
+	// terms), which is why the digests were re-locked (DESIGN.md §16).
+	// All integer-exact observables remain bit-identical and energies
+	// agree within a tight relative epsilon; scripts/relock.sh proves it
+	// with the semantic differ (cmd/semdiff).
+	NoBatch bool
+	// BatchLinearScan is a verification hook for the batched path: the
+	// closed-form stretch integrator locates RAPL refresh boundaries by
+	// walking indices one at a time instead of computing the last index
+	// directly from the refresh period. Results are bit-identical to the
+	// direct computation (the step-path identity matrix proves it), so
+	// the direct index math is never trusted on its own.
+	BatchLinearScan bool
 	// Hook, when non-nil, observes the run from outside the determinism
 	// fence (see StepHook). The hook is invoked with the virtual clock's
 	// position only — it must treat every reachable structure as
@@ -129,17 +146,30 @@ type StepHook interface {
 	OnDone(now time.Duration)
 }
 
-// naiveDefault forces NoMemo+NoMacro+NoEvents on every new Sim; set once
-// at process start by the eclsim -nomemo flag (before any runs) so even
-// multi-run sweeps take the reference path.
+// naiveDefault forces NoMemo+NoMacro+NoEvents+NoBatch on every new Sim;
+// set once at process start by the eclsim -nomemo flag (before any runs)
+// so even multi-run sweeps take the reference path.
 var naiveDefault bool
 
+// batchOffDefault forces only NoBatch on every new Sim; set once at
+// process start by the eclsim -nobatch flag so the re-lock harness can
+// regenerate artifacts under the reference float grouping while keeping
+// every other fast path on.
+var batchOffDefault bool
+
 // SetNaiveStep switches the process-wide default step path to the naive
-// reference implementation (the kernel cache, macro-stepping, and the
-// event-driven run loop all off). Call it before building any Sim; it
-// exists for the CLI's -nomemo flag and must not be toggled while runs
-// are in progress.
+// reference implementation (the kernel cache, macro-stepping, the
+// event-driven run loop, and closed-form batching all off). Call it
+// before building any Sim; it exists for the CLI's -nomemo flag and must
+// not be toggled while runs are in progress.
 func SetNaiveStep(on bool) { naiveDefault = on }
+
+// SetBatchOff switches the process-wide default to per-quantum power
+// integration (Options.NoBatch) without touching the other fast paths.
+// Call it before building any Sim; it exists for the CLI's -nobatch flag
+// (the re-lock harness's reference grouping) and must not be toggled
+// while runs are in progress.
+func SetBatchOff(on bool) { batchOffDefault = on }
 
 // Result is the outcome of a run.
 type Result struct {
@@ -215,6 +245,16 @@ type Sim struct {
 	macroWindows int64
 	macroQuanta  int64
 
+	// Closed-form batch accounting (test introspection): stretches the
+	// machine integrated in one StepStretch call, and the quanta they
+	// covered.
+	batchWindows int64
+	batchQuanta  int64
+
+	// Reused per-sample power buffers (Machine.LastPowerInto).
+	bufPkgW  []units.Watt
+	bufDramW []units.Watt
+
 	// Discrete-event run loop state: the event queue, the active-stretch
 	// buffers (constant per-quantum activity, per-socket eligible worker
 	// and active worker counts), and stretch accounting (test
@@ -259,7 +299,10 @@ func New(opts Options) (*Sim, error) {
 		opts.SampleEvery = 500 * time.Millisecond
 	}
 	if naiveDefault {
-		opts.NoMemo, opts.NoMacro, opts.NoEvents = true, true, true
+		opts.NoMemo, opts.NoMacro, opts.NoEvents, opts.NoBatch = true, true, true, true
+	}
+	if batchOffDefault {
+		opts.NoBatch = true
 	}
 	pp := hw.DefaultPowerParams()
 	if opts.Power != nil {
@@ -274,6 +317,9 @@ func New(opts Options) (*Sim, error) {
 		rec:        trace.NewRecorder(),
 		configTime: make(map[string]time.Duration),
 		configName: make(map[string]string),
+	}
+	if opts.BatchLinearScan {
+		s.machine.SetBoundaryScanLinear(true)
 	}
 	eng, err := dodb.New(dodb.Config{
 		Topo:          topo,
@@ -842,24 +888,61 @@ func (s *Sim) socketIdle(sock int) bool {
 
 // macroStep advances machine and clock through k quanta of machine-wide
 // idle with zero activity, skipping the per-quantum sim work (load offer,
-// engine step, kernel evaluation) that is a no-op in this state. The
-// machine still integrates quantum by quantum — energy accumulators are
-// floating-point sums whose grouping must not change — so the results are
-// bit-identical to the per-quantum loop, just without its overhead.
+// engine step, kernel evaluation) that is a no-op in this state. By
+// default the machine integrates the whole window in closed form
+// (hw.Machine.StepStretch, one P·(n·q) term per domain per socket); when
+// a stretch guard bails — UFS decay still drifting, turbo budget
+// recharging, a pending settle — or under Options.NoBatch, it falls back
+// to per-quantum integration with the reference float grouping, grinding
+// one quantum before retrying the batch so drift resolves at quantum
+// granularity.
 func (s *Sim) macroStep(k int) {
 	if s.idleActs == nil {
 		s.idleActs = newZeroActs(s.topo)
 	}
 	q := s.opts.Quantum
-	for i := 0; i < k; i++ {
+	done := 0
+	for done < k {
+		if !s.opts.NoBatch {
+			if n := s.machine.StepStretch(k-done, q, s.idleActs); n > 0 {
+				s.advanceQuanta(n)
+				done += n
+				s.batchWindows++
+				s.batchQuanta += int64(n)
+				continue
+			}
+		}
 		s.machine.Step(q, s.idleActs)
 		s.clock.Advance(q)
 		if s.opts.Hook != nil {
 			s.opts.Hook.OnQuantum(s.clock.Now())
 		}
+		done++
 	}
 	s.macroWindows++
 	s.macroQuanta += int64(k)
+}
+
+// advanceQuanta advances the virtual clock over n quanta the machine has
+// already integrated in one closed-form stretch. With no hook attached a
+// single Advance covers the whole span: the stretch planners guarantee no
+// task deadline lies strictly inside it, and a deadline coinciding with
+// the span's end fires with the machine and engine in the identical state
+// the per-quantum loop would have left them in. With a hook the clock
+// walks quantum by quantum so OnQuantum observes every boundary, exactly
+// as the per-quantum loop would — nothing the hook can read changes
+// inside a quiescent stretch, so the observed snapshots are identical
+// (the serving-neutrality test covers this path).
+func (s *Sim) advanceQuanta(n int) {
+	q := s.opts.Quantum
+	if s.opts.Hook == nil {
+		s.clock.Advance(time.Duration(n) * q)
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.clock.Advance(q)
+		s.opts.Hook.OnQuantum(s.clock.Now())
+	}
 }
 
 // step advances the whole stack by one quantum.
@@ -1032,11 +1115,14 @@ func (s *Sim) sample(t time.Duration) {
 		raplW = (totalJ - s.lastSampleJ).PerSeconds(window)
 		psuW = (psuJ - s.lastSamplePSUJ).PerSeconds(window)
 	} else {
-		pkg, dram, psu := s.machine.LastPower()
-		for i := range pkg {
-			raplW += pkg[i] + dram[i]
+		if s.bufPkgW == nil {
+			s.bufPkgW = make([]units.Watt, s.topo.Sockets)
+			s.bufDramW = make([]units.Watt, s.topo.Sockets)
 		}
-		psuW = psu
+		psuW = s.machine.LastPowerInto(s.bufPkgW, s.bufDramW)
+		for i := range s.bufPkgW {
+			raplW += s.bufPkgW[i] + s.bufDramW[i]
+		}
 	}
 	s.lastSampleAt, s.lastSampleJ, s.lastSamplePSUJ = now, totalJ, psuJ
 	s.rec.Add("load_qps", t, s.opts.Load.QPS(t))

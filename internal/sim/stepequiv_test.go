@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -40,35 +41,67 @@ func stepEquivOptions(noMemo, noMacro bool) Options {
 
 // TestStepPathsByteIdentical is the identity proof for this package's
 // step-loop optimizations: the epoch-keyed kernel cache (NoMemo toggles
-// it), the quiescent macro-step fast path (NoMacro toggles it), and the
-// discrete-event run loop (NoEvents falls back to the per-quantum walk).
-// Every combination must produce a digest bit-identical to the naive
-// reference — the plain quantum walk with no cache — over the full
-// observable surface: time-series float bits, energy counters, query
-// counters, MostApplied, the rendered trace CSV, the profile skyline, the
-// JSONL event log, the Prometheus exposition, the explain report, and the
-// Perfetto query-trace export. scripts/check.sh runs this under the race
-// detector.
+// it), the quiescent macro-step fast path (NoMacro toggles it), the
+// discrete-event run loop (NoEvents falls back to the per-quantum walk),
+// and the closed-form batch integrator (NoBatch falls back to per-quantum
+// power integration). The digest covers the full observable surface:
+// time-series float bits, energy counters, query counters, MostApplied,
+// the rendered trace CSV, the profile skyline, the JSONL event log, the
+// Prometheus exposition, the explain report, and the Perfetto query-trace
+// export. scripts/check.sh runs this under the race detector.
+//
+// Batching regroups float sums (P·(n·q) instead of n per-quantum terms),
+// so — unlike every other toggle — batch-on runs are NOT byte-identical
+// to the reference. The matrix therefore splits into digest-equality
+// groups:
+//
+//	group 0: every NoBatch combination — bit-identical to the naive
+//	         reference, the PR 8 proof unchanged;
+//	group 1: batch-on combinations whose only batched windows are the
+//	         idle macro windows, which the walk and the event loop
+//	         license identically — mutually bit-identical;
+//	group 2: the production default (event loop, active stretches
+//	         batched too) and its linear-boundary-scan verification twin,
+//	         which must prove the direct RAPL boundary-index computation
+//	         bit-equal to walking the boundaries one at a time.
+//
+// Across groups, every integer-exact observable must still match the
+// reference exactly, and the run energies must agree within a tight
+// relative epsilon — the in-process half of the re-lock argument;
+// scripts/relock.sh extends it to every regenerated artifact.
 func TestStepPathsByteIdentical(t *testing.T) {
 	combos := []struct {
-		name                      string
-		noMemo, noMacro, noEvents bool
+		name                               string
+		noMemo, noMacro, noEvents, noBatch bool
+		linear                             bool
+		group                              int
 	}{
 		// The quantum walk, with and without the step optimizations.
-		{"naive", true, true, true}, // the reference: quantum walk, no cache, no macro
-		{"memo-only", false, true, true},
-		{"macro-only", true, false, true},
-		{"quantum-default", false, false, true},
+		{"naive", true, true, true, true, false, 0}, // the reference: quantum walk, no cache, no macro
+		{"memo-only", false, true, true, true, false, 0},
+		{"macro-only", true, false, true, true, false, 0},
+		{"quantum-nobatch", false, false, true, true, false, 0},
 		// The event scheduler over the same optimization matrix.
-		{"events-naive", true, true, false},
-		{"events-macro", true, false, false},
-		{"events-default", false, false, false},
+		{"events-naive", true, true, false, true, false, 0},
+		{"events-macro", true, false, false, true, false, 0},
+		{"events-nobatch", false, false, false, true, false, 0},
+		// Closed-form batching over idle macro windows only.
+		{"macro-batch", true, false, true, false, false, 1},
+		{"quantum-batch", false, false, true, false, false, 1},
+		{"events-macro-batch", true, false, false, false, false, 1},
+		// The production default: active stretches batch too.
+		{"events-default", false, false, false, false, false, 2},
+		{"events-default-linear", false, false, false, false, true, 2},
 	}
-	var ref [32]byte
-	for i, c := range combos {
+	var groupRef [3][32]byte
+	var groupSeen [3]bool
+	var refRes *Result
+	for _, c := range combos {
 		opts := stepEquivOptions(c.noMemo, c.noMacro)
 		opts.NoEvents = c.noEvents
-		sum, s := digestRun(t, opts)
+		opts.NoBatch = c.noBatch
+		opts.BatchLinearScan = c.linear
+		sum, s, res := digestRun(t, opts)
 		switch {
 		case c.noMacro && s.macroWindows != 0:
 			t.Errorf("%s: macro-stepped %d windows with the fast path disabled", c.name, s.macroWindows)
@@ -87,14 +120,66 @@ func TestStepPathsByteIdentical(t *testing.T) {
 		case !c.noEvents && !c.noMemo && !c.noMacro && s.stretchWindows == 0:
 			t.Errorf("%s: the active stretch never engaged; the comparison is vacuous", c.name)
 		}
-		if i == 0 {
-			ref = sum
-			continue
+		// Batch vacuity: a NoBatch run must never touch StepStretch, and a
+		// batch-on run that never batches proves nothing.
+		switch {
+		case c.noBatch && s.batchQuanta != 0:
+			t.Errorf("%s: batched %d quanta with batching disabled", c.name, s.batchQuanta)
+		case !c.noBatch && s.batchQuanta == 0:
+			t.Errorf("%s: closed-form batching never engaged; the comparison is vacuous", c.name)
 		}
-		if sum != ref {
-			t.Errorf("%s digest diverged from the naive reference:\n  %x\n  %x", c.name, sum, ref)
+		if !groupSeen[c.group] {
+			groupRef[c.group], groupSeen[c.group] = sum, true
+			if c.group == 0 {
+				refRes = res
+			}
+		} else if sum != groupRef[c.group] {
+			t.Errorf("%s digest diverged from its group-%d reference:\n  %x\n  %x", c.name, c.group, sum, groupRef[c.group])
+		}
+		if c.group != 0 && refRes != nil {
+			assertSemanticallyEqual(t, c.name, refRes, res)
 		}
 	}
+}
+
+// assertSemanticallyEqual is the in-process semantic check between the
+// reference float grouping and a batched run: every integer-exact
+// observable matches bit for bit, and the accumulated energies agree
+// within a tight relative epsilon (the regrouped sums differ only by
+// association of exact per-quantum terms).
+func assertSemanticallyEqual(t *testing.T, name string, ref, got *Result) {
+	t.Helper()
+	if got.Completed != ref.Completed || got.Submitted != ref.Submitted ||
+		got.Violations != ref.Violations {
+		t.Errorf("%s: query counters diverged from reference: completed %d/%d submitted %d/%d violations %d/%d",
+			name, got.Completed, ref.Completed, got.Submitted, ref.Submitted, got.Violations, ref.Violations)
+	}
+	if got.AvgLatency != ref.AvgLatency || got.P99Latency != ref.P99Latency {
+		t.Errorf("%s: latency summaries diverged from reference: avg %v/%v p99 %v/%v",
+			name, got.AvgLatency, ref.AvgLatency, got.P99Latency, ref.P99Latency)
+	}
+	if got.MostApplied != ref.MostApplied {
+		t.Errorf("%s: MostApplied diverged from reference: %q vs %q", name, got.MostApplied, ref.MostApplied)
+	}
+	if got.Duration != ref.Duration {
+		t.Errorf("%s: duration diverged from reference: %v vs %v", name, got.Duration, ref.Duration)
+	}
+	const eps = 1e-9
+	if relDelta(got.EnergyJ.Joules(), ref.EnergyJ.Joules()) > eps {
+		t.Errorf("%s: RAPL energy drifted beyond %.0e relative: %v vs %v", name, eps, got.EnergyJ, ref.EnergyJ)
+	}
+	if relDelta(got.PSUEnergyJ.Joules(), ref.PSUEnergyJ.Joules()) > eps {
+		t.Errorf("%s: PSU energy drifted beyond %.0e relative: %v vs %v", name, eps, got.PSUEnergyJ, ref.PSUEnergyJ)
+	}
+}
+
+// relDelta returns |a-b| / max(|a|, |b|), or 0 when both are zero.
+func relDelta(a, b float64) float64 {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / m
 }
 
 // settleAllMax applies the full configuration to every socket and steps

@@ -11,19 +11,23 @@ import "fmt"
 type KVStore struct {
 	keys    *Column
 	values  *Column
-	index   *HashIndex
+	index   *HashIndex32
 	indexed bool
 }
 
-// NewKVStore creates a store. indexed selects the access path.
+// NewKVStore creates a store. indexed selects the access path. The
+// columns get modest headroom beyond capacity: a store preloaded exactly
+// to its capacity hint would otherwise copy every column on the first
+// runtime insert.
 func NewKVStore(capacity int, indexed bool) *KVStore {
+	cols := capacity + capacity/8
 	kv := &KVStore{
-		keys:    NewColumn("key", capacity),
-		values:  NewColumn("value", capacity),
+		keys:    NewColumn("key", cols),
+		values:  NewColumn("value", cols),
 		indexed: indexed,
 	}
 	if indexed {
-		kv.index = NewHashIndex(capacity)
+		kv.index = NewHashIndex32(capacity)
 	}
 	return kv
 }
@@ -46,8 +50,8 @@ func (kv *KVStore) Put(key, value uint32) {
 		// occupy is known before appending (columns append densely), so
 		// the index upsert and the existence check share one walk instead
 		// of Get-then-Put's two.
-		row := uint64(kv.values.Len())
-		if got, inserted := kv.index.GetOrInsert(uint64(key), row); inserted {
+		row := uint32(kv.values.Len())
+		if got, inserted := kv.index.GetOrInsert(key, row); inserted {
 			kv.keys.Append(int64(key))
 			kv.values.Append(int64(value))
 		} else {
@@ -65,10 +69,8 @@ func (kv *KVStore) Put(key, value uint32) {
 }
 
 // PutBatch stores a batch of pairs, equivalent to calling Put for each
-// pair in order. On the indexed path a read-only group lookup primes the
-// probe chains of eight keys at a time, so the cache misses of a bulk
-// load overlap instead of serializing (the subsequent Puts then probe
-// warm lines).
+// pair in order. The indexed path is Put's single-probe upsert unrolled
+// over the batch: one GetOrInsert chain per key, no second walk.
 func (kv *KVStore) PutBatch(keys, values []uint32) {
 	if !kv.indexed {
 		for i := range keys {
@@ -76,30 +78,25 @@ func (kv *KVStore) PutBatch(keys, values []uint32) {
 		}
 		return
 	}
-	const group = 8
-	var k64, rows [group]uint64
-	var hit [group]bool
-	for base := 0; base < len(keys); base += group {
-		n := len(keys) - base
-		if n > group {
-			n = group
-		}
-		for j := 0; j < n; j++ {
-			k64[j] = uint64(keys[base+j])
-		}
-		// Warming pass only: Put re-probes from scratch, so an insert that
-		// extends a later key's chain is still handled correctly.
-		kv.index.MultiGet(k64[:n], rows[:n], hit[:n])
-		for j := 0; j < n; j++ {
-			kv.Put(keys[base+j], values[base+j])
+	// Work on the column slices directly (same package) so the per-row
+	// loop appends without method dispatch; write the headers back once.
+	kd, vd := kv.keys.data, kv.values.data
+	for i := range keys {
+		row := uint32(len(vd))
+		if got, inserted := kv.index.GetOrInsert(keys[i], row); inserted {
+			kd = append(kd, int64(keys[i]))
+			vd = append(vd, int64(values[i]))
+		} else {
+			vd[got] = int64(values[i])
 		}
 	}
+	kv.keys.data, kv.values.data = kd, vd
 }
 
 // Get retrieves the value for a key.
 func (kv *KVStore) Get(key uint32) (uint32, bool) {
 	if kv.indexed {
-		row, ok := kv.index.Get(uint64(key))
+		row, ok := kv.index.Get(key)
 		if !ok {
 			return 0, false
 		}
@@ -116,7 +113,7 @@ func (kv *KVStore) Get(key uint32) (uint32, bool) {
 // multi-get — one request carries many point accesses). vals[i] and
 // found[i] are set exactly as by Get(keys[i]); all slices must have the
 // same length. The indexed path overlaps the hash probes of eight keys
-// at a time via HashIndex.MultiGet.
+// at a time via HashIndex32.MultiGet.
 func (kv *KVStore) MultiGet(keys []uint32, vals []uint32, found []bool) {
 	if !kv.indexed {
 		for i, k := range keys {
@@ -126,17 +123,14 @@ func (kv *KVStore) MultiGet(keys []uint32, vals []uint32, found []bool) {
 		return
 	}
 	const group = 8
-	var k64, rows [group]uint64
+	var rows [group]uint32
 	var hit [group]bool
 	for base := 0; base < len(keys); base += group {
 		n := len(keys) - base
 		if n > group {
 			n = group
 		}
-		for j := 0; j < n; j++ {
-			k64[j] = uint64(keys[base+j])
-		}
-		kv.index.MultiGet(k64[:n], rows[:n], hit[:n])
+		kv.index.MultiGet(keys[base:base+n], rows[:n], hit[:n])
 		for j := 0; j < n; j++ {
 			if hit[j] {
 				vals[base+j], found[base+j] = uint32(kv.values.Get(int(rows[j]))), true

@@ -76,15 +76,22 @@ func (k *KV) NewPartition(partition int, rng *rand.Rand) PartitionState {
 	// execution speed; the *modeled* cost and characteristics encode the
 	// access-path difference at full scale.
 	st := &kvPartition{store: storage.NewKVStore(kvRowsPerPartition, true)}
-	// Draw all pairs first (key before value, the same rng stream as
-	// element-wise Puts), then bulk-load so the index probes overlap.
-	keys := make([]uint32, kvRowsPerPartition)
-	vals := make([]uint32, kvRowsPerPartition)
-	for i := range keys {
-		keys[i] = rng.Uint32()
-		vals[i] = rng.Uint32()
+	// Draw and load in fixed-size chunks: the rng stream is identical to
+	// element-wise Puts (key before value, row by row), and the scratch
+	// buffers stay cache-sized instead of allocating the whole preload.
+	const chunk = 8192
+	var keys, vals [chunk]uint32
+	for base := 0; base < kvRowsPerPartition; base += chunk {
+		n := kvRowsPerPartition - base
+		if n > chunk {
+			n = chunk
+		}
+		for i := 0; i < n; i++ {
+			keys[i] = rng.Uint32()
+			vals[i] = rng.Uint32()
+		}
+		st.store.PutBatch(keys[:n], vals[:n])
 	}
-	st.store.PutBatch(keys, vals)
 	return st
 }
 

@@ -34,6 +34,9 @@ out="BENCH_${date_tag}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+dirty=$(git status --porcelain 2>/dev/null | grep -q . && echo "-dirty" || true)
+
 go test -run=NONE -bench=. -benchtime="$benchtime" -benchmem -short ./... | tee "$raw"
 
 # One JSON object per benchmark line: strip the -<GOMAXPROCS> suffix
@@ -41,7 +44,7 @@ go test -run=NONE -bench=. -benchtime="$benchtime" -benchmem -short ./... | tee 
 # allocs/op columns (the memory columns come from -benchmem; custom
 # ReportMetric columns would shift them, so they are keyed by their unit
 # tokens, not their positions).
-awk -v date="$date_tag" -v goversion="$(go env GOVERSION)" -v benchtime="$benchtime" '
+awk -v date="$date_tag" -v goversion="$(go env GOVERSION)" -v benchtime="$benchtime" -v commit="$commit$dirty" '
 BEGIN { n = 0 }
 $1 ~ /^Benchmark/ && $4 == "ns/op" {
     name = $1
@@ -61,6 +64,7 @@ END {
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"commit\": \"%s\",\n", commit
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) {

@@ -73,6 +73,16 @@ echo "== live serving surface under -race"
 go build -o /dev/null ./cmd/eclserve
 go test -race -count=1 -run 'TestServ' ./internal/serve
 
+echo "== digest re-lock semantic check"
+# The closed-form stretch integration (DESIGN.md §16) changes the
+# grouping of float sums, so energies are not byte-identical to the
+# per-quantum reference. The re-lock harness's fast mode regenerates a
+# figure subset under both groupings and proves that every integer
+# observable is byte-identical and every float agrees within epsilon.
+relock_out=$(mktemp -d)
+./scripts/relock.sh --check "$relock_out"
+rm -rf "$relock_out"
+
 echo "== parallel sweep byte-identity under -race"
 # Not -short: the comparison regenerates a sized-down figure three times
 # (sequential, 2 workers, 4 workers) and diffs tables, JSONL event
