@@ -280,6 +280,25 @@ func BenchmarkTable1RowSingleRun(b *testing.B) { benchTable1Row(b, false) }
 // cached path — only the wall time differs.
 func BenchmarkTable1RowSingleRunNoMemo(b *testing.B) { benchTable1Row(b, true) }
 
+// BenchmarkTable1RowSingleRunAttr is the same cell with the energy
+// attribution meter attached to the ECL run. The pair with the plain
+// variant reads the meter's overhead directly off a BENCH_*.json
+// snapshot; the attribution layer promises <2%.
+func BenchmarkTable1RowSingleRunAttr(b *testing.B) {
+	sequentially(b)
+	if _, err := bench.MeasureCapacity(workload.ByName("kv-indexed"), 21); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table1SingleRowAttr("kv-indexed", "twitter", 30*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Savings*100, "save_%")
+	}
+}
+
 func benchTable1Row(b *testing.B, naive bool) {
 	sequentially(b)
 	if naive {

@@ -15,6 +15,12 @@
 // it never changes simulation state, so a served run is byte-identical
 // to a headless one (the serve package's neutrality test pins this).
 //
+// -eattr (on by default) attaches the energy-attribution meter: the
+// dashboard gains the energy panel (per-query joules, class split,
+// saving versus the frozen always-max baseline) and /metrics gains the
+// ecl_energy_* series. The meter only mirrors values the run already
+// computes, so attaching it never changes simulation results.
+//
 // When the run finishes the process keeps serving the final state —
 // dashboard, metrics, and late /events subscribers all keep working — so
 // the result can be inspected at leisure; interrupt to quit.
@@ -34,6 +40,7 @@ import (
 	"ecldb/internal/hw"
 	"ecldb/internal/loadprofile"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/energyattr"
 	"ecldb/internal/obs/trace"
 	"ecldb/internal/serve"
 	"ecldb/internal/sim"
@@ -57,6 +64,7 @@ func main() {
 	paceFlag := flag.String("pace", "1x", `virtual-to-wall speed ratio: "1x", "2.5x", ... or "max"/"0" for unpaced`)
 	eventsCap := flag.Int("events-cap", 65536, "decision-event ring capacity (0 = unbounded; exact counts are kept either way)")
 	qtraceSample := flag.Int("qtrace-sample", 16, "trace one query span per N admissions (1 = every query, 0 = tracing off)")
+	eattr := flag.Bool("eattr", true, "attach the energy-attribution meter (dashboard energy panel, ecl_energy_* metrics)")
 	flag.Parse()
 
 	pace, err := parsePace(*paceFlag)
@@ -101,6 +109,9 @@ func main() {
 	ob.Log.SetSampling(obs.EvQueryComplete, admitSampling)
 	if *qtraceSample > 0 {
 		ob.Trace = trace.New(*qtraceSample)
+	}
+	if *eattr {
+		ob.Energy = energyattr.New(hw.HaswellEP().Sockets)
 	}
 
 	pub := serve.NewPublisher(ob, pace, 0)

@@ -24,6 +24,17 @@
 // — and prints the per-phase latency breakdown table. They apply to
 // -fig 13, -fig 14, and custom runs (where the ECL governor's pass is
 // the one observed).
+//
+// -eattr attaches the energy-attribution meter and prints its post-run
+// report: the class split of every joule the run integrated (queries,
+// control, idle/residual — shares sum to 100% by construction), the
+// per-query energy quantiles, per-workload-class joules, and the energy
+// saved versus a frozen always-max baseline, with the reconfiguration
+// audit ledger behind it. -eattr-out additionally writes the meter's
+// JSONL export (spans, ledger, class stats) to a file:
+//
+//	eclsim -fig 13 -eattr
+//	eclsim -workload tatp-indexed -load twitter -eattr -eattr-out eattr.jsonl
 package main
 
 import (
@@ -36,8 +47,10 @@ import (
 
 	"ecldb/internal/bench"
 	"ecldb/internal/ecl"
+	"ecldb/internal/hw"
 	"ecldb/internal/loadprofile"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/energyattr"
 	"ecldb/internal/obs/trace"
 	"ecldb/internal/sim"
 	"ecldb/internal/units"
@@ -53,14 +66,18 @@ type obsOut struct {
 	explain      bool
 	qtrace       string
 	qtraceSample int
+	eattr        bool
+	eattrOut     string
 }
 
 func (o obsOut) wanted() bool {
-	return o.events != "" || o.metrics != "" || o.explain || o.qtrace != ""
+	return o.events != "" || o.metrics != "" || o.explain || o.qtrace != "" ||
+		o.eattr || o.eattrOut != ""
 }
 
 // observer creates the observer when any observability output is wanted,
-// with the query tracer attached when -qtrace asks for one.
+// with the query tracer attached when -qtrace asks for one and the
+// energy-attribution meter when -eattr (or -eattr-out) asks for it.
 func (o obsOut) observer() *obs.Observer {
 	if !o.wanted() {
 		return nil
@@ -68,6 +85,9 @@ func (o obsOut) observer() *obs.Observer {
 	ob := obs.New(0)
 	if o.qtrace != "" {
 		ob.Trace = trace.New(o.qtraceSample)
+	}
+	if o.eattr || o.eattrOut != "" {
+		ob.Energy = energyattr.New(hw.HaswellEP().Sockets)
 	}
 	return ob
 }
@@ -125,6 +145,25 @@ func (o obsOut) flush(ob *obs.Observer) error {
 			fmt.Print(ob.Trace.Report())
 		}
 	}
+	if o.eattrOut != "" {
+		f, err := os.Create(o.eattrOut)
+		if err != nil {
+			return err
+		}
+		if err := ob.Energy.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("energy attribution written to %s (%d spans, %d ledger records)\n",
+			o.eattrOut, len(ob.Energy.Spans()), len(ob.Energy.Ledger()))
+	}
+	if o.eattr || o.eattrOut != "" {
+		fmt.Println()
+		fmt.Print(ob.Energy.Report())
+	}
 	if o.explain {
 		fmt.Println()
 		fmt.Print(ob.Explain())
@@ -155,6 +194,8 @@ func main() {
 	flag.BoolVar(&oo.explain, "explain", false, "print the post-run control-plane explain report")
 	flag.StringVar(&oo.qtrace, "qtrace", "", "write sampled query spans as Perfetto trace-event JSON to this file (open at ui.perfetto.dev)")
 	flag.IntVar(&oo.qtraceSample, "qtrace-sample", 16, "trace one query span per N admissions (1 = every query)")
+	flag.BoolVar(&oo.eattr, "eattr", false, "attach the energy-attribution meter and print its post-run breakdown report")
+	flag.StringVar(&oo.eattrOut, "eattr-out", "", "write the energy-attribution export (spans, ledger, class stats) as JSONL to this file; implies -eattr")
 	flag.Parse()
 	bench.SetParallelism(*parallel)
 	sim.SetNaiveStep(*nomemo)
@@ -310,7 +351,7 @@ func customRun(wlName, loadName, traceFile string, level float64, duration time.
 // exercise the ECL with its base interval (-fig 13, -fig 14, custom).
 func warnNoObs(oo obsOut) {
 	if oo.wanted() {
-		fmt.Fprintln(os.Stderr, "eclsim: -events/-metrics/-explain/-qtrace apply to -fig 13, -fig 14, and custom runs only; ignoring")
+		fmt.Fprintln(os.Stderr, "eclsim: -events/-metrics/-explain/-qtrace/-eattr apply to -fig 13, -fig 14, and custom runs only; ignoring")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"ecldb/internal/hw"
 	"ecldb/internal/loadprofile"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/energyattr"
 	"ecldb/internal/perfmodel"
 	"ecldb/internal/sim"
 	"ecldb/internal/trace"
@@ -542,6 +543,19 @@ func Table1Sized(table1Duration time.Duration) (Table1Result, error) {
 // process-wide (MeasureCapacity); benchmarks warm it before timing so
 // the measurement covers only the two simulation runs.
 func Table1SingleRow(workloadName, profile string, d time.Duration) (Table1Row, error) {
+	return table1SingleRow(workloadName, profile, d, false)
+}
+
+// Table1SingleRowAttr is Table1SingleRow with the energy-attribution
+// meter riding on the ECL run: the benchmark variant behind
+// BenchmarkTable1RowSingleRunAttr, so benchdiff tracks the meter's full
+// accrual cost (machine mirror, per-quantum settle, frozen-baseline
+// interpolation, engine weight distribution) against the plain row.
+func Table1SingleRowAttr(workloadName, profile string, d time.Duration) (Table1Row, error) {
+	return table1SingleRow(workloadName, profile, d, true)
+}
+
+func table1SingleRow(workloadName, profile string, d time.Duration, meter bool) (Table1Row, error) {
 	wl := workload.ByName(workloadName)
 	if wl == nil {
 		return Table1Row{}, fmt.Errorf("bench: unknown workload %q", workloadName)
@@ -566,10 +580,17 @@ func Table1SingleRow(workloadName, profile string, d time.Duration) (Table1Row, 
 	if err != nil {
 		return Table1Row{}, err
 	}
-	eclRes, err := sim.Run(sim.Options{
+	eclOpts := sim.Options{
 		Workload: workload.ByName(workloadName), Load: load,
 		Governor: sim.GovernorECL, Prewarm: true, Seed: 21,
-	})
+	}
+	if meter {
+		// Meter only — no event log, no registry. The benchmark pair
+		// isolates the attribution layer's accrual cost; the decision
+		// event log is a separate (and much larger) opt-in expense.
+		eclOpts.Obs = &obs.Observer{Energy: energyattr.New(hw.HaswellEP().Sockets)}
+	}
+	eclRes, err := sim.Run(eclOpts)
 	if err != nil {
 		return Table1Row{}, err
 	}

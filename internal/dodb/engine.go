@@ -21,6 +21,7 @@ import (
 	"ecldb/internal/hw"
 	"ecldb/internal/msg"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/energyattr"
 	qtrace "ecldb/internal/obs/trace"
 	"ecldb/internal/perfmodel"
 	"ecldb/internal/units"
@@ -67,13 +68,22 @@ type query struct {
 	remaining int
 	dropped   bool
 	// Tracing identity (meaningful only when traced is set): the 1-based
-	// admission index, the admitting socket, and the operation count.
+	// admission index, the admitting socket, and the operation count
+	// (ops is always set when energy attribution is on).
 	qid    uint64
 	origin int32
 	ops    int32
 	traced bool
-	prev   *query
-	next   *query
+	// Energy attribution (meaningful only when the meter is attached):
+	// joules attributed so far, completion instant, and whether the
+	// query violated the latency threshold. A completed query is
+	// finalized — observed and recycled — only after the step that
+	// finished it has been attributed (see DistributeEnergy).
+	energyJ  units.Joule
+	done     time.Duration
+	violated bool
+	prev     *query
+	next     *query
 }
 
 // SocketStats is the per-socket outcome of one engine step.
@@ -170,6 +180,29 @@ type Engine struct {
 	asleepNS    []time.Duration
 	stepStart   time.Duration
 	stepEnd     time.Duration
+
+	// Energy attribution (nil meter = disabled; see
+	// internal/obs/energyattr). Per step, the worker loop buffers one
+	// (query, weight) pair per processed op message and sums the weights
+	// per socket; after the machine integrates the step and the meter
+	// settles it, DistributeEnergy applies the per-weight joules to the
+	// buffered pairs and finalizes the queries that completed — energy
+	// attribution runs one machine-integration behind execution, which is
+	// the earliest instant the step's joules exist.
+	energy    *energyattr.Meter
+	energyCls int
+	attrW     []float64
+	attrPairs []attrPair
+	attrDone  []*query
+}
+
+// attrPair is one op message's claim on its step's query energy share:
+// the query it belongs to and the work weight it earned (instructions
+// executed over the thread's step budget).
+type attrPair struct {
+	q    *query
+	w    float64
+	sock int32
 }
 
 // New builds an engine, populating every partition's data.
@@ -392,6 +425,11 @@ func (e *Engine) SetObserver(ob *obs.Observer) {
 		}
 	}
 	e.router.SetDeliverHook(e.deliverHook)
+	e.energy = ob.EnergyMeter()
+	if e.energy.Enabled() {
+		e.energyCls = e.energy.ClassIndex(e.wl.Name())
+		e.attrW = make([]float64, e.topo.Sockets)
+	}
 }
 
 // SwitchWorkload replaces the workload at runtime (the paper's Section 6.3
@@ -408,11 +446,18 @@ func (e *Engine) SwitchWorkload(wl workload.Workload) error {
 		q.prev, q.next = nil, nil
 		e.dropped++
 		e.obsDropped.Inc()
+		e.energy.ObserveDropped(e.energyCls, q.energyJ)
 		q = next
 	}
 	e.inFlight = nil
 	e.inFlightLen = 0
-	return e.install(wl)
+	if err := e.install(wl); err != nil {
+		return err
+	}
+	if e.energy.Enabled() {
+		e.energyCls = e.energy.ClassIndex(e.wl.Name())
+	}
+	return nil
 }
 
 // OfferLoad submits load according to a query rate sustained over dt,
@@ -450,10 +495,10 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 	q := e.freeQuery
 	if q != nil {
 		e.freeQuery = q.next
-		*q = query{submitted: now, remaining: len(ops)}
+		*q = query{submitted: now, remaining: len(ops), ops: int32(len(ops))}
 	} else {
 		//ecllint:allow hotpath freelist growth is amortized; completed queries recycle their nodes
-		q = &query{submitted: now, remaining: len(ops)}
+		q = &query{submitted: now, remaining: len(ops), ops: int32(len(ops))}
 	}
 	if e.inFlight != nil {
 		e.inFlight.prev = q
@@ -468,7 +513,6 @@ func (e *Engine) SubmitQuery(now time.Duration) error {
 	if e.tracer.Sample(uint64(e.submitted)) {
 		q.traced = true
 		q.qid = uint64(e.submitted)
-		q.ops = int32(len(ops))
 	}
 	// Client connection placement: random socket, or the first target
 	// partition's home under NUMA-aware routing.
@@ -565,9 +609,65 @@ func (e *Engine) completeOp(q *query, m *msg.Message, done time.Duration, lt int
 		B:      float64(e.inFlightLen),
 	})
 	// All of the query's messages have been processed, so nothing aliases
-	// the record anymore: recycle it.
+	// the record anymore. With energy attribution on, the record must
+	// survive until the step's joules are distributed (the finishing
+	// step's energy is part of the query's total), so recycling defers to
+	// DistributeEnergy; otherwise recycle now.
+	if e.energy != nil {
+		q.done = done
+		q.violated = e.latency.Threshold() > 0 && lat > e.latency.Threshold()
+		//ecllint:allow hotpath amortized completion-buffer growth; DistributeEnergy rewinds onto the backing array every step
+		e.attrDone = append(e.attrDone, q)
+		return
+	}
 	*q = query{next: e.freeQuery}
 	e.freeQuery = q
+}
+
+// AttrWeights returns the per-socket summed query work weights of the
+// step currently awaiting energy distribution. The slice is the engine's
+// scratch, valid until the next Step; nil when attribution is off.
+func (e *Engine) AttrWeights() []float64 { return e.attrW }
+
+// DistributeEnergy applies the per-socket joules-per-weight the meter
+// returned for the just-integrated step to the queries that earned
+// weight in it, then finalizes the queries the step completed: their
+// attributed totals are observed under the workload class and, for
+// traced queries, recorded as energy spans. Runs once per machine
+// integration, right after the meter settles.
+//
+//ecllint:hotpath
+func (e *Engine) DistributeEnergy(perWeightJ []units.Joule) {
+	if e.energy == nil {
+		return
+	}
+	for i := range e.attrPairs {
+		p := &e.attrPairs[i]
+		p.q.energyJ += perWeightJ[p.sock].Scale(p.w)
+		p.q = nil
+	}
+	e.attrPairs = e.attrPairs[:0]
+	for s := range e.attrW {
+		e.attrW[s] = 0
+	}
+	for i, q := range e.attrDone {
+		e.energy.ObserveQuery(e.energyCls, int(q.ops), q.energyJ, q.violated)
+		if q.traced {
+			e.energy.AddSpan(energyattr.EnergySpan{
+				QID:       q.qid,
+				Class:     e.energy.ClassName(e.energyCls),
+				Submitted: q.submitted,
+				Done:      q.done,
+				Ops:       int(q.ops),
+				EnergyJ:   q.energyJ,
+				Violated:  q.violated,
+			})
+		}
+		*q = query{next: e.freeQuery}
+		e.freeQuery = q
+		e.attrDone[i] = nil
+	}
+	e.attrDone = e.attrDone[:0]
 }
 
 // emitQuerySpan assembles a sampled query's span from its critical
@@ -758,6 +858,14 @@ func (e *Engine) Step(now, dt time.Duration, active [][]bool, budget [][]float64
 					remainingBudget[lt] -= m.Instr
 					stats[s].UsedInstr[lt] += m.Instr
 					stats[s].MemBytes += m.Instr * bpi
+					if e.energy != nil && m.Ctx != nil {
+						if ob := origBudget[lt]; ob > 0 {
+							w := m.Instr / ob
+							e.attrW[s] += w
+							//ecllint:allow hotpath amortized pair-buffer growth; DistributeEnergy rewinds onto the backing array every step
+							e.attrPairs = append(e.attrPairs, attrPair{q: m.Ctx.(*query), w: w, sock: int32(s)})
+						}
+					}
 					if m.Ctx != nil {
 						e.completeOp(m.Ctx.(*query), m, now, lt)
 					} else if m.Done != nil {

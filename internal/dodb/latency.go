@@ -79,6 +79,9 @@ func (lt *LatencyTracker) Record(latency, now time.Duration) {
 // latency (used to report limit violations in the evaluation).
 func (lt *LatencyTracker) SetThreshold(d time.Duration) { lt.threshold = d }
 
+// Threshold returns the armed latency limit (0 = none armed).
+func (lt *LatencyTracker) Threshold() time.Duration { return lt.threshold }
+
 // OverThreshold returns how many recorded queries exceeded the armed
 // threshold.
 func (lt *LatencyTracker) OverThreshold() int64 { return lt.overCount }

@@ -7,6 +7,7 @@ import (
 	"ecldb/internal/energy"
 	"ecldb/internal/hw"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/energyattr"
 	qtrace "ecldb/internal/obs/trace"
 	"ecldb/internal/units"
 	"ecldb/internal/vtime"
@@ -187,6 +188,12 @@ type SocketECL struct {
 	// segment's control-span kind between beginSegment and finishSegment.
 	tracer  *qtrace.Tracer
 	segSpan qtrace.CtlKind
+
+	// Energy attribution (nil when disabled): planned discovery and
+	// race-to-idle windows are registered ahead of execution so the meter
+	// can charge their joules to the control class (settle windows come
+	// from hw.Machine.Apply directly).
+	eattr *energyattr.Meter
 }
 
 // NewSocketECL builds a socket-level loop over an existing profile. The
@@ -241,6 +248,7 @@ func (s *SocketECL) SetObserver(ob *obs.Observer) {
 	s.obsDemand = reg.Gauge(`ecl_demand_instr_s{socket="` + sock + `"}`)
 	s.obsQueue = reg.Gauge(`ecl_adapt_queue_depth{socket="` + sock + `"}`)
 	s.tracer = ob.Tracer()
+	s.eattr = ob.EnergyMeter()
 }
 
 // ttvSeconds renders a time-to-violation for event payloads: seconds,
@@ -635,6 +643,18 @@ func (s *SocketECL) execute(now time.Duration, plan []segment) {
 	t := now
 	for i, seg := range plan {
 		seg := seg
+		if s.eattr.Enabled() {
+			// Register the segment's control window ahead of execution.
+			// Settle windows are registered by hw.Machine.Apply itself;
+			// only discovery and race-to-idle slices are planned here. A
+			// superseding tick clips them via cancelPending.
+			switch seg.span {
+			case qtrace.CtlDiscovery:
+				s.eattr.AddWindow(s.p.Socket, energyattr.KindDiscovery, t, t+seg.dur)
+			case qtrace.CtlRTISleep:
+				s.eattr.AddWindow(s.p.Socket, energyattr.KindRTISleep, t, t+seg.dur)
+			}
+		}
 		if i == 0 {
 			s.beginSegment(now, seg)
 		} else {
@@ -855,6 +875,13 @@ func (s *SocketECL) cancelPending() {
 		t.Cancel()
 	}
 	s.pendingOps = s.pendingOps[:0]
+	if s.eattr.Enabled() {
+		// Clip the superseded plan's control windows at the replan point:
+		// energy past now belongs to whatever the new plan schedules.
+		now := s.clock.Now()
+		s.eattr.CancelFrom(s.p.Socket, energyattr.KindDiscovery, now)
+		s.eattr.CancelFrom(s.p.Socket, energyattr.KindRTISleep, now)
+	}
 }
 
 // NextDeadline reports the earliest still-pending scheduled segment

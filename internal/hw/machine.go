@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/energyattr"
 	"ecldb/internal/obs/trace"
 	"ecldb/internal/units"
 )
@@ -96,6 +97,13 @@ type Machine struct {
 	// tracer records settle windows as control spans (nil when query
 	// tracing is disabled; see internal/obs/trace).
 	tracer *trace.Tracer
+	// eattr mirrors every integration term into the energy-attribution
+	// meter (nil when attribution is disabled; see
+	// internal/obs/energyattr). The mirror adds exactly the terms the
+	// RAPL counters add, in the same order, which is what makes the
+	// meter's integrated totals bit-equal to TrueEnergy on the
+	// per-quantum path.
+	eattr *energyattr.Meter
 }
 
 type pendingApply struct {
@@ -191,6 +199,7 @@ func (m *Machine) SetObserver(ob *obs.Observer) {
 		}
 	}
 	m.tracer = ob.Tracer()
+	m.eattr = ob.EnergyMeter()
 }
 
 // Apply requests a new configuration for one socket. The change becomes
@@ -206,6 +215,13 @@ func (m *Machine) Apply(socket int, cfg Configuration) error {
 	m.pending[socket] = pendingApply{cfg: cfg.Clone(), at: m.now + ApplyLatency, valid: true}
 	m.fw.noteRequest(socket, cfg, m.now)
 	m.epoch[socket]++
+	if m.eattr.Enabled() {
+		// A superseding Apply drops the pending configuration, so its
+		// unelapsed settle window must go too before this one registers.
+		m.eattr.CancelFrom(socket, energyattr.KindSettle, m.now)
+		m.eattr.AddWindow(socket, energyattr.KindSettle, m.now, m.now+ApplyLatency)
+		m.eattr.NoteReconfig(socket, cfg.Key(m.topo.ThreadsPerCore), m.now)
+	}
 	if m.tracer.Enabled() {
 		// The settle window is the hardware-level wake/transition latency
 		// an elasticity decision costs; on the shared timeline it lines
@@ -520,6 +536,7 @@ func (m *Machine) StepStretch(n int, q time.Duration, acts []SocketActivity) int
 		m.lastPkgW[s], m.lastDramW[s] = pkgW, dramW
 		m.pkg[s].integrateStretch(m.now, dt, pkgW, m.boundarySalt(s, DomainPackage), m.linearBoundaryScan)
 		m.dram[s].integrateStretch(m.now, dt, dramW, m.boundarySalt(s, DomainDRAM), m.linearBoundaryScan)
+		m.eattr.Accrue(s, pkgW, dramW, dt)
 		totalW += pkgW + dramW
 		for lt, instr := range acts[s].Instr {
 			m.instr[m.topo.GlobalThread(s, lt)] += instr * float64(n)
@@ -568,6 +585,7 @@ func (m *Machine) integrate(seg, fullStep time.Duration, acts []SocketActivity) 
 		m.lastPkgW[s], m.lastDramW[s] = pkgW, dramW
 		m.pkg[s].integrate(m.now, seg, pkgW, m.boundarySalt(s, DomainPackage))
 		m.dram[s].integrate(m.now, seg, dramW, m.boundarySalt(s, DomainDRAM))
+		m.eattr.Accrue(s, pkgW, dramW, seg)
 		totalW += pkgW + dramW
 		for lt, instr := range acts[s].Instr {
 			m.instr[m.topo.GlobalThread(s, lt)] += instr * frac

@@ -21,8 +21,8 @@ const modulePath = "ecldb"
 func CorePackages() []string {
 	names := []string{
 		"vtime", "units", "hw", "dodb", "msg", "ecl", "energy", "obs",
-		"obs/trace", "perfmodel", "sim", "storage", "workload",
-		"loadprofile", "trace",
+		"obs/trace", "obs/energyattr", "perfmodel", "sim", "storage",
+		"workload", "loadprofile", "trace",
 	}
 	core := make([]string, 0, len(names))
 	for _, n := range names {
@@ -89,6 +89,16 @@ func DefaultLayering() LayeringConfig {
 					in("workload"),
 				},
 				Reason: "the query span model sits at the bottom of the observability stack: it may see only vtime timestamps and obs, never the runtime packages whose spans it records",
+			},
+			{
+				Pkg: in("obs/energyattr"),
+				Forbid: []string{
+					in("bench"), in("dodb"), in("ecl"), in("energy"),
+					in("hw"), in("lint"), in("loadprofile"), in("msg"),
+					in("perfmodel"), in("sim"), in("storage"), in("trace"),
+					in("workload"), in("obs"), in("obs/trace"),
+				},
+				Reason: "the energy-attribution meter is fed by hw/dodb/ecl and must see only the units vocabulary, never the runtime packages whose joules it splits",
 			},
 		},
 		Restricted: []RestrictedImport{

@@ -55,6 +55,13 @@ func Integrate(w units.Watt, d time.Duration) units.Joule {
 	return w.Over(d)
 }
 
+// Efficiency is fine: the Joule division helpers keep the quantity
+// typed end-to-end — a count divisor carries no dimension, so J/query
+// and J/op stay joules.
+func Efficiency(total units.Joule, queries, ops uint64) (units.Joule, units.Joule) {
+	return total.PerQuery(queries), total.PerOp(ops)
+}
+
 // Calibrate carries a justification for a raw conversion at a measured
 // boundary.
 func Calibrate(reading float64) units.Watt {

@@ -28,7 +28,10 @@
 // observer is attached (verified by TestDisabledPathsAllocateNothing).
 package obs
 
-import "ecldb/internal/obs/trace"
+import (
+	"ecldb/internal/obs/energyattr"
+	"ecldb/internal/obs/trace"
+)
 
 // Observer bundles the sinks a simulation is wired with: the decision
 // event log, the metrics registry, and (optionally) the query tracer. A
@@ -43,6 +46,10 @@ type Observer struct {
 	// control-loop spans (see internal/obs/trace). Nil by default — query
 	// tracing is opt-in on top of the control-plane layer.
 	Trace *trace.Tracer
+	// Energy, when non-nil, attributes machine-integrated joules to
+	// queries, control phases, and residual (see internal/obs/energyattr).
+	// Nil by default — energy attribution is opt-in like tracing.
+	Energy *energyattr.Meter
 }
 
 // New builds an enabled Observer. capacity bounds the event log's ring
@@ -75,6 +82,16 @@ func (o *Observer) Tracer() *trace.Tracer {
 		return nil
 	}
 	return o.Trace
+}
+
+// EnergyMeter returns the energy-attribution meter, or nil for a nil
+// Observer or one without attribution attached (the nil forwards, so
+// downstream handles are no-ops).
+func (o *Observer) EnergyMeter() *energyattr.Meter {
+	if o == nil {
+		return nil
+	}
+	return o.Energy
 }
 
 // Explain renders the full post-run report: the control-plane explain

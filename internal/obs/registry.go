@@ -168,6 +168,19 @@ func (r *Registry) Value(name string) (float64, bool) {
 	return 0, false
 }
 
+// Names returns a sorted copy of every registered full metric name.
+// Read-only: consumers (the serving layer's per-class series discovery)
+// scan it without touching the registry's own index. Nil-safe.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	sort.Strings(names)
+	return names
+}
+
 // Counter returns the counter registered under the full name, creating
 // it on first use. Nil registries return the nil no-op counter.
 func (r *Registry) Counter(name string) *Counter {

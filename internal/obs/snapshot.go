@@ -73,5 +73,6 @@ func (o *Observer) Snapshot() *Observer {
 		Log:     o.Log.Snapshot(),
 		Metrics: o.Metrics.Snapshot(),
 		Trace:   o.Trace.Snapshot(),
+		Energy:  o.Energy.Snapshot(),
 	}
 }

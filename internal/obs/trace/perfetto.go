@@ -15,6 +15,9 @@ const (
 	tidECL = 900
 	// tidSettle is the per-socket track for hardware settle windows.
 	tidSettle = 901
+	// pidCounters is the synthetic process carrying the counter tracks
+	// (Perfetto renders one counter lane per distinct event name).
+	pidCounters = 990
 )
 
 // WritePerfetto writes the recorded spans as Chrome/Perfetto trace-event
@@ -141,6 +144,33 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 		buf = append(buf, '}')
 		if err := emit(buf); err != nil {
 			return err
+		}
+	}
+
+	if cs := t.Counters(); len(cs) > 0 {
+		buf = buf[:0]
+		buf = append(buf, `{"name":"process_name","ph":"M","pid":`...)
+		buf = strconv.AppendInt(buf, pidCounters, 10)
+		buf = append(buf, `,"args":{"name":"counters"}}`...)
+		if err := emit(buf); err != nil {
+			return err
+		}
+		for _, c := range cs {
+			buf = buf[:0]
+			buf = append(buf, `{"name":"`...)
+			buf = append(buf, c.Name...)
+			buf = append(buf, `","ph":"C","pid":`...)
+			buf = strconv.AppendInt(buf, pidCounters, 10)
+			buf = append(buf, `,"ts":`...)
+			buf = appendTS(buf, c.At)
+			buf = append(buf, `,"args":{"value":`...)
+			// Shortest round-trip float rendering: deterministic bytes, the
+			// same strategy the Prometheus exposition uses.
+			buf = strconv.AppendFloat(buf, c.Value, 'g', -1, 64)
+			buf = append(buf, `}}`...)
+			if err := emit(buf); err != nil {
+				return err
+			}
 		}
 	}
 

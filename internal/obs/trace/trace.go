@@ -102,14 +102,26 @@ type CtlSpan struct {
 	Start, End time.Duration
 }
 
+// CounterSample is one point of a named counter track on the shared
+// timeline (rendered as a Perfetto "C" event): a numeric series — such as
+// the attributed component power of the energy meter — alongside the
+// spans. Track names must be precomputed constants; the sample path does
+// no string assembly.
+type CounterSample struct {
+	Name  string
+	At    time.Duration
+	Value float64
+}
+
 // Tracer collects query and control spans. It is single-threaded like
 // everything else in the core; spans are kept in emission order, which is
 // deterministic per seed.
 type Tracer struct {
-	every   uint64
-	seen    uint64
-	queries []QuerySpan
-	ctl     []CtlSpan
+	every    uint64
+	seen     uint64
+	queries  []QuerySpan
+	ctl      []CtlSpan
+	counters []CounterSample
 }
 
 // New builds a tracer sampling one query span in every sampleEvery
@@ -171,6 +183,14 @@ func (t *Tracer) AddCtl(s CtlSpan) {
 	t.ctl = append(t.ctl, s)
 }
 
+// AddCounter records one point of a named counter track. Nil-safe.
+func (t *Tracer) AddCounter(name string, at time.Duration, v float64) {
+	if t == nil {
+		return
+	}
+	t.counters = append(t.counters, CounterSample{Name: name, At: at, Value: v})
+}
+
 // Snapshot returns a deep copy of the tracer: the sampling state and the
 // recorded query and control spans (span structs are plain values). The
 // copy must be taken on the simulation thread — the tracer carries no
@@ -182,10 +202,11 @@ func (t *Tracer) Snapshot() *Tracer {
 		return nil
 	}
 	return &Tracer{
-		every:   t.every,
-		seen:    t.seen,
-		queries: append([]QuerySpan(nil), t.queries...),
-		ctl:     append([]CtlSpan(nil), t.ctl...),
+		every:    t.every,
+		seen:     t.seen,
+		queries:  append([]QuerySpan(nil), t.queries...),
+		ctl:      append([]CtlSpan(nil), t.ctl...),
+		counters: append([]CounterSample(nil), t.counters...),
 	}
 }
 
@@ -205,4 +226,13 @@ func (t *Tracer) Ctl() []CtlSpan {
 		return nil
 	}
 	return t.ctl
+}
+
+// Counters returns the recorded counter samples in emission order. The
+// slice is the tracer's own storage; callers must not modify it.
+func (t *Tracer) Counters() []CounterSample {
+	if t == nil {
+		return nil
+	}
+	return t.counters
 }

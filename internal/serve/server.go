@@ -5,6 +5,7 @@ import (
 	"embed"
 	"encoding/json"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,7 +49,35 @@ type samplePoint struct {
 	Threads  float64   `json:"threads"`
 	Inflight float64   `json:"inflight"`
 	CoreMHz  []float64 `json:"core_mhz"`
+	// Energy carries the attribution meter's readings; nil when the run
+	// has no meter attached (the dashboard hides the energy panel).
+	Energy *energyPoint `json:"energy,omitempty"`
 }
+
+// energyPoint is the attribution meter's view at one sample: per-query
+// energy quantiles, the class split of every joule integrated so far,
+// the saving versus the frozen always-max baseline, and the per-class
+// (workload-class) joules strip.
+type energyPoint struct {
+	EPQ50J    float64       `json:"epq50_j"`
+	EPQ99J    float64       `json:"epq99_j"`
+	SavedJ    float64       `json:"saved_j"`
+	QueriesJ  float64       `json:"queries_j"`
+	ControlJ  float64       `json:"control_j"`
+	ResidualJ float64       `json:"residual_j"`
+	Classes   []classJoules `json:"classes,omitempty"`
+}
+
+// classJoules is one row of the per-workload-class energy strip.
+type classJoules struct {
+	Class string  `json:"class"`
+	J     float64 `json:"j"`
+}
+
+// classSeriesPrefix is the full-name prefix of the per-workload-class
+// attributed-energy counters; ingest discovers the class set by scanning
+// the registry's name index for it.
+const classSeriesPrefix = `ecl_energy_class_joules_total{class="`
 
 // zoneSeg is one residency segment of a socket's zone strip: the mode the
 // socket ECL entered at FromNs and stayed in until the next segment.
@@ -241,6 +270,30 @@ func (s *Server) ingest(snap *Snapshot) {
 	point.CoreMHz = make([]float64, s.meta.Sockets)
 	for sock := 0; sock < s.meta.Sockets; sock++ {
 		point.CoreMHz[sock], _ = reg.Value(`hw_core_mhz{socket="` + itoa(sock) + `"}`)
+	}
+
+	// Energy attribution readings, present only when the run carries the
+	// meter (the p50 gauge is its sentinel series). The per-class strip is
+	// discovered from the registry's sorted name index, so classes appear
+	// in stable bytewise order regardless of first-completion order.
+	if epq50, ok := reg.Value("ecl_energy_per_query_j_p50"); ok {
+		ep := &energyPoint{EPQ50J: epq50}
+		ep.EPQ99J, _ = reg.Value("ecl_energy_per_query_j_p99")
+		ep.SavedJ, _ = reg.Value("ecl_energy_saved_joules_total")
+		ep.QueriesJ, _ = reg.Value(`ecl_energy_attributed_joules_total{class="queries"}`)
+		ep.ControlJ, _ = reg.Value(`ecl_energy_attributed_joules_total{class="control"}`)
+		ep.ResidualJ, _ = reg.Value(`ecl_energy_attributed_joules_total{class="residual"}`)
+		for _, name := range reg.Names() {
+			rest, found := strings.CutPrefix(name, classSeriesPrefix)
+			if !found {
+				continue
+			}
+			v, _ := reg.Value(name)
+			ep.Classes = append(ep.Classes, classJoules{
+				Class: strings.TrimSuffix(rest, `"}`), J: v,
+			})
+		}
+		point.Energy = ep
 	}
 
 	// Delta of buffered events since the last ingest. Buffered() is

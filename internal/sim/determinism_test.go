@@ -109,6 +109,14 @@ func digestRun(t *testing.T, opts Options) ([sha256.Size]byte, *Sim, *Result) {
 			}
 			fmt.Fprint(h, ob.Trace.Report())
 		}
+		// Energy attribution joins the contract: the JSONL export and the
+		// rendered report must be byte-identical per seed too.
+		if ob.Energy != nil {
+			if err := ob.Energy.WriteJSONL(h); err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprint(h, ob.Energy.Report())
+		}
 	}
 
 	var sum [sha256.Size]byte

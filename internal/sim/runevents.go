@@ -312,6 +312,7 @@ func (s *Sim) stretchStep(k int) int {
 			if n := s.machine.StepStretch(k-done, q, s.stretchActs); n > 0 {
 				s.engine.IdleStretch(now+q, q, n, s.stretchEligible, s.stretchActive)
 				s.advanceQuanta(n)
+				s.settleStretchAttr(time.Duration(n) * q)
 				done += n
 				s.batchWindows++
 				s.batchQuanta += int64(n)
@@ -325,6 +326,7 @@ func (s *Sim) stretchStep(k int) int {
 		s.engine.IdleQuantum(now+q, q, s.stretchEligible, s.stretchActive)
 		s.machine.Step(q, s.stretchActs)
 		s.clock.Advance(q)
+		s.settleStretchAttr(q)
 		done++
 		if s.opts.Hook != nil {
 			s.opts.Hook.OnQuantum(s.clock.Now())

@@ -19,6 +19,8 @@ import (
 	"ecldb/internal/hw"
 	"ecldb/internal/loadprofile"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/energyattr"
+	qtrace "ecldb/internal/obs/trace"
 	"ecldb/internal/perfmodel"
 	"ecldb/internal/trace"
 	"ecldb/internal/units"
@@ -285,6 +287,28 @@ type Sim struct {
 	obsPowerPSU  *obs.Gauge
 	obsLoadQPS   *obs.Gauge
 	obsCoreMHz   []*obs.Gauge // per socket
+
+	// Energy attribution (nil/empty when disabled): the meter, the reused
+	// per-socket distribution buffer, the sample-time metric handles, and
+	// the previous cumulative totals the counter deltas and Perfetto
+	// counter-track watts are derived from.
+	eattr            *energyattr.Meter
+	attrReg          *obs.Registry
+	attrTracer       *qtrace.Tracer
+	attrPerW         []units.Joule
+	obsEPQ50         *obs.Gauge
+	obsEPQ95         *obs.Gauge
+	obsEPQ99         *obs.Gauge
+	obsESaved        *obs.Gauge
+	obsEAttrQueries  *obs.Counter
+	obsEAttrControl  *obs.Counter
+	obsEAttrResidual *obs.Counter
+	prevAttrQueries  float64
+	prevAttrControl  float64
+	prevAttrResidual float64
+	lastEnergyAt     time.Duration
+	obsClassJ        []*obs.Counter
+	prevClassJ       []float64
 }
 
 // New builds a simulation.
@@ -393,6 +417,63 @@ func (s *Sim) attachObserver(ob *obs.Observer) {
 			s.obsCoreMHz = append(s.obsCoreMHz,
 				reg.Gauge(`hw_core_mhz{socket="`+id+`"}`))
 		}
+	}
+	s.eattr = ob.EnergyMeter()
+	if s.eattr.Enabled() {
+		s.attrReg = reg
+		s.attrTracer = ob.Tracer()
+		s.attrPerW = make([]units.Joule, s.topo.Sockets)
+		s.obsEPQ50 = reg.Gauge("ecl_energy_per_query_j_p50")
+		s.obsEPQ95 = reg.Gauge("ecl_energy_per_query_j_p95")
+		s.obsEPQ99 = reg.Gauge("ecl_energy_per_query_j_p99")
+		s.obsESaved = reg.Gauge("ecl_energy_saved_joules_total")
+		s.obsEAttrQueries = reg.Counter(`ecl_energy_attributed_joules_total{class="queries"}`)
+		s.obsEAttrControl = reg.Counter(`ecl_energy_attributed_joules_total{class="control"}`)
+		s.obsEAttrResidual = reg.Counter(`ecl_energy_attributed_joules_total{class="residual"}`)
+		reg.SetHelp("ecl_energy_per_query_j_p50", "Median attributed energy per completed query, in joules.")
+		reg.SetHelp("ecl_energy_per_query_j_p95", "95th-percentile attributed energy per completed query, in joules.")
+		reg.SetHelp("ecl_energy_per_query_j_p99", "99th-percentile attributed energy per completed query, in joules.")
+		reg.SetHelp("ecl_energy_saved_joules_total", "Energy saved versus the frozen always-max baseline, in joules (gauge: the controller can lose ground).")
+		s.characterizeBaseline()
+	}
+}
+
+// characterizeBaseline freezes the attribution meter's always-max
+// counterfactual: for each socket, the power the machine model yields at
+// hw.AllMax when fully loaded and when merely spinning, plus the
+// instruction rate a full load sustains. The characterization reads the
+// same PowerParams/perfmodel functions the step paths evaluate — it never
+// touches machine state, so attaching attribution cannot perturb a run
+// (TestEnergyAttrBehaviorNeutral proves it).
+func (s *Sim) characterizeBaseline() {
+	pp := s.machine.Params()
+	max := hw.AllMax(s.topo)
+	bwCap := hw.BandwidthCapGBs(max.UncoreMHz)
+	n := s.topo.ThreadsPerSocket()
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		cap_ := perfmodel.SocketCapacity(s.topo, max, s.engine.SocketCharacteristics(sock), 1)
+		full := hw.SocketActivity{
+			Busy:     make([]float64, n),
+			Spin:     make([]float64, n),
+			Instr:    make([]float64, n),
+			MemGBs:   cap_.MemGBsAtFull,
+			DynScale: cap_.DynScale,
+		}
+		spin := hw.SocketActivity{
+			Busy:     make([]float64, n),
+			Spin:     make([]float64, n),
+			Instr:    make([]float64, n),
+			DynScale: cap_.DynScale,
+		}
+		for i, r := range cap_.PerThread {
+			if r > 0 {
+				full.Busy[i] = 1
+			}
+			spin.Spin[i] = 1
+		}
+		fullPkgW, fullDramW := pp.SocketPowerW(s.topo, sock, max, full, false, bwCap)
+		spinPkgW, spinDramW := pp.SocketPowerW(s.topo, sock, max, spin, false, bwCap)
+		s.eattr.SetBaseline(sock, spinPkgW, spinDramW, fullPkgW, fullDramW, cap_.Aggregate)
 	}
 }
 
@@ -713,6 +794,11 @@ func (s *Sim) Run() (*Result, error) {
 	e0 := s.totalEnergy()
 	psu0 := s.machine.PSUEnergy()
 	s.lastSampleAt, s.lastSampleJ, s.lastSamplePSUJ = s.started, e0, psu0
+	// Energy integrated before the run window (prewarm sweeps, governor
+	// start-up) stays in the meter's integrated totals but is attributed
+	// to nobody: flush it into the derived residual.
+	s.eattr.FlushPending()
+	s.lastEnergyAt = s.started
 
 	dur := s.opts.Load.Duration()
 	hook := s.opts.Hook
@@ -734,6 +820,7 @@ func (s *Sim) Run() (*Result, error) {
 	if s.controller != nil {
 		s.controller.Stop()
 	}
+	s.eattr.CloseLedger(s.clock.Now())
 
 	res := &Result{
 		Rec:        s.rec,
@@ -906,6 +993,7 @@ func (s *Sim) macroStep(k int) {
 		if !s.opts.NoBatch {
 			if n := s.machine.StepStretch(k-done, q, s.idleActs); n > 0 {
 				s.advanceQuanta(n)
+				s.settleIdleAttr(time.Duration(n) * q)
 				done += n
 				s.batchWindows++
 				s.batchQuanta += int64(n)
@@ -914,6 +1002,7 @@ func (s *Sim) macroStep(k int) {
 		}
 		s.machine.Step(q, s.idleActs)
 		s.clock.Advance(q)
+		s.settleIdleAttr(q)
 		if s.opts.Hook != nil {
 			s.opts.Hook.OnQuantum(s.clock.Now())
 		}
@@ -942,6 +1031,70 @@ func (s *Sim) advanceQuanta(n int) {
 	for i := 0; i < n; i++ {
 		s.clock.Advance(q)
 		s.opts.Hook.OnQuantum(s.clock.Now())
+	}
+}
+
+// settleStepAttr closes the attribution span of one full per-quantum
+// step: per socket, it splits the quantum's pending joules by the engine's
+// query weights and the controller's busy-poll overhead, advances the
+// always-max counterfactual by the instructions actually retired, and
+// hands the per-weight query share back to the engine for per-query
+// distribution. Called after the clock advance, so the span end is the
+// quantum boundary the machine just integrated to.
+func (s *Sim) settleStepAttr(q time.Duration, stats []dodb.SocketStats) {
+	if !s.eattr.Enabled() {
+		return
+	}
+	end := s.clock.Now()
+	w := s.engine.AttrWeights()
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		active := s.machine.EffectiveView(sock).ActiveThreads()
+		loop := 0.0
+		if s.controller != nil && active > 0 {
+			loop = s.controller.Overhead()
+		}
+		s.attrPerW[sock] = s.eattr.Settle(sock, end-q, end, active, w[sock], loop)
+		used := 0.0
+		for _, u := range stats[sock].UsedInstr {
+			used += u
+		}
+		s.eattr.AccrueBaseline(sock, used, q)
+	}
+	s.engine.DistributeEnergy(s.attrPerW)
+}
+
+// settleIdleAttr closes the attribution span of one machine-wide idle
+// advance (the quiescent macro-step): no active threads, no query weight,
+// no loop overhead — everything not claimed by a control window (an RTI
+// sleep slice, a settling transition) lands in the residual.
+func (s *Sim) settleIdleAttr(span time.Duration) {
+	if !s.eattr.Enabled() {
+		return
+	}
+	end := s.clock.Now()
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		s.eattr.Settle(sock, end-span, end, 0, 0, 0)
+		s.eattr.AccrueBaseline(sock, 0, span)
+	}
+}
+
+// settleStretchAttr closes the attribution span of an active-but-workless
+// stretch (engine quiescent, workers spinning): query weight is provably
+// zero, so the span splits between the controller's loop overhead, any
+// control windows, and the spin residual.
+func (s *Sim) settleStretchAttr(span time.Duration) {
+	if !s.eattr.Enabled() {
+		return
+	}
+	end := s.clock.Now()
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		active := s.stretchActive[sock]
+		loop := 0.0
+		if s.controller != nil && active > 0 {
+			loop = s.controller.Overhead()
+		}
+		s.eattr.Settle(sock, end-span, end, active, 0, loop)
+		s.eattr.AccrueBaseline(sock, 0, span)
 	}
 }
 
@@ -1014,6 +1167,7 @@ func (s *Sim) stepCached(q time.Duration) {
 	}
 	s.machine.Step(q, acts)
 	s.clock.Advance(q)
+	s.settleStepAttr(q, stats)
 }
 
 // stepNaive is the reference step implementation: a full perf-model
@@ -1101,6 +1255,7 @@ func (s *Sim) stepNaive(q time.Duration) {
 	}
 	s.machine.Step(q, acts)
 	s.clock.Advance(q)
+	s.settleStepAttr(q, stats)
 }
 
 // sample records the trace series at profile time t. Power values are
@@ -1161,6 +1316,58 @@ func (s *Sim) sample(t time.Duration) {
 			perf = s.controller.Socket(0).Demand().Div(max)
 		}
 		s.rec.Add("perf0", t, perf)
+	}
+	if s.eattr.Enabled() {
+		s.sampleEnergy(now)
+	}
+}
+
+// Perfetto counter-track names for the attribution components
+// (precomputed: the sample path must not build strings).
+const (
+	attrTrackQueriesW  = "energy queries (W)"
+	attrTrackControlW  = "energy control (W)"
+	attrTrackResidualW = "energy residual (W)"
+	attrTrackSavedJ    = "energy saved (J)"
+)
+
+// sampleEnergy refreshes the attribution metrics at a trace sample:
+// per-query energy percentiles, the energy-saved gauge, the cumulative
+// partition counters (as deltas — counters only accept increments), the
+// lazily registered per-class joule counters, and — when tracing — the
+// Perfetto counter track of component power over the sample window.
+func (s *Sim) sampleEnergy(now time.Duration) {
+	m := s.eattr
+	s.obsEPQ50.Set(m.Quantile(0.50).Joules())
+	s.obsEPQ95.Set(m.Quantile(0.95).Joules())
+	s.obsEPQ99.Set(m.Quantile(0.99).Joules())
+	s.obsESaved.Set(m.SavedJ().Joules())
+	qj := m.QueriesTotalJ().Joules()
+	cj := m.ControlTotalJ().Joules()
+	rj := m.ResidualTotalJ().Joules()
+	s.obsEAttrQueries.Add(qj - s.prevAttrQueries)
+	s.obsEAttrControl.Add(cj - s.prevAttrControl)
+	s.obsEAttrResidual.Add(rj - s.prevAttrResidual)
+	if s.attrTracer != nil {
+		if win := (now - s.lastEnergyAt).Seconds(); win > 0 {
+			s.attrTracer.AddCounter(attrTrackQueriesW, now, (qj-s.prevAttrQueries)/win)
+			s.attrTracer.AddCounter(attrTrackControlW, now, (cj-s.prevAttrControl)/win)
+			s.attrTracer.AddCounter(attrTrackResidualW, now, (rj-s.prevAttrResidual)/win)
+			s.attrTracer.AddCounter(attrTrackSavedJ, now, m.SavedJ().Joules())
+		}
+	}
+	s.prevAttrQueries, s.prevAttrControl, s.prevAttrResidual = qj, cj, rj
+	s.lastEnergyAt = now
+	cls := m.Classes()
+	for i := len(s.obsClassJ); i < len(cls); i++ {
+		s.obsClassJ = append(s.obsClassJ,
+			s.attrReg.Counter(`ecl_energy_class_joules_total{class="`+cls[i].Name+`"}`))
+		s.prevClassJ = append(s.prevClassJ, 0)
+	}
+	for i := range cls {
+		j := (cls[i].EnergyJ + cls[i].DroppedJ).Joules()
+		s.obsClassJ[i].Add(j - s.prevClassJ[i])
+		s.prevClassJ[i] = j
 	}
 }
 

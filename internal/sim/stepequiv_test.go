@@ -8,6 +8,7 @@ import (
 	"ecldb/internal/hw"
 	"ecldb/internal/loadprofile"
 	"ecldb/internal/obs"
+	"ecldb/internal/obs/energyattr"
 	"ecldb/internal/obs/trace"
 	"ecldb/internal/workload"
 )
@@ -21,9 +22,12 @@ func stepEquivOptions(noMemo, noMacro bool) Options {
 	// Query tracing rides along: the Perfetto export and breakdown enter
 	// the digest, so the proof also covers span byte-identity across the
 	// optimization combinations (macro windows require quiescence, so no
-	// traced span interval can overlap one).
+	// traced span interval can overlap one). Energy attribution rides
+	// along too: its exposition joins the digest and its conservation
+	// invariant is asserted per combination below.
 	ob := obs.New(0)
 	ob.Trace = trace.New(3)
+	ob.Energy = energyattr.New(hw.HaswellEP().Sockets)
 	return Options{
 		Workload: workload.NewKV(false),
 		Load: loadprofile.Step{
@@ -139,6 +143,58 @@ func TestStepPathsByteIdentical(t *testing.T) {
 		if c.group != 0 && refRes != nil {
 			assertSemanticallyEqual(t, c.name, refRes, res)
 		}
+		assertEnergyConservation(t, c.name, s, opts.Obs.Energy)
+	}
+}
+
+// assertEnergyConservation asserts the attribution meter's two-part
+// conservation contract after a run: (1) the meter's integrated mirror
+// matches the machine's true RAPL counters bit for bit on EVERY step
+// path — Accrue is called once per counter-integration site with the
+// identical float terms in the identical order, so the mirror follows
+// whatever grouping (per-quantum or closed-form) the machine used; and
+// (2) the attributed partition is exact by the subtractive identity
+// integ − queries − control − residual == 0 per socket and domain (see
+// energyattr.ResidualJ for why the additive restatement is the wrong
+// check). It also guards against vacuity: the run must actually have
+// attributed query and control energy, observed queries, recorded spans,
+// and closed ledger records.
+func assertEnergyConservation(t *testing.T, name string, s *Sim, m *energyattr.Meter) {
+	t.Helper()
+	for sock := 0; sock < s.topo.Sockets; sock++ {
+		for _, d := range []struct {
+			meter int
+			hw    hw.Domain
+		}{{energyattr.DomainPackage, hw.DomainPackage}, {energyattr.DomainDRAM, hw.DomainDRAM}} {
+			integ := m.Integrated(sock, d.meter)
+			truth := s.machine.TrueEnergy(sock, d.hw)
+			if integ != truth {
+				t.Errorf("%s: socket %d %s meter integ %v != machine TrueEnergy %v (the mirror must be bitwise)",
+					name, sock, energyattr.DomainName(d.meter), integ, truth)
+			}
+			if part := integ - m.QueriesJ(sock, d.meter) - m.ControlJ(sock, d.meter) - m.ResidualJ(sock, d.meter); part != 0 {
+				t.Errorf("%s: socket %d %s partition leaks %v (subtractive identity must be exact)",
+					name, sock, energyattr.DomainName(d.meter), part)
+			}
+		}
+	}
+	if m.QueriesTotalJ() <= 0 {
+		t.Errorf("%s: no energy attributed to queries; the conservation proof is vacuous", name)
+	}
+	if m.ControlTotalJ() <= 0 {
+		t.Errorf("%s: no energy attributed to control; the conservation proof is vacuous", name)
+	}
+	if m.QueryCount() == 0 {
+		t.Errorf("%s: meter observed no completed queries", name)
+	}
+	if len(m.Spans()) == 0 {
+		t.Errorf("%s: no energy spans recorded despite tracing being attached", name)
+	}
+	if len(m.Ledger()) == 0 {
+		t.Errorf("%s: audit ledger is empty despite reconfigurations", name)
+	}
+	if !m.HasBaseline() || m.BaselineTotalJ() <= 0 {
+		t.Errorf("%s: frozen baseline never accrued (has=%v total=%v)", name, m.HasBaseline(), m.BaselineTotalJ())
 	}
 }
 

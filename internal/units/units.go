@@ -131,6 +131,28 @@ func (j Joule) Quantize(q Joule) Joule {
 	return Joule(math.Floor(float64(j)/float64(q)) * float64(q))
 }
 
+// PerQuery divides a total energy over a query count, yielding the
+// average joules per query. A zero count yields zero energy, so the
+// attribution reports can divide by "queries completed so far" without
+// guarding every call site.
+func (j Joule) PerQuery(n uint64) Joule {
+	if n == 0 {
+		return 0
+	}
+	return Joule(float64(j) / float64(n))
+}
+
+// PerOp divides a total energy over an operation count, yielding the
+// average joules per operation, with the same zero-count behavior as
+// PerQuery. The two helpers are the typed spellings of the paper-style
+// efficiency metrics (energy per transaction, energy per operator).
+func (j Joule) PerOp(n uint64) Joule {
+	if n == 0 {
+		return 0
+	}
+	return Joule(float64(j) / float64(n))
+}
+
 // PerWatt is rate per power — the profile's efficiency metric
 // (instructions per joule, since Hz/W = 1/s ÷ J/s).
 func PerWatt(h Hertz, w Watt) float64 { return float64(h) / float64(w) }

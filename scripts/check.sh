@@ -73,6 +73,18 @@ echo "== live serving surface under -race"
 go build -o /dev/null ./cmd/eclserve
 go test -race -count=1 -run 'TestServ' ./internal/serve
 
+echo "== energy attribution under -race"
+# The attribution meter's contract, raced: conservation (the meter's
+# mirror is bitwise equal to the machine's RAPL counters and the
+# queries/control/residual partition sums back exactly) is asserted
+# inside the 12-combo step-path matrix above; here the meter's own
+# tests run — behavior neutrality (digest identical with the meter on
+# or off), determinism of its exports, a positive energy-saved signal
+# with a coherent audit ledger, and the zero-alloc steady-state accrual
+# proofs — plus the package unit tests.
+go test -race -count=1 -run 'TestEnergyAttr' ./internal/sim
+go test -race -count=1 ./internal/obs/energyattr
+
 echo "== digest re-lock semantic check"
 # The closed-form stretch integration (DESIGN.md §16) changes the
 # grouping of float sums, so energies are not byte-identical to the
